@@ -1,0 +1,466 @@
+//! The assertion specification language.
+//!
+//! The paper closes with: "In order to simplify specifying boilerplate
+//! assertions, we are designing an assertion specification language at the
+//! moment." This module implements that language: a small, line-oriented
+//! DSL that compiles to [`BoundAssertion`]s and whole
+//! [`AssertionLibrary`]s, so analysts bind assertions to process steps
+//! without writing Rust.
+//!
+//! # Grammar (case-insensitive, articles optional)
+//!
+//! ```text
+//! library  := binding*
+//! binding  := "on" ACTIVITY ":" NEWLINE (INDENT assertion NEWLINE)*
+//! assertion:=
+//!     "assert system has" COUNT "instances with the new version"
+//!   | "assert asg has exactly" NUMBER "instances"
+//!   | "assert asg has at least" NUMBER "active instances"
+//!   | "assert asg desired capacity is" NUMBER
+//!   | "assert asg uses the expected launch configuration"
+//!   | "assert launch configuration uses the expected" RESOURCE
+//!   | "assert the expected" ("ami"|"key pair"|"security group"|"elb") "is available"
+//!   | "assert the instance" INSTREF
+//!   | "assert account has launch headroom"
+//! COUNT    := NUMBER | "$" FIELD | "the expected count"
+//! RESOURCE := "ami" | "key pair" | "security group" | "instance type"
+//! INSTREF  := "uses the expected ami"
+//!           | "matches the expected configuration"
+//!           | "is in service"
+//!           | "is registered with the elb"
+//!           | "is deregistered from the elb"
+//!           | "is terminated"
+//! ```
+//!
+//! `$field` counts are resolved from the triggering log line (e.g. `$done`
+//! from Asgard's "3 of 4 instance relaunches done"); instance references
+//! resolve against the instance id annotated on the triggering line.
+//!
+//! # Examples
+//!
+//! ```
+//! use pod_assert::dsl::parse_library;
+//!
+//! let lib = parse_library(r#"
+//! on update-launch-configuration:
+//!     assert asg uses the expected launch configuration
+//!     assert launch configuration uses the expected ami
+//! on new-instance-ready:
+//!     assert the instance uses the expected ami
+//!     assert system has $done instances with the new version
+//! "#).unwrap();
+//! assert_eq!(lib.for_activity("update-launch-configuration").len(), 2);
+//! assert_eq!(lib.for_activity("new-instance-ready").len(), 2);
+//! ```
+
+use std::fmt;
+
+use crate::assertion::{
+    AssertionLibrary, BoundAssertion, CloudAssertion, InstanceAssertionKind,
+};
+
+/// A parse error, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number in the spec text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assertion spec error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Normalises a spec line: lowercase, articles removed, whitespace
+/// collapsed.
+fn normalise(line: &str) -> Vec<String> {
+    line.split_whitespace()
+        .map(|w| w.to_lowercase())
+        .filter(|w| !matches!(w.as_str(), "the" | "a" | "an"))
+        .collect()
+}
+
+/// Parses one assertion specification into a [`BoundAssertion`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] (with line number 1) describing the first token
+/// that failed to parse.
+pub fn parse_assertion(spec: &str) -> Result<BoundAssertion, SpecError> {
+    parse_assertion_at(spec, 1)
+}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_assertion_at(spec: &str, line: usize) -> Result<BoundAssertion, SpecError> {
+    let words = normalise(spec);
+    let w: Vec<&str> = words.iter().map(String::as_str).collect();
+    if w.first() != Some(&"assert") {
+        return Err(err(line, "assertions must start with `assert`"));
+    }
+    let rest = &w[1..];
+    match rest {
+        // assert system has COUNT instances with new version
+        ["system", "has", count, "instances", "with", "new", "version"] => {
+            parse_count(count, line)
+        }
+        // assert asg has exactly N instances
+        ["asg", "has", "exactly", n, "instances"] => Ok(BoundAssertion::Fixed(
+            CloudAssertion::AsgInstanceCount {
+                count: parse_number(n, line)?,
+            },
+        )),
+        // assert asg has at least N active instances
+        ["asg", "has", "at", "least", n, "active", "instances"] => Ok(BoundAssertion::Fixed(
+            CloudAssertion::AsgActiveCountAtLeast {
+                count: parse_number(n, line)?,
+            },
+        )),
+        // assert asg desired capacity is N
+        ["asg", "desired", "capacity", "is", n] => Ok(BoundAssertion::Fixed(
+            CloudAssertion::AsgDesiredCapacity {
+                count: parse_number(n, line)?,
+            },
+        )),
+        // assert asg uses expected launch configuration
+        ["asg", "uses", "expected", "launch", "configuration" | "config"] => Ok(
+            BoundAssertion::Fixed(CloudAssertion::AsgLaunchConfigCorrect),
+        ),
+        // assert launch configuration uses expected RESOURCE
+        ["launch", "configuration" | "config", "uses", "expected", resource @ ..] => {
+            let assertion = match resource {
+                ["ami"] => CloudAssertion::LaunchConfigUsesAmi,
+                ["key", "pair"] => CloudAssertion::LaunchConfigUsesKeyPair,
+                ["security", "group"] => CloudAssertion::LaunchConfigUsesSecurityGroup,
+                ["instance", "type"] => CloudAssertion::LaunchConfigUsesInstanceType,
+                other => {
+                    return Err(err(
+                        line,
+                        format!("unknown launch-configuration resource `{}`", other.join(" ")),
+                    ))
+                }
+            };
+            Ok(BoundAssertion::Fixed(assertion))
+        }
+        // assert expected RESOURCE is available
+        ["expected", resource @ .., "is", "available"] => {
+            let assertion = match resource {
+                ["ami"] => CloudAssertion::AmiAvailable,
+                ["key", "pair"] => CloudAssertion::KeyPairAvailable,
+                ["security", "group"] => CloudAssertion::SecurityGroupAvailable,
+                ["elb"] => CloudAssertion::ElbAvailable,
+                other => {
+                    return Err(err(
+                        line,
+                        format!("unknown resource `{}`", other.join(" ")),
+                    ))
+                }
+            };
+            Ok(BoundAssertion::Fixed(assertion))
+        }
+        // assert instance ...
+        ["instance", tail @ ..] => {
+            let kind = match tail {
+                ["uses", "expected", "ami"] => InstanceAssertionKind::UsesExpectedAmi,
+                ["matches", "expected", "configuration"] => {
+                    InstanceAssertionKind::ConfigurationCorrect
+                }
+                ["is", "registered", "with", "elb"] => InstanceAssertionKind::RegisteredWithElb,
+                ["is", "deregistered", "from", "elb"] => {
+                    InstanceAssertionKind::DeregisteredFromElb
+                }
+                ["is", "terminated"] => InstanceAssertionKind::Terminated,
+                other => {
+                    return Err(err(
+                        line,
+                        format!("unknown instance check `{}`", other.join(" ")),
+                    ))
+                }
+            };
+            Ok(BoundAssertion::InstanceFromContext { kind })
+        }
+        // assert account has launch headroom
+        ["account", "has", "launch", "headroom"] => Ok(BoundAssertion::Fixed(
+            CloudAssertion::AccountHasLaunchHeadroom,
+        )),
+        other => Err(err(
+            line,
+            format!("unrecognised assertion `{}`", other.join(" ")),
+        )),
+    }
+}
+
+fn parse_count(token: &str, line: usize) -> Result<BoundAssertion, SpecError> {
+    if let Some(field) = token.strip_prefix('$') {
+        if field.is_empty() {
+            return Err(err(line, "`$` must be followed by a field name"));
+        }
+        Ok(BoundAssertion::VersionCountFromField {
+            field: field.to_string(),
+        })
+    } else if token == "expected" || token == "n" {
+        Ok(BoundAssertion::VersionCountFromEnv)
+    } else {
+        Ok(BoundAssertion::Fixed(
+            CloudAssertion::AsgHasInstancesWithVersion {
+                count: parse_number(token, line)?,
+            },
+        ))
+    }
+}
+
+fn parse_number(token: &str, line: usize) -> Result<u32, SpecError> {
+    token
+        .parse()
+        .map_err(|_| err(line, format!("expected a number, found `{token}`")))
+}
+
+/// Parses a whole library specification: `on <activity>:` headers followed
+/// by indented assertion lines. Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Reports the first malformed line with its line number.
+pub fn parse_library(text: &str) -> Result<AssertionLibrary, SpecError> {
+    let mut lib = AssertionLibrary::new();
+    let mut current: Option<(String, Vec<BoundAssertion>)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix("on ") {
+            let activity = header
+                .strip_suffix(':')
+                .ok_or_else(|| err(line_no, "binding header must end with `:`"))?
+                .trim();
+            if activity.is_empty() {
+                return Err(err(line_no, "binding header names no activity"));
+            }
+            if let Some((activity, assertions)) = current.take() {
+                lib.bind(activity, assertions);
+            }
+            current = Some((activity.to_string(), Vec::new()));
+        } else if trimmed.starts_with("assert") {
+            let assertion = parse_assertion_at(trimmed, line_no)?;
+            match &mut current {
+                Some((_, assertions)) => assertions.push(assertion),
+                None => {
+                    return Err(err(
+                        line_no,
+                        "assertion outside any `on <activity>:` binding",
+                    ))
+                }
+            }
+        } else {
+            return Err(err(line_no, format!("unrecognised line `{trimmed}`")));
+        }
+    }
+    if let Some((activity, assertions)) = current.take() {
+        lib.bind(activity, assertions);
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_fixed_form() {
+        let cases = [
+            (
+                "assert asg has exactly 4 instances",
+                CloudAssertion::AsgInstanceCount { count: 4 },
+            ),
+            (
+                "assert the ASG has at least 3 active instances",
+                CloudAssertion::AsgActiveCountAtLeast { count: 3 },
+            ),
+            (
+                "assert asg desired capacity is 20",
+                CloudAssertion::AsgDesiredCapacity { count: 20 },
+            ),
+            (
+                "assert the asg uses the expected launch configuration",
+                CloudAssertion::AsgLaunchConfigCorrect,
+            ),
+            (
+                "assert launch configuration uses the expected ami",
+                CloudAssertion::LaunchConfigUsesAmi,
+            ),
+            (
+                "assert launch config uses the expected key pair",
+                CloudAssertion::LaunchConfigUsesKeyPair,
+            ),
+            (
+                "assert launch configuration uses the expected security group",
+                CloudAssertion::LaunchConfigUsesSecurityGroup,
+            ),
+            (
+                "assert launch configuration uses the expected instance type",
+                CloudAssertion::LaunchConfigUsesInstanceType,
+            ),
+            ("assert the expected AMI is available", CloudAssertion::AmiAvailable),
+            (
+                "assert the expected key pair is available",
+                CloudAssertion::KeyPairAvailable,
+            ),
+            (
+                "assert the expected security group is available",
+                CloudAssertion::SecurityGroupAvailable,
+            ),
+            ("assert the expected ELB is available", CloudAssertion::ElbAvailable),
+            (
+                "assert account has launch headroom",
+                CloudAssertion::AccountHasLaunchHeadroom,
+            ),
+            (
+                "assert system has 4 instances with the new version",
+                CloudAssertion::AsgHasInstancesWithVersion { count: 4 },
+            ),
+        ];
+        for (spec, want) in cases {
+            match parse_assertion(spec) {
+                Ok(BoundAssertion::Fixed(got)) => assert_eq!(got, want, "{spec}"),
+                other => panic!("{spec}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_field_and_env_counts() {
+        assert_eq!(
+            parse_assertion("assert system has $done instances with the new version").unwrap(),
+            BoundAssertion::VersionCountFromField {
+                field: "done".to_string()
+            }
+        );
+        assert_eq!(
+            parse_assertion("assert system has the expected instances with the new version")
+                .unwrap(),
+            BoundAssertion::VersionCountFromEnv
+        );
+    }
+
+    #[test]
+    fn parses_instance_checks() {
+        let cases = [
+            ("assert the instance uses the expected ami", InstanceAssertionKind::UsesExpectedAmi),
+            (
+                "assert the instance matches the expected configuration",
+                InstanceAssertionKind::ConfigurationCorrect,
+            ),
+            (
+                "assert the instance is registered with the ELB",
+                InstanceAssertionKind::RegisteredWithElb,
+            ),
+            (
+                "assert the instance is deregistered from the elb",
+                InstanceAssertionKind::DeregisteredFromElb,
+            ),
+            ("assert the instance is terminated", InstanceAssertionKind::Terminated),
+        ];
+        for (spec, want) in cases {
+            match parse_assertion(spec) {
+                Ok(BoundAssertion::InstanceFromContext { kind }) => {
+                    assert_eq!(kind, want, "{spec}")
+                }
+                other => panic!("{spec}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "asg has 4 instances",                    // missing `assert`
+            "assert asg has exactly four instances",  // non-numeric
+            "assert system has $ instances with the new version", // empty field
+            "assert launch configuration uses the expected kernel",
+            "assert the instance explodes",
+            "assert nothing at all",
+        ] {
+            assert!(parse_assertion(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn library_parses_bindings_with_comments() {
+        let lib = parse_library(
+            r#"
+# post-condition of the LC update
+on update-launch-configuration:
+    assert asg uses the expected launch configuration
+    assert launch configuration uses the expected ami
+
+on terminate-old-instance:
+    assert the instance is terminated
+"#,
+        )
+        .unwrap();
+        assert_eq!(lib.bindings().len(), 2);
+        assert_eq!(lib.for_activity("update-launch-configuration").len(), 2);
+        assert_eq!(lib.for_activity("terminate-old-instance").len(), 1);
+    }
+
+    #[test]
+    fn library_errors_carry_line_numbers() {
+        let e = parse_library("on a:\n    assert bogus thing\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_library("assert account has launch headroom\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("outside"));
+        let e = parse_library("on missing-colon\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn dsl_can_express_the_rolling_upgrade_library() {
+        // The curated bindings of the case study, written in the DSL.
+        let lib = parse_library(
+            r#"
+on update-launch-configuration:
+    assert asg uses the expected launch configuration
+    assert launch configuration uses the expected ami
+on remove-and-deregister-old-instance-from-elb:
+    assert the instance is deregistered from the elb
+on terminate-old-instance:
+    assert the instance is terminated
+on new-instance-ready-and-registered-with-elb:
+    assert the instance uses the expected ami
+    assert the instance matches the expected configuration
+    assert the instance is registered with the elb
+    assert system has $done instances with the new version
+on rolling-upgrade-task-completed:
+    assert system has the expected instances with the new version
+    assert asg uses the expected launch configuration
+    assert launch configuration uses the expected ami
+    assert launch configuration uses the expected key pair
+    assert launch configuration uses the expected security group
+    assert launch configuration uses the expected instance type
+    assert the expected ami is available
+    assert the expected key pair is available
+    assert the expected security group is available
+    assert the expected elb is available
+"#,
+        )
+        .unwrap();
+        assert_eq!(lib.bindings().len(), 5);
+        assert_eq!(
+            lib.for_activity("rolling-upgrade-task-completed").len(),
+            10
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The expected environment: what the configuration repository says the
+//! system *should* look like after (each stage of) the operation.
+
+use pod_cloud::{AmiId, AsgName, ElbName, KeyPairName, LaunchConfigName, SecurityGroupId};
+
+/// Expected state of the upgraded cluster, shared by assertions and
+/// diagnostic tests.
+///
+/// The paper's assertion evaluation consults "configuration repositories to
+/// check the configuration values"; this struct is that repository for one
+/// operation. The evaluation's second false-positive class — a concurrent
+/// thread changing the "should-be" number — is reproduced by mutating
+/// [`ExpectedEnv::expected_count`] from an interference operation while an
+/// assertion is mid-flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedEnv {
+    /// The ASG being upgraded.
+    pub asg: AsgName,
+    /// The load balancer fronting it.
+    pub elb: ElbName,
+    /// The launch configuration the upgrade installed.
+    pub launch_config: LaunchConfigName,
+    /// The AMI every new instance must use.
+    pub expected_ami: AmiId,
+    /// The application version baked into that AMI.
+    pub expected_version: String,
+    /// The key pair instances must be configured with.
+    pub expected_key_pair: KeyPairName,
+    /// The security group instances must be in.
+    pub expected_security_group: SecurityGroupId,
+    /// The instance type new instances must have.
+    pub expected_instance_type: String,
+    /// The number of instances the cluster should hold (the paper's `N`).
+    pub expected_count: u32,
+}
+
+impl ExpectedEnv {
+    /// Renders the instantiation variables used when a fault tree is
+    /// selected, e.g. `N` and the ASG name.
+    pub fn variables(&self) -> Vec<(String, String)> {
+        vec![
+            ("ASG".to_string(), self.asg.to_string()),
+            ("ELB".to_string(), self.elb.to_string()),
+            ("LC".to_string(), self.launch_config.to_string()),
+            ("AMI".to_string(), self.expected_ami.to_string()),
+            ("VERSION".to_string(), self.expected_version.clone()),
+            ("KEYPAIR".to_string(), self.expected_key_pair.to_string()),
+            ("SG".to_string(), self.expected_security_group.to_string()),
+            ("TYPE".to_string(), self.expected_instance_type.clone()),
+            ("N".to_string(), self.expected_count.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_cover_all_parameters() {
+        let env = ExpectedEnv {
+            asg: AsgName::new("app-asg"),
+            elb: ElbName::new("front"),
+            launch_config: LaunchConfigName::new("lc-v2"),
+            expected_ami: AmiId::new("ami-abc"),
+            expected_version: "2.0".into(),
+            expected_key_pair: KeyPairName::new("prod"),
+            expected_security_group: SecurityGroupId::new("sg-1"),
+            expected_instance_type: "m1.small".into(),
+            expected_count: 4,
+        };
+        let vars = env.variables();
+        assert_eq!(vars.len(), 9);
+        assert!(vars.contains(&("N".to_string(), "4".to_string())));
+        assert!(vars.contains(&("ASG".to_string(), "app-asg".to_string())));
+    }
+}

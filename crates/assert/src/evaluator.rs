@@ -1,0 +1,276 @@
+//! The assertion-evaluation service: runs assertions, times them, and logs
+//! their results to central storage in the paper's assertion-log shape.
+
+use pod_log::{LogEvent, LogStorage, ProcessContext, Severity, StepOutcome};
+use pod_sim::{SimDuration, SimTime};
+
+use crate::assertion::{AssertionOutcome, CloudAssertion};
+use crate::consistent::ConsistentApi;
+use crate::env::ExpectedEnv;
+
+/// What triggered an assertion evaluation — used both for the result log
+/// and by diagnosis (timer-triggered evaluations carry less context, the
+/// paper's first wrong-diagnosis class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssertionTrigger {
+    /// A log line completed an activity.
+    Log,
+    /// A one-off timer fired (no log line appeared in time).
+    OneOffTimer,
+    /// The operation-wide periodic timer fired.
+    PeriodicTimer,
+    /// Diagnosis requested an on-demand check.
+    OnDemand,
+}
+
+impl AssertionTrigger {
+    /// The tag recorded in the assertion log.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AssertionTrigger::Log => "trigger:log",
+            AssertionTrigger::OneOffTimer => "trigger:oneoff-timer",
+            AssertionTrigger::PeriodicTimer => "trigger:periodic-timer",
+            AssertionTrigger::OnDemand => "trigger:on-demand",
+        }
+    }
+}
+
+/// A completed assertion evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertionRecord {
+    /// The assertion that was evaluated.
+    pub assertion: CloudAssertion,
+    /// Its instantiated description.
+    pub description: String,
+    /// The outcome.
+    pub outcome: AssertionOutcome,
+    /// What triggered the evaluation.
+    pub trigger: AssertionTrigger,
+    /// When evaluation started.
+    pub started_at: SimTime,
+    /// How long it took (virtual time, dominated by API calls/retries).
+    pub duration: SimDuration,
+    /// The process context the evaluation ran under, if any.
+    pub context: Option<ProcessContext>,
+}
+
+impl AssertionRecord {
+    /// Whether the evaluation failed.
+    pub fn is_failure(&self) -> bool {
+        self.outcome.is_failure()
+    }
+}
+
+/// The assertion-evaluation service.
+///
+/// # Examples
+///
+/// ```
+/// use pod_assert::{
+///     AssertionEvaluator, AssertionTrigger, CloudAssertion, ConsistentApi, ExpectedEnv,
+///     RetryPolicy,
+/// };
+/// use pod_cloud::{Cloud, CloudConfig};
+/// use pod_log::LogStorage;
+/// use pod_sim::{Clock, SimRng};
+///
+/// let cloud = Cloud::new(Clock::new(), SimRng::seed_from(2), CloudConfig::default());
+/// let ami = cloud.admin_create_ami("app", "2.0");
+/// let sg = cloud.admin_create_security_group("web", &[80]);
+/// let kp = cloud.admin_create_key_pair("prod");
+/// let elb = cloud.admin_create_elb("front");
+/// let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+/// let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
+/// let env = ExpectedEnv {
+///     asg, elb, launch_config: lc, expected_ami: ami, expected_version: "2.0".into(),
+///     expected_key_pair: kp, expected_security_group: sg,
+///     expected_instance_type: "m1.small".into(), expected_count: 2,
+/// };
+/// let storage = LogStorage::new();
+/// let eval = AssertionEvaluator::new(
+///     ConsistentApi::new(cloud, RetryPolicy::default()), storage.clone());
+///
+/// let record = eval.evaluate(
+///     &CloudAssertion::AsgHasInstancesWithVersion { count: 2 },
+///     &env, AssertionTrigger::Log, None);
+/// assert!(!record.is_failure());
+/// assert_eq!(storage.len(), 1); // the result was logged
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssertionEvaluator {
+    api: ConsistentApi,
+    storage: LogStorage,
+}
+
+impl AssertionEvaluator {
+    /// Creates an evaluator writing result lines to `storage`.
+    pub fn new(api: ConsistentApi, storage: LogStorage) -> AssertionEvaluator {
+        AssertionEvaluator { api, storage }
+    }
+
+    /// The consistent API the evaluator uses.
+    pub fn api(&self) -> &ConsistentApi {
+        &self.api
+    }
+
+    /// Evaluates one assertion, records the result log line and returns the
+    /// record.
+    pub fn evaluate(
+        &self,
+        assertion: &CloudAssertion,
+        env: &ExpectedEnv,
+        trigger: AssertionTrigger,
+        context: Option<&ProcessContext>,
+    ) -> AssertionRecord {
+        let started_at = self.api.cloud().clock().now();
+        let outcome = assertion.evaluate(&self.api, env);
+        let finished = self.api.cloud().clock().now();
+        let description = assertion.describe(env);
+        let record = AssertionRecord {
+            assertion: assertion.clone(),
+            description: description.clone(),
+            outcome: outcome.clone(),
+            trigger: trigger.clone(),
+            started_at,
+            duration: finished.duration_since(started_at),
+            context: context.cloned(),
+        };
+        self.storage.append(self.render(&record));
+        record
+    }
+
+    /// Renders the paper-style assertion log line.
+    fn render(&self, record: &AssertionRecord) -> LogEvent {
+        let (verdict, severity) = match &record.outcome {
+            AssertionOutcome::Passed => ("holds".to_string(), Severity::Info),
+            AssertionOutcome::Failed { reason } => {
+                (format!("FAILED: {reason}"), Severity::Error)
+            }
+        };
+        let message = match &record.context {
+            Some(ctx) => format!(
+                "[assertion] [Task:{}] [Step:{}] Assertion that {} {verdict}",
+                ctx.process_instance_id,
+                ctx.step_id.as_deref().unwrap_or("-"),
+                record.description,
+            ),
+            None => format!("[assertion] Assertion that {} {verdict}", record.description),
+        };
+        let mut event = LogEvent::new(
+            record.started_at + record.duration,
+            "assertion-evaluation.log",
+            message,
+        )
+        .with_type("assertion")
+        .with_tag(record.trigger.tag())
+        .with_severity(severity)
+        .with_field("duration_ms", record.duration.as_millis().to_string());
+        if let Some(ctx) = &record.context {
+            let ctx = ctx
+                .clone()
+                .with_outcome(if record.is_failure() {
+                    StepOutcome::Failure
+                } else {
+                    StepOutcome::Success
+                });
+            event = event.with_context(ctx);
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistent::RetryPolicy;
+    use pod_cloud::{Cloud, CloudConfig};
+    use pod_log::LogQuery;
+    use pod_sim::{Clock, SimRng};
+
+    fn setup() -> (AssertionEvaluator, ExpectedEnv, Cloud, LogStorage) {
+        let cloud = Cloud::new(
+            Clock::new(),
+            SimRng::seed_from(9),
+            CloudConfig {
+                stale_read_prob: 0.0,
+                ..CloudConfig::default()
+            },
+        );
+        let ami = cloud.admin_create_ami("app", "2.0");
+        let sg = cloud.admin_create_security_group("web", &[80]);
+        let kp = cloud.admin_create_key_pair("prod");
+        let elb = cloud.admin_create_elb("front");
+        let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
+        let env = ExpectedEnv {
+            asg,
+            elb,
+            launch_config: lc,
+            expected_ami: ami,
+            expected_version: "2.0".into(),
+            expected_key_pair: kp,
+            expected_security_group: sg,
+            expected_instance_type: "m1.small".into(),
+            expected_count: 2,
+        };
+        let storage = LogStorage::new();
+        let eval = AssertionEvaluator::new(
+            ConsistentApi::new(cloud.clone(), RetryPolicy::default()),
+            storage.clone(),
+        );
+        (eval, env, cloud, storage)
+    }
+
+    #[test]
+    fn passing_evaluation_logs_info_line() {
+        let (eval, env, _cloud, storage) = setup();
+        let rec = eval.evaluate(
+            &CloudAssertion::AsgInstanceCount { count: 2 },
+            &env,
+            AssertionTrigger::Log,
+            None,
+        );
+        assert!(!rec.is_failure());
+        assert!(rec.duration > SimDuration::ZERO);
+        let logged = storage.snapshot();
+        assert_eq!(logged.len(), 1);
+        assert_eq!(logged[0].event_type, "assertion");
+        assert!(logged[0].message.contains("holds"));
+        assert!(logged[0].has_tag("trigger:log"));
+    }
+
+    #[test]
+    fn failing_evaluation_logs_error_line_with_context() {
+        let (eval, env, _cloud, storage) = setup();
+        let ctx = ProcessContext::new("rolling-upgrade", "run-1").with_step("step4");
+        let rec = eval.evaluate(
+            &CloudAssertion::AsgInstanceCount { count: 7 },
+            &env,
+            AssertionTrigger::OneOffTimer,
+            Some(&ctx),
+        );
+        assert!(rec.is_failure());
+        let errors = storage.query(&LogQuery::new().with_min_severity(Severity::Error));
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("FAILED"));
+        assert!(errors[0].message.contains("[Step:step4]"));
+        assert_eq!(
+            errors[0].context.as_ref().unwrap().outcome,
+            Some(StepOutcome::Failure)
+        );
+        assert!(errors[0].has_tag("trigger:oneoff-timer"));
+    }
+
+    #[test]
+    fn evaluation_consumes_virtual_time_from_api_calls() {
+        let (eval, env, cloud, _storage) = setup();
+        let t0 = cloud.clock().now();
+        eval.evaluate(
+            &CloudAssertion::AsgHasInstancesWithVersion { count: 2 },
+            &env,
+            AssertionTrigger::Log,
+            None,
+        );
+        assert!(cloud.clock().now() > t0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Assertion evaluation for POD-Diagnosis.
+//!
+//! Implements Section III.B.3 and the relevant part of Section IV of the
+//! paper:
+//!
+//! - [`ConsistentApi`] — the consistent AWS-API layer: exponential retry on
+//!   transient errors and on unexpected (presumed stale) reads, plus a
+//!   timeout mechanism calibrated "at the 95% percentile";
+//! - [`CloudAssertion`] — the pre-defined assertion library, high-level
+//!   (whole-system) and low-level (per-node / per-value) checks whose
+//!   variables are instantiated from the [`ExpectedEnv`] configuration
+//!   repository;
+//! - [`AssertionLibrary`] — bindings from process activities to the
+//!   assertions their completion triggers;
+//! - [`TimerService`] — one-off and periodic timers, the non-log trigger
+//!   sources;
+//! - [`AssertionEvaluator`] — the service that runs assertions, measures
+//!   their (virtual-time) duration and writes paper-style assertion log
+//!   lines to central storage;
+//! - [`dsl`] — the assertion specification language the paper names as
+//!   future work, compiling analyst-written text into assertion bindings.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assertion;
+mod consistent;
+pub mod dsl;
+mod env;
+mod evaluator;
+mod timer;
+
+pub use assertion::{
+    AssertionBinding, AssertionLevel, AssertionLibrary, AssertionOutcome, BoundAssertion,
+    CloudAssertion, InstanceAssertionKind,
+};
+pub use consistent::{ConsistentApi, ConsistentError, RetryPolicy};
+pub use env::ExpectedEnv;
+pub use evaluator::{AssertionEvaluator, AssertionRecord, AssertionTrigger};
+pub use timer::{TimerId, TimerService};

@@ -1,0 +1,95 @@
+//! Experiment E5 (performance half): the conformance-checking service.
+//!
+//! The paper reports that "when called locally, the conformance checking
+//! service responded on average in about 10 ms" — a figure dominated by the
+//! HTTP/service stack. These benches measure the algorithmic core (token
+//! replay per event) and the whole checker lifecycle, which must sit far
+//! below that envelope.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pod_orchestrator::process_def::rolling_upgrade_model;
+use pod_process::{ConformanceChecker, PetriNet};
+
+fn fit_trace(loops: usize) -> Vec<&'static str> {
+    use pod_faulttree::steps;
+    let mut t = vec![steps::START, steps::UPDATE_LC, steps::SORT];
+    for _ in 0..loops {
+        t.extend([steps::DEREGISTER, steps::TERMINATE, steps::WAIT_ASG, steps::READY]);
+    }
+    t.push(steps::COMPLETED);
+    t
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let model = rolling_upgrade_model();
+    c.bench_function("conformance/compile_petri_net", |b| {
+        b.iter(|| PetriNet::compile(black_box(&model)))
+    });
+}
+
+fn bench_replay_event(c: &mut Criterion) {
+    let model = rolling_upgrade_model();
+    c.bench_function("conformance/replay_one_fit_event", |b| {
+        b.iter_batched(
+            || {
+                let mut ch = ConformanceChecker::new(&model);
+                ch.replay("t", pod_faulttree::steps::START);
+                ch.replay("t", pod_faulttree::steps::UPDATE_LC);
+                ch
+            },
+            |mut ch| ch.replay("t", black_box(pod_faulttree::steps::SORT)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("conformance/replay_one_unfit_event", |b| {
+        b.iter_batched(
+            || {
+                let mut ch = ConformanceChecker::new(&model);
+                ch.replay("t", pod_faulttree::steps::START);
+                ch
+            },
+            // READY out of turn: the checker must compute expected +
+            // hypothesised skips.
+            |mut ch| ch.replay("t", black_box(pod_faulttree::steps::READY)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_trace(c: &mut Criterion) {
+    let model = rolling_upgrade_model();
+    for loops in [4usize, 20] {
+        let trace = fit_trace(loops);
+        c.bench_function(&format!("conformance/replay_full_trace_{loops}_loops"), |b| {
+            b.iter_batched(
+                || ConformanceChecker::new(&model),
+                |mut ch| {
+                    for act in &trace {
+                        ch.replay("t", act);
+                    }
+                    ch.is_complete("t")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_fitness(c: &mut Criterion) {
+    let model = rolling_upgrade_model();
+    let traces: Vec<Vec<String>> = (0..10)
+        .map(|i| fit_trace(2 + i % 4).iter().map(|s| s.to_string()).collect())
+        .collect();
+    c.bench_function("conformance/token_replay_fitness_10_traces", |b| {
+        b.iter(|| pod_process::replay_fitness(black_box(&model), black_box(&traces)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_replay_event,
+    bench_full_trace,
+    bench_fitness
+);
+criterion_main!(benches);

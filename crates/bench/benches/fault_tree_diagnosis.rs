@@ -1,0 +1,143 @@
+//! Experiment E3 (performance) and the design-choice ablations on the
+//! diagnosis engine: fault-tree walks by probability vs cost order, with
+//! and without memoisation, with and without the consistent-API layer.
+//!
+//! Criterion measures *wall-clock* cost of a diagnosis walk (the virtual
+//! diagnosis times of Figure 6 are produced by the campaign example and
+//! recorded in EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pod_assert::{ConsistentApi, RetryPolicy};
+use pod_bench::bench_cloud;
+use pod_faulttree::{
+    version_count_tree, DiagnosisContext, DiagnosisEngine, TestOrder,
+};
+use pod_log::LogStorage;
+use pod_sim::SimTime;
+
+fn context(env: pod_assert::ExpectedEnv) -> DiagnosisContext {
+    DiagnosisContext {
+        env,
+        step: None,
+        instance: None,
+        operation_started: SimTime::ZERO,
+    }
+}
+
+fn engine(cloud: &pod_cloud::Cloud) -> DiagnosisEngine {
+    DiagnosisEngine::new(
+        ConsistentApi::new(cloud.clone(), RetryPolicy::default()),
+        LogStorage::new(),
+    )
+}
+
+fn bench_walk_healthy(c: &mut Criterion) {
+    // Healthy system: the walk excludes every fault (worst case for test
+    // count since nothing prunes early).
+    let tree = version_count_tree(true);
+    c.bench_function("diagnosis/walk_healthy_master_tree", |b| {
+        b.iter_batched(
+            || {
+                let (cloud, env) = bench_cloud(1);
+                (engine(&cloud), context(env))
+            },
+            |(engine, ctx)| engine.diagnose(black_box(&tree), &ctx),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_walk_with_fault(c: &mut Criterion) {
+    let tree = version_count_tree(true);
+    c.bench_function("diagnosis/walk_wrong_ami_fault", |b| {
+        b.iter_batched(
+            || {
+                let (cloud, env) = bench_cloud(2);
+                let rogue = cloud.admin_create_ami("rogue", "9.9");
+                cloud.admin_update_launch_config(
+                    &env.launch_config,
+                    pod_cloud::LaunchConfigUpdate {
+                        ami: Some(rogue),
+                        ..pod_cloud::LaunchConfigUpdate::default()
+                    },
+                );
+                (engine(&cloud), context(env))
+            },
+            |(engine, ctx)| engine.diagnose(black_box(&tree), &ctx),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ablation_order(c: &mut Criterion) {
+    let tree = version_count_tree(true);
+    for (name, order) in [
+        ("by_probability", TestOrder::ByProbability),
+        ("by_cost", TestOrder::ByCost),
+    ] {
+        c.bench_function(&format!("diagnosis/ablation_order_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let (cloud, env) = bench_cloud(3);
+                    (engine(&cloud).with_order(order), context(env))
+                },
+                |(engine, ctx)| engine.diagnose(black_box(&tree), &ctx),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_ablation_memoisation(c: &mut Criterion) {
+    let tree = version_count_tree(true);
+    for memo in [true, false] {
+        let name = if memo { "memoised" } else { "unmemoised" };
+        c.bench_function(&format!("diagnosis/ablation_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let (cloud, env) = bench_cloud(4);
+                    let e = if memo {
+                        engine(&cloud)
+                    } else {
+                        engine(&cloud).without_memoisation()
+                    };
+                    (e, context(env))
+                },
+                |(engine, ctx)| engine.diagnose(black_box(&tree), &ctx),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_ablation_consistent_api(c: &mut Criterion) {
+    let tree = version_count_tree(true);
+    for retries in [true, false] {
+        let name = if retries { "with_retry_layer" } else { "raw_api" };
+        c.bench_function(&format!("diagnosis/ablation_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let (cloud, env) = bench_cloud(5);
+                    let api = ConsistentApi::new(cloud.clone(), RetryPolicy::default());
+                    let api = if retries { api } else { api.without_retries() };
+                    (
+                        DiagnosisEngine::new(api, LogStorage::new()),
+                        context(env),
+                    )
+                },
+                |(engine, ctx)| engine.diagnose(black_box(&tree), &ctx),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_walk_healthy,
+    bench_walk_with_fault,
+    bench_ablation_order,
+    bench_ablation_memoisation,
+    bench_ablation_consistent_api
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! The local log processor: per-line cost of the noise filter, annotator
+//! and trigger stages, plus Logstash-style JSON serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pod_log::{
+    ImportantLineForwarder, Json, LogEvent, NoiseFilter, Pipeline, ProcessAnnotator,
+};
+use pod_orchestrator::process_def;
+use pod_regex::RegexSet;
+use pod_sim::SimTime;
+
+fn pipeline() -> Pipeline {
+    let mut p = Pipeline::new();
+    p.add_stage(Box::new(NoiseFilter::keep(
+        RegexSet::new(&process_def::relevance_patterns()).unwrap(),
+    )));
+    p.add_stage(Box::new(ProcessAnnotator::new(
+        process_def::rolling_upgrade_rules(),
+        "rolling-upgrade",
+        "run-1",
+    )));
+    p.add_stage(Box::new(ImportantLineForwarder));
+    p
+}
+
+fn op_line() -> LogEvent {
+    LogEvent::new(
+        SimTime::from_millis(500),
+        "asgard.log",
+        "Instance pm on i-7df34041 is ready for use. 3 of 4 instance relaunches done.",
+    )
+}
+
+fn noise_line() -> LogEvent {
+    LogEvent::new(
+        SimTime::from_millis(500),
+        "application.log",
+        "redis: background saving finished in 104 ms",
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/operation_line", |b| {
+        b.iter_batched(
+            pipeline,
+            |mut p| p.push(black_box(op_line())),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("pipeline/noise_line_dropped", |b| {
+        b.iter_batched(
+            pipeline,
+            |mut p| p.push(black_box(noise_line())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let event = op_line()
+        .with_tag("push")
+        .with_tag("step4")
+        .with_field("instanceid", "i-7df34041")
+        .with_field("num", "4");
+    let text = event.to_json().to_string();
+    c.bench_function("json/serialize_log_event", |b| {
+        b.iter(|| black_box(&event).to_json().to_string())
+    });
+    c.bench_function("json/parse_log_event", |b| {
+        b.iter(|| Json::parse(black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_json);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiments E2/E3 (performance): end-to-end monitored upgrades — one
+//! full rolling upgrade under POD-Diagnosis, healthy and with an injected
+//! fault — and the cloud-simulator substrate itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pod_eval::{execute_run, Campaign, CampaignConfig};
+use pod_orchestrator::FaultType;
+
+fn plan_for(fault_index: usize) -> pod_eval::RunPlan {
+    let campaign = Campaign::new(CampaignConfig {
+        runs_per_fault: 1,
+        large_cluster_every: 0,
+        interference_fraction: 0.0,
+        transient_fraction: 0.0,
+        reinject_fraction: 0.0,
+        ..CampaignConfig::default()
+    });
+    campaign.plans().remove(fault_index)
+}
+
+fn bench_monitored_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    let wrong_ami = plan_for(0);
+    assert_eq!(wrong_ami.fault, FaultType::AmiChangedDuringUpgrade);
+    group.bench_function("monitored_upgrade_with_wrong_ami", |b| {
+        b.iter(|| execute_run(black_box(&wrong_ami)))
+    });
+    let elb = plan_for(7);
+    assert_eq!(elb.fault, FaultType::ElbUnavailable);
+    group.bench_function("monitored_upgrade_with_elb_outage", |b| {
+        b.iter(|| execute_run(black_box(&elb)))
+    });
+    group.finish();
+}
+
+fn bench_cloud_substrate(c: &mut Criterion) {
+    c.bench_function("cloud/describe_asg_call", |b| {
+        b.iter_batched(
+            || pod_bench::bench_cloud(9),
+            |(cloud, env)| cloud.describe_asg(black_box(&env.asg)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("cloud/terminate_and_reconcile_to_steady_state", |b| {
+        b.iter_batched(
+            || pod_bench::bench_cloud(10),
+            |(cloud, env)| {
+                let victim = cloud.admin_describe_asg(&env.asg).unwrap().instances[0].clone();
+                cloud.terminate_instance(&victim, false).unwrap();
+                cloud.sleep(pod_sim::SimDuration::from_secs(180));
+                cloud.admin_asg_active_instances(&env.asg).len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    // One run per fault type: the unit of Table I / Figure 7 regeneration.
+    group.bench_function("campaign_8_runs_table1", |b| {
+        b.iter(|| {
+            Campaign::new(CampaignConfig {
+                runs_per_fault: 1,
+                seed: 2014,
+                large_cluster_every: 0,
+                ..CampaignConfig::default()
+            })
+            .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitored_run, bench_cloud_substrate, bench_campaign);
+criterion_main!(benches);

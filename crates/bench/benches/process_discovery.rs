@@ -1,0 +1,83 @@
+//! Experiment E1 (performance): the offline mining pipeline that
+//! regenerates the Figure-2 model from operation logs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pod_log::LogEvent;
+use pod_mining::{cluster_lines, mine_process, ClusterConfig, Dfg, MiningConfig};
+use pod_sim::SimTime;
+
+/// Synthesises `runs` healthy upgrade logs (loop count varies per run).
+fn training_log(runs: usize) -> Vec<LogEvent> {
+    let mut events = Vec::new();
+    for run in 0..runs {
+        let mut msgs = vec![
+            format!("Started rolling upgrade task run-{run} pushing ami-750c9e4f into group pm--asg for app pm"),
+            "Created launch configuration lc-v2 with image ami-750c9e4f and updated group pm--asg".to_string(),
+            "Sorted 4 instances of group pm--asg for replacement".to_string(),
+        ];
+        for i in 0..(2 + run % 4) {
+            msgs.push(format!(
+                "Deregistered instance i-{i:08x} from load balancer front"
+            ));
+            msgs.push(format!("Terminated old instance i-{i:08x}"));
+            msgs.push("Waiting for ASG pm--asg to start a new instance of pm".to_string());
+            msgs.push(format!(
+                "Instance pm on i-{:08x} is ready for use. {} of 4 instance relaunches done.",
+                i + 256,
+                i + 1
+            ));
+        }
+        msgs.push(format!("Rolling upgrade task run-{run} completed"));
+        for (i, m) in msgs.into_iter().enumerate() {
+            events.push(
+                LogEvent::new(SimTime::from_millis((run * 10_000 + i) as u64), "asgard.log", m)
+                    .with_field("taskid", format!("run-{run}")),
+            );
+        }
+    }
+    events
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let events = training_log(10);
+    let lines: Vec<&str> = events.iter().map(|e| e.message.as_str()).collect();
+    c.bench_function("mining/cluster_10_runs", |b| {
+        b.iter(|| cluster_lines(black_box(&lines), &ClusterConfig::default()))
+    });
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let traces: Vec<Vec<String>> = (0..10)
+        .map(|i| {
+            let mut t = vec!["start".to_string(), "lc".to_string(), "sort".to_string()];
+            for _ in 0..(2 + i % 4) {
+                t.extend(["dereg", "term", "wait", "ready"].map(String::from));
+            }
+            t.push("done".to_string());
+            t
+        })
+        .collect();
+    let dfg = Dfg::from_traces(&traces);
+    c.bench_function("mining/discover_model_from_dfg", |b| {
+        b.iter(|| pod_mining::discover_model("bench", black_box(&dfg)).unwrap())
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    for runs in [5usize, 20] {
+        let events = training_log(runs);
+        c.bench_function(&format!("mining/end_to_end_{runs}_runs"), |b| {
+            b.iter(|| {
+                mine_process(
+                    black_box(&events),
+                    |e| e.field("taskid").map(str::to_string),
+                    &MiningConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_clustering, bench_discovery, bench_end_to_end);
+criterion_main!(benches);

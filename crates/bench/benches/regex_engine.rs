@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the hand-rolled regex engine on the patterns the
+//! log pipeline actually runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pod_regex::{Regex, RegexSet};
+
+const READY_LINE: &str =
+    "Instance pm on i-7df34041 is ready for use. 3 of 20 instance relaunches done.";
+const NOISE_LINE: &str = "elasticsearch: [gc][120] overhead, spent collecting in last second";
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("regex/compile_ready_pattern", |b| {
+        b.iter(|| {
+            Regex::new(black_box(
+                r"Instance \w+ on (?P<instanceid>i-[0-9a-f]+) is ready for use. (?P<done>\d+) of (?P<total>\d+) instance relaunches done",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let re = Regex::new(
+        r"Instance \w+ on (?P<instanceid>i-[0-9a-f]+) is ready for use. (?P<done>\d+) of (?P<total>\d+) instance relaunches done",
+    )
+    .unwrap();
+    c.bench_function("regex/captures_hit", |b| {
+        b.iter(|| re.captures(black_box(READY_LINE)))
+    });
+    c.bench_function("regex/is_match_miss", |b| {
+        b.iter(|| re.is_match(black_box(NOISE_LINE)))
+    });
+}
+
+fn bench_set(c: &mut Criterion) {
+    let set = RegexSet::new(&pod_orchestrator::process_def::relevance_patterns()).unwrap();
+    c.bench_function("regex/noise_filter_set_hit", |b| {
+        b.iter(|| set.first_match(black_box(READY_LINE)))
+    });
+    c.bench_function("regex/noise_filter_set_miss", |b| {
+        b.iter(|| set.first_match(black_box(NOISE_LINE)))
+    });
+}
+
+fn bench_rulebook(c: &mut Criterion) {
+    let rules = pod_orchestrator::process_def::rolling_upgrade_rules();
+    c.bench_function("regex/rulebook_classify_line", |b| {
+        b.iter(|| rules.match_line(black_box(READY_LINE)))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_match, bench_set, bench_rulebook);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared fixtures for the POD-Diagnosis benchmarks.
+//!
+//! The benches live in `benches/`; this library only provides the common
+//! scenario builders so every bench measures the same workloads.
+
+#![warn(missing_docs)]
+
+use pod_cloud::{Cloud, CloudConfig};
+use pod_sim::{Clock, SimRng};
+
+/// A ready-to-use 4-instance cluster with a consistent-API handle.
+pub fn bench_cloud(seed: u64) -> (Cloud, pod_assert::ExpectedEnv) {
+    let cloud = Cloud::new(
+        Clock::new(),
+        SimRng::seed_from(seed),
+        CloudConfig {
+            stale_read_prob: 0.0,
+            ..CloudConfig::default()
+        },
+    );
+    let ami = cloud.admin_create_ami("app", "2.0");
+    let sg = cloud.admin_create_security_group("web", &[80]);
+    let kp = cloud.admin_create_key_pair("prod");
+    let elb = cloud.admin_create_elb("front");
+    let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+    let asg = cloud.admin_create_asg("pm--asg", lc.clone(), 1, 10, 4, Some(elb.clone()));
+    let env = pod_assert::ExpectedEnv {
+        asg,
+        elb,
+        launch_config: lc,
+        expected_ami: ami,
+        expected_version: "2.0".into(),
+        expected_key_pair: kp,
+        expected_security_group: sg,
+        expected_instance_type: "m1.small".into(),
+        expected_count: 4,
+    };
+    (cloud, env)
+}

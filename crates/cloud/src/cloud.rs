@@ -1,0 +1,1304 @@
+//! The cloud simulator: API front-end, ASG reconciliation engine, eventual
+//! consistency and throttling.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pod_sim::{Clock, EventQueue, LatencyModel, SimDuration, SimRng, SimTime};
+
+use crate::error::ApiError;
+use crate::ids::{
+    AmiId, AsgName, ElbName, InstanceId, KeyPairName, LaunchConfigName, SecurityGroupId,
+};
+use crate::resources::{
+    ActivityStatus, Ami, AutoScalingGroup, Elb, Instance, InstanceState, KeyPair, LaunchConfig,
+    ScalingActivity, SecurityGroup,
+};
+use crate::state::CloudState;
+use crate::versioned::Versioned;
+
+/// Tunables of the simulated cloud.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Round-trip latency of one API call (the paper's diagnosis log shows
+    /// ≈ 70–90 ms per call).
+    pub api_latency: LatencyModel,
+    /// Time from launch request to `InService`.
+    pub boot_time: LatencyModel,
+    /// Time from terminate request to `Terminated`.
+    pub terminate_time: LatencyModel,
+    /// How often each ASG reconciles desired vs. actual capacity.
+    pub reconcile_interval: SimDuration,
+    /// Probability that a describe-call observes a stale view.
+    pub stale_read_prob: f64,
+    /// How far behind a stale view lags.
+    pub consistency_lag: LatencyModel,
+    /// Probability of a spontaneous transient API failure.
+    pub api_failure_prob: f64,
+    /// Account-wide active-instance cap.
+    pub instance_limit: usize,
+    /// Token-bucket burst capacity for throttling.
+    pub throttle_capacity: f64,
+    /// Token-bucket refill rate (requests per second).
+    pub throttle_refill_per_sec: f64,
+}
+
+impl Default for CloudConfig {
+    fn default() -> CloudConfig {
+        CloudConfig {
+            api_latency: LatencyModel::uniform_millis(70, 90),
+            boot_time: LatencyModel::lognormal_median_millis(50_000.0, 0.25),
+            terminate_time: LatencyModel::lognormal_median_millis(25_000.0, 0.2),
+            reconcile_interval: SimDuration::from_secs(10),
+            stale_read_prob: 0.08,
+            consistency_lag: LatencyModel::Exponential {
+                mean: SimDuration::from_millis(1_500),
+            },
+            api_failure_prob: 0.0,
+            instance_limit: 40,
+            throttle_capacity: 50.0,
+            throttle_refill_per_sec: 20.0,
+        }
+    }
+}
+
+/// Fields of a launch configuration that can be changed by
+/// [`Cloud::admin_update_launch_config`] (the fault-injection surface for
+/// configuration faults).
+#[derive(Debug, Clone, Default)]
+pub struct LaunchConfigUpdate {
+    /// New AMI, if changing.
+    pub ami: Option<AmiId>,
+    /// New instance type, if changing.
+    pub instance_type: Option<String>,
+    /// New key pair, if changing.
+    pub key_pair: Option<KeyPairName>,
+    /// New security group, if changing.
+    pub security_group: Option<SecurityGroupId>,
+}
+
+/// Updatable ASG fields for [`Cloud::update_asg`].
+#[derive(Debug, Clone, Default)]
+pub struct AsgUpdate {
+    /// New launch configuration.
+    pub launch_config: Option<LaunchConfigName>,
+    /// New minimum size.
+    pub min_size: Option<u32>,
+    /// New maximum size.
+    pub max_size: Option<u32>,
+    /// New desired capacity.
+    pub desired_capacity: Option<u32>,
+}
+
+#[derive(Debug)]
+enum CloudEvent {
+    BootComplete(InstanceId),
+    TerminateComplete(InstanceId),
+    Reconcile(AsgName),
+}
+
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    refill_per_sec: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    fn new(capacity: f64, refill_per_sec: f64) -> TokenBucket {
+        TokenBucket {
+            tokens: capacity,
+            capacity,
+            refill_per_sec,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn try_take(&mut self, now: SimTime) -> bool {
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    rng: SimRng,
+    state: CloudState,
+    events: EventQueue<CloudEvent>,
+    config: CloudConfig,
+    throttle: TokenBucket,
+    processed_until: SimTime,
+}
+
+/// A handle to the simulated cloud. Cloning is cheap; all clones share the
+/// same account state and virtual clock.
+///
+/// API methods (`describe_*`, `create_*`, `terminate_*`, …) behave like the
+/// real thing: they consume virtual time, can be throttled, can fail
+/// transiently, and reads may be stale. `admin_*` methods are the
+/// experimenter's god-mode — instantaneous, reliable mutations used for
+/// environment setup and fault injection.
+///
+/// # Examples
+///
+/// ```
+/// use pod_cloud::{Cloud, CloudConfig};
+/// use pod_sim::{Clock, SimRng};
+///
+/// let cloud = Cloud::new(Clock::new(), SimRng::seed_from(1), CloudConfig::default());
+/// let ami = cloud.admin_create_ami("app", "1.0.0");
+/// let sg = cloud.admin_create_security_group("web", &[80]);
+/// let kp = cloud.admin_create_key_pair("prod-key");
+/// let elb = cloud.admin_create_elb("front");
+/// let lc = cloud.admin_create_launch_config("lc-1", ami, "m1.small", kp, sg);
+/// let asg = cloud.admin_create_asg("app-asg", lc, 4, 8, 4, Some(elb));
+/// assert_eq!(cloud.describe_asg(&asg).unwrap().desired_capacity, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cloud {
+    inner: Arc<Mutex<Inner>>,
+    clock: Clock,
+}
+
+impl Cloud {
+    /// Creates a fresh, empty account.
+    pub fn new(clock: Clock, rng: SimRng, config: CloudConfig) -> Cloud {
+        Cloud {
+            inner: Arc::new(Mutex::new(Inner {
+                rng,
+                state: CloudState::new(config.instance_limit),
+                events: EventQueue::new(),
+                throttle: TokenBucket::new(config.throttle_capacity, config.throttle_refill_per_sec),
+                config,
+                processed_until: SimTime::ZERO,
+            })),
+            clock,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Advances the clock by `d` and lets the cloud engine catch up —
+    /// the simulation's replacement for `sleep`.
+    pub fn sleep(&self, d: SimDuration) {
+        let now = self.clock.advance(d);
+        self.inner.lock().run_until(now);
+    }
+
+    /// Processes engine events up to the current clock time without
+    /// consuming any additional time.
+    pub fn settle(&self) {
+        let now = self.clock.now();
+        self.inner.lock().run_until(now);
+    }
+
+    // ---------------------------------------------------------------
+    // Metered API calls
+    // ---------------------------------------------------------------
+
+    fn call<T>(
+        &self,
+        f: impl FnOnce(&mut Inner, SimTime) -> Result<T, ApiError>,
+    ) -> Result<T, ApiError> {
+        let mut inner = self.inner.lock();
+        let model = inner.config.api_latency.clone();
+        let latency = model.sample(&mut inner.rng);
+        let now = self.clock.advance(latency);
+        inner.run_until(now);
+        if !inner.throttle.try_take(now) {
+            return Err(ApiError::Throttling);
+        }
+        let failure_prob = inner.config.api_failure_prob;
+        if failure_prob > 0.0 && inner.rng.chance(failure_prob) {
+            return Err(ApiError::Internal("transient service error".into()));
+        }
+        f(&mut inner, now)
+    }
+
+    /// The effective time a read resolves against (models eventual
+    /// consistency).
+    fn read_time(inner: &mut Inner, now: SimTime) -> SimTime {
+        if inner.rng.chance(inner.config.stale_read_prob) {
+            let lag = inner.config.consistency_lag.sample(&mut inner.rng);
+            SimTime::from_micros(now.as_micros().saturating_sub(lag.as_micros()))
+        } else {
+            now
+        }
+    }
+
+    /// Describes an auto-scaling group (possibly stale).
+    pub fn describe_asg(&self, name: &AsgName) -> Result<AutoScalingGroup, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            inner
+                .state
+                .asgs
+                .get(name)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "auto-scaling-group",
+                    id: name.to_string(),
+                })
+        })
+    }
+
+    /// Describes a launch configuration (possibly stale).
+    pub fn describe_launch_config(
+        &self,
+        name: &LaunchConfigName,
+    ) -> Result<LaunchConfig, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            inner
+                .state
+                .launch_configs
+                .get(name)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "launch-configuration",
+                    id: name.to_string(),
+                })
+        })
+    }
+
+    /// Describes one instance (possibly stale).
+    pub fn describe_instance(&self, id: &InstanceId) -> Result<Instance, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            inner
+                .state
+                .instances
+                .get(id)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "instance",
+                    id: id.to_string(),
+                })
+        })
+    }
+
+    /// Describes all member instances of an ASG (possibly stale).
+    pub fn describe_asg_instances(&self, name: &AsgName) -> Result<Vec<Instance>, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            let group = inner.state.asgs.get(name).ok_or_else(|| ApiError::NotFound {
+                kind: "auto-scaling-group",
+                id: name.to_string(),
+            })?;
+            let ids = group.at(t).instances.clone();
+            Ok(ids
+                .iter()
+                .filter_map(|id| inner.state.instances.get(id))
+                .map(|v| v.at(t).clone())
+                .collect())
+        })
+    }
+
+    /// Describes a machine image (possibly stale).
+    pub fn describe_ami(&self, id: &AmiId) -> Result<Ami, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            inner
+                .state
+                .amis
+                .get(id)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "ami",
+                    id: id.to_string(),
+                })
+        })
+    }
+
+    /// Describes a key pair (possibly stale).
+    pub fn describe_key_pair(&self, name: &KeyPairName) -> Result<KeyPair, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            inner
+                .state
+                .key_pairs
+                .get(name)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "key-pair",
+                    id: name.to_string(),
+                })
+        })
+    }
+
+    /// Describes a security group (possibly stale).
+    pub fn describe_security_group(
+        &self,
+        id: &SecurityGroupId,
+    ) -> Result<SecurityGroup, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            inner
+                .state
+                .security_groups
+                .get(id)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "security-group",
+                    id: id.to_string(),
+                })
+        })
+    }
+
+    /// Describes a load balancer (possibly stale). Fails with
+    /// [`ApiError::ServiceUnavailable`] while the ELB service is down.
+    pub fn describe_elb(&self, name: &ElbName) -> Result<Elb, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            let elb = inner
+                .state
+                .elbs
+                .get(name)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "elb",
+                    id: name.to_string(),
+                })?;
+            if !elb.available {
+                return Err(ApiError::ServiceUnavailable {
+                    service: format!("elb {name}"),
+                });
+            }
+            Ok(elb)
+        })
+    }
+
+    /// Health of every instance registered with a load balancer, the way an
+    /// Edda-like monitor reports it: an instance is healthy when it is
+    /// registered and in service. Fails while the ELB is unavailable.
+    pub fn describe_elb_health(
+        &self,
+        name: &ElbName,
+    ) -> Result<Vec<(InstanceId, bool)>, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            let elb = inner
+                .state
+                .elbs
+                .get(name)
+                .map(|v| v.at(t).clone())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "elb",
+                    id: name.to_string(),
+                })?;
+            if !elb.available {
+                return Err(ApiError::ServiceUnavailable {
+                    service: format!("elb {name}"),
+                });
+            }
+            Ok(elb
+                .registered
+                .iter()
+                .map(|id| {
+                    let healthy = inner
+                        .state
+                        .instances
+                        .get(id)
+                        .map(|v| v.at(t).state == InstanceState::InService)
+                        .unwrap_or(false);
+                    (id.clone(), healthy)
+                })
+                .collect())
+        })
+    }
+
+    /// Scaling activities for `asg` at or after `since` (authoritative, the
+    /// activity log is strongly consistent like CloudTrail's console feed).
+    pub fn describe_scaling_activities(
+        &self,
+        asg: &AsgName,
+        since: SimTime,
+    ) -> Result<Vec<ScalingActivity>, ApiError> {
+        self.call(|inner, _| {
+            Ok(inner
+                .state
+                .activities_for(asg, since)
+                .into_iter()
+                .cloned()
+                .collect())
+        })
+    }
+
+    /// Number of active instances in the account (possibly stale).
+    pub fn count_active_instances(&self) -> Result<usize, ApiError> {
+        self.call(|inner, now| {
+            let t = Self::read_time(inner, now);
+            Ok(inner
+                .state
+                .instances
+                .values()
+                .filter(|v| v.at(t).state.is_active())
+                .count())
+        })
+    }
+
+    /// Creates a launch configuration.
+    pub fn create_launch_config(
+        &self,
+        name: impl Into<String>,
+        ami: AmiId,
+        instance_type: impl Into<String>,
+        key_pair: KeyPairName,
+        security_group: SecurityGroupId,
+    ) -> Result<LaunchConfigName, ApiError> {
+        let name = LaunchConfigName::new(name);
+        let instance_type = instance_type.into();
+        self.call(move |inner, now| {
+            if inner.state.launch_configs.contains_key(&name) {
+                return Err(ApiError::Validation(format!(
+                    "launch configuration {name} already exists"
+                )));
+            }
+            if !inner.state.amis.contains_key(&ami) {
+                return Err(ApiError::NotFound {
+                    kind: "ami",
+                    id: ami.to_string(),
+                });
+            }
+            let lc = LaunchConfig {
+                name: name.clone(),
+                ami,
+                instance_type,
+                key_pair,
+                security_group,
+                created_at: now,
+            };
+            inner
+                .state
+                .launch_configs
+                .insert(name.clone(), Versioned::new(now, lc));
+            Ok(name)
+        })
+    }
+
+    /// Deletes a launch configuration.
+    pub fn delete_launch_config(&self, name: &LaunchConfigName) -> Result<(), ApiError> {
+        self.call(|inner, _| {
+            inner
+                .state
+                .launch_configs
+                .remove(name)
+                .map(|_| ())
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "launch-configuration",
+                    id: name.to_string(),
+                })
+        })
+    }
+
+    /// Updates ASG fields (launch config, sizes).
+    pub fn update_asg(&self, name: &AsgName, update: AsgUpdate) -> Result<(), ApiError> {
+        self.call(|inner, now| {
+            if let Some(lc) = &update.launch_config {
+                if !inner.state.launch_configs.contains_key(lc) {
+                    return Err(ApiError::NotFound {
+                        kind: "launch-configuration",
+                        id: lc.to_string(),
+                    });
+                }
+            }
+            let group = inner.state.asgs.get_mut(name).ok_or_else(|| ApiError::NotFound {
+                kind: "auto-scaling-group",
+                id: name.to_string(),
+            })?;
+            let mut g = group.latest().clone();
+            if let Some(lc) = update.launch_config {
+                g.launch_config = lc;
+            }
+            if let Some(min) = update.min_size {
+                g.min_size = min;
+            }
+            if let Some(max) = update.max_size {
+                g.max_size = max;
+            }
+            if let Some(desired) = update.desired_capacity {
+                if desired < g.min_size || desired > g.max_size {
+                    return Err(ApiError::Validation(format!(
+                        "desired capacity {desired} outside [{}, {}]",
+                        g.min_size, g.max_size
+                    )));
+                }
+                g.desired_capacity = desired;
+            }
+            group.set(now, g);
+            Ok(())
+        })
+    }
+
+    /// Terminates an instance in an ASG, optionally decrementing desired
+    /// capacity so it is not replaced.
+    pub fn terminate_instance(
+        &self,
+        id: &InstanceId,
+        decrement_desired: bool,
+    ) -> Result<(), ApiError> {
+        self.call(|inner, now| {
+            let record = inner.state.instances.get_mut(id).ok_or_else(|| ApiError::NotFound {
+                kind: "instance",
+                id: id.to_string(),
+            })?;
+            let mut instance = record.latest().clone();
+            if !instance.state.is_active() {
+                return Err(ApiError::Validation(format!(
+                    "instance {id} is not running"
+                )));
+            }
+            instance.state = InstanceState::Terminating;
+            let asg = instance.asg.clone();
+            record.set(now, instance);
+            let delay = inner.config.terminate_time.sample(&mut inner.rng);
+            inner
+                .events
+                .schedule(now + delay, CloudEvent::TerminateComplete(id.clone()));
+            if let Some(asg_name) = asg {
+                if decrement_desired {
+                    if let Some(group) = inner.state.asgs.get_mut(&asg_name) {
+                        let mut g = group.latest().clone();
+                        g.desired_capacity = g.desired_capacity.saturating_sub(1);
+                        group.set(now, g);
+                    }
+                }
+                inner.state.record_activity(ScalingActivity {
+                    at: now,
+                    asg: asg_name,
+                    description: format!("Terminating EC2 instance: {id}"),
+                    status: ActivityStatus::InProgress,
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Deregisters an instance from a load balancer.
+    pub fn deregister_from_elb(
+        &self,
+        elb: &ElbName,
+        instance: &InstanceId,
+    ) -> Result<(), ApiError> {
+        self.call(|inner, now| {
+            let record = inner.state.elbs.get_mut(elb).ok_or_else(|| ApiError::NotFound {
+                kind: "elb",
+                id: elb.to_string(),
+            })?;
+            if !record.latest().available {
+                return Err(ApiError::ServiceUnavailable {
+                    service: format!("elb {elb}"),
+                });
+            }
+            let mut e = record.latest().clone();
+            e.registered.retain(|i| i != instance);
+            record.set(now, e);
+            if let Some(rec) = inner.state.instances.get_mut(instance) {
+                let mut i = rec.latest().clone();
+                i.registered_with_elb = false;
+                rec.set(now, i);
+            }
+            Ok(())
+        })
+    }
+
+    /// Registers an instance with a load balancer.
+    pub fn register_with_elb(
+        &self,
+        elb: &ElbName,
+        instance: &InstanceId,
+    ) -> Result<(), ApiError> {
+        self.call(|inner, now| {
+            let record = inner.state.elbs.get_mut(elb).ok_or_else(|| ApiError::NotFound {
+                kind: "elb",
+                id: elb.to_string(),
+            })?;
+            if !record.latest().available {
+                return Err(ApiError::ServiceUnavailable {
+                    service: format!("elb {elb}"),
+                });
+            }
+            let mut e = record.latest().clone();
+            if !e.registered.contains(instance) {
+                e.registered.push(instance.clone());
+            }
+            record.set(now, e);
+            if let Some(rec) = inner.state.instances.get_mut(instance) {
+                let mut i = rec.latest().clone();
+                i.registered_with_elb = true;
+                rec.set(now, i);
+            }
+            Ok(())
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Admin / god-mode (setup and fault injection)
+    // ---------------------------------------------------------------
+
+    fn admin<T>(&self, f: impl FnOnce(&mut Inner, SimTime) -> T) -> T {
+        let mut inner = self.inner.lock();
+        let now = self.clock.now();
+        inner.run_until(now);
+        f(&mut inner, now)
+    }
+
+    /// Registers a new AMI and returns its id.
+    pub fn admin_create_ami(&self, name: &str, version: &str) -> AmiId {
+        self.admin(|inner, now| {
+            let id = AmiId::generate(&mut inner.rng);
+            let ami = Ami {
+                id: id.clone(),
+                name: name.to_string(),
+                version: version.to_string(),
+                available: true,
+            };
+            inner.state.amis.insert(id.clone(), Versioned::new(now, ami));
+            id
+        })
+    }
+
+    /// Creates a security group.
+    pub fn admin_create_security_group(&self, name: &str, ports: &[u16]) -> SecurityGroupId {
+        self.admin(|inner, now| {
+            let id = SecurityGroupId::generate(&mut inner.rng);
+            let sg = SecurityGroup {
+                id: id.clone(),
+                name: name.to_string(),
+                ingress_ports: ports.to_vec(),
+                available: true,
+            };
+            inner
+                .state
+                .security_groups
+                .insert(id.clone(), Versioned::new(now, sg));
+            id
+        })
+    }
+
+    /// Creates a key pair.
+    pub fn admin_create_key_pair(&self, name: &str) -> KeyPairName {
+        self.admin(|inner, now| {
+            let kp_name = KeyPairName::new(name);
+            let fingerprint = format!("fp-{:016x}", inner.rng.uniform_u64(0, u64::MAX - 1));
+            let kp = KeyPair {
+                name: kp_name.clone(),
+                fingerprint,
+                available: true,
+            };
+            inner
+                .state
+                .key_pairs
+                .insert(kp_name.clone(), Versioned::new(now, kp));
+            kp_name
+        })
+    }
+
+    /// Creates a load balancer.
+    pub fn admin_create_elb(&self, name: &str) -> ElbName {
+        self.admin(|inner, now| {
+            let elb_name = ElbName::new(name);
+            let elb = Elb {
+                name: elb_name.clone(),
+                registered: Vec::new(),
+                available: true,
+            };
+            inner
+                .state
+                .elbs
+                .insert(elb_name.clone(), Versioned::new(now, elb));
+            elb_name
+        })
+    }
+
+    /// Creates a launch configuration without latency or validation beyond
+    /// AMI existence.
+    pub fn admin_create_launch_config(
+        &self,
+        name: &str,
+        ami: AmiId,
+        instance_type: &str,
+        key_pair: KeyPairName,
+        security_group: SecurityGroupId,
+    ) -> LaunchConfigName {
+        self.admin(|inner, now| {
+            let lc_name = LaunchConfigName::new(name);
+            let lc = LaunchConfig {
+                name: lc_name.clone(),
+                ami,
+                instance_type: instance_type.to_string(),
+                key_pair,
+                security_group,
+                created_at: now,
+            };
+            inner
+                .state
+                .launch_configs
+                .insert(lc_name.clone(), Versioned::new(now, lc));
+            lc_name
+        })
+    }
+
+    /// Creates an ASG already at its desired capacity: `desired` instances
+    /// are materialised `InService` and registered with the ELB. This is the
+    /// steady-state cluster a rolling upgrade starts from.
+    pub fn admin_create_asg(
+        &self,
+        name: &str,
+        launch_config: LaunchConfigName,
+        min_size: u32,
+        max_size: u32,
+        desired: u32,
+        elb: Option<ElbName>,
+    ) -> AsgName {
+        self.admin(|inner, now| {
+            let asg_name = AsgName::new(name);
+            let lc = inner
+                .state
+                .launch_configs
+                .get(&launch_config)
+                .expect("launch config must exist before creating an ASG")
+                .latest()
+                .clone();
+            let ami_version = inner
+                .state
+                .amis
+                .get(&lc.ami)
+                .map(|a| a.latest().version.clone())
+                .unwrap_or_default();
+            let mut ids = Vec::new();
+            for _ in 0..desired {
+                let id = InstanceId::generate(&mut inner.rng);
+                let instance = Instance {
+                    id: id.clone(),
+                    state: InstanceState::InService,
+                    ami: lc.ami.clone(),
+                    version: ami_version.clone(),
+                    instance_type: lc.instance_type.clone(),
+                    key_pair: lc.key_pair.clone(),
+                    security_group: lc.security_group.clone(),
+                    launch_config: Some(launch_config.clone()),
+                    asg: Some(asg_name.clone()),
+                    registered_with_elb: elb.is_some(),
+                    launched_at: now,
+                };
+                inner
+                    .state
+                    .instances
+                    .insert(id.clone(), Versioned::new(now, instance));
+                ids.push(id);
+            }
+            if let Some(elb_name) = &elb {
+                if let Some(rec) = inner.state.elbs.get_mut(elb_name) {
+                    let mut e = rec.latest().clone();
+                    e.registered.extend(ids.iter().cloned());
+                    rec.set(now, e);
+                }
+            }
+            let group = AutoScalingGroup {
+                name: asg_name.clone(),
+                launch_config,
+                min_size,
+                max_size,
+                desired_capacity: desired,
+                instances: ids,
+                elb,
+            };
+            inner
+                .state
+                .asgs
+                .insert(asg_name.clone(), Versioned::new(now, group));
+            inner.events.schedule(
+                now + inner.config.reconcile_interval,
+                CloudEvent::Reconcile(asg_name.clone()),
+            );
+            asg_name
+        })
+    }
+
+    /// Marks an AMI available/unavailable (fault type 5).
+    pub fn admin_set_ami_available(&self, id: &AmiId, available: bool) {
+        self.admin(|inner, now| {
+            if let Some(rec) = inner.state.amis.get_mut(id) {
+                let mut a = rec.latest().clone();
+                a.available = available;
+                rec.set(now, a);
+            }
+        });
+    }
+
+    /// Marks a key pair available/unavailable (fault type 6).
+    pub fn admin_set_key_pair_available(&self, name: &KeyPairName, available: bool) {
+        self.admin(|inner, now| {
+            if let Some(rec) = inner.state.key_pairs.get_mut(name) {
+                let mut k = rec.latest().clone();
+                k.available = available;
+                rec.set(now, k);
+            }
+        });
+    }
+
+    /// Marks a security group available/unavailable (fault type 7).
+    pub fn admin_set_security_group_available(&self, id: &SecurityGroupId, available: bool) {
+        self.admin(|inner, now| {
+            if let Some(rec) = inner.state.security_groups.get_mut(id) {
+                let mut s = rec.latest().clone();
+                s.available = available;
+                rec.set(now, s);
+            }
+        });
+    }
+
+    /// Marks an ELB available/unavailable (fault type 8).
+    pub fn admin_set_elb_available(&self, name: &ElbName, available: bool) {
+        self.admin(|inner, now| {
+            if let Some(rec) = inner.state.elbs.get_mut(name) {
+                let mut e = rec.latest().clone();
+                e.available = available;
+                rec.set(now, e);
+            }
+        });
+    }
+
+    /// Rewrites launch-configuration fields in place (fault types 1–4:
+    /// concurrent AMI push, key-pair / security-group / instance-type
+    /// misconfiguration).
+    pub fn admin_update_launch_config(&self, name: &LaunchConfigName, update: LaunchConfigUpdate) {
+        self.admin(|inner, now| {
+            if let Some(rec) = inner.state.launch_configs.get_mut(name) {
+                let mut lc = rec.latest().clone();
+                if let Some(ami) = update.ami {
+                    lc.ami = ami;
+                }
+                if let Some(it) = update.instance_type {
+                    lc.instance_type = it;
+                }
+                if let Some(kp) = update.key_pair {
+                    lc.key_pair = kp;
+                }
+                if let Some(sg) = update.security_group {
+                    lc.security_group = sg;
+                }
+                rec.set(now, lc);
+            }
+        });
+    }
+
+    /// Terminates an instance outside any API accounting — the "random
+    /// termination" interference of the evaluation.
+    pub fn admin_terminate_instance(&self, id: &InstanceId) {
+        self.admin(|inner, now| {
+            if let Some(rec) = inner.state.instances.get_mut(id) {
+                let mut i = rec.latest().clone();
+                if i.state.is_active() {
+                    i.state = InstanceState::Terminating;
+                    rec.set(now, i);
+                    let delay = inner.config.terminate_time.sample(&mut inner.rng);
+                    inner
+                        .events
+                        .schedule(now + delay, CloudEvent::TerminateComplete(id.clone()));
+                }
+            }
+        });
+    }
+
+    /// Changes the account instance limit (shared-account interference).
+    pub fn admin_set_instance_limit(&self, limit: usize) {
+        self.admin(|inner, _| inner.state.instance_limit = limit);
+    }
+
+    /// Launches `count` standalone instances outside any ASG — the
+    /// independent team consuming account capacity.
+    pub fn admin_launch_standalone(&self, count: usize, ami: &AmiId) -> Vec<InstanceId> {
+        self.admin(|inner, now| {
+            let version = inner
+                .state
+                .amis
+                .get(ami)
+                .map(|a| a.latest().version.clone())
+                .unwrap_or_default();
+            let mut ids = Vec::new();
+            for _ in 0..count {
+                let id = InstanceId::generate(&mut inner.rng);
+                let instance = Instance {
+                    id: id.clone(),
+                    state: InstanceState::InService,
+                    ami: ami.clone(),
+                    version: version.clone(),
+                    instance_type: "m1.small".to_string(),
+                    key_pair: KeyPairName::new("other-team-key"),
+                    security_group: SecurityGroupId::new("sg-other"),
+                    launch_config: None,
+                    asg: None,
+                    registered_with_elb: false,
+                    launched_at: now,
+                };
+                inner
+                    .state
+                    .instances
+                    .insert(id.clone(), Versioned::new(now, instance));
+                ids.push(id);
+            }
+            ids
+        })
+    }
+
+    /// Terminates standalone instances (releasing account capacity).
+    pub fn admin_release_standalone(&self, ids: &[InstanceId]) {
+        self.admin(|inner, now| {
+            for id in ids {
+                if let Some(rec) = inner.state.instances.get_mut(id) {
+                    let mut i = rec.latest().clone();
+                    i.state = InstanceState::Terminated;
+                    rec.set(now, i);
+                }
+            }
+        });
+    }
+
+    /// Authoritative (non-stale) snapshot of an ASG, for test assertions and
+    /// ground-truth checks in the evaluation harness.
+    pub fn admin_describe_asg(&self, name: &AsgName) -> Option<AutoScalingGroup> {
+        self.admin(|inner, _| inner.state.asgs.get(name).map(|v| v.latest().clone()))
+    }
+
+    /// Authoritative snapshot of an instance.
+    pub fn admin_describe_instance(&self, id: &InstanceId) -> Option<Instance> {
+        self.admin(|inner, _| inner.state.instances.get(id).map(|v| v.latest().clone()))
+    }
+
+    /// Authoritative snapshot of all active member instances of an ASG.
+    pub fn admin_asg_active_instances(&self, name: &AsgName) -> Vec<Instance> {
+        self.admin(|inner, _| {
+            inner
+                .state
+                .asg_active_instances(name)
+                .into_iter()
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Authoritative count of active instances in the account.
+    pub fn admin_active_instance_count(&self) -> usize {
+        self.admin(|inner, _| inner.state.active_instance_count())
+    }
+
+    /// Authoritative snapshot of a launch configuration.
+    pub fn admin_describe_launch_config(&self, name: &LaunchConfigName) -> Option<LaunchConfig> {
+        self.admin(|inner, _| {
+            inner
+                .state
+                .launch_configs
+                .get(name)
+                .map(|v| v.latest().clone())
+        })
+    }
+}
+
+impl Inner {
+    /// Processes all engine events scheduled at or before `now`.
+    fn run_until(&mut self, now: SimTime) {
+        if now <= self.processed_until {
+            return;
+        }
+        while let Some(at) = self.events.peek_time() {
+            if at > now {
+                break;
+            }
+            let (at, event) = self.events.pop().expect("peeked event exists");
+            match event {
+                CloudEvent::BootComplete(id) => self.on_boot_complete(at, &id),
+                CloudEvent::TerminateComplete(id) => self.on_terminate_complete(at, &id),
+                CloudEvent::Reconcile(asg) => self.on_reconcile(at, &asg),
+            }
+        }
+        self.processed_until = now;
+    }
+
+    fn on_boot_complete(&mut self, at: SimTime, id: &InstanceId) {
+        let Some(rec) = self.state.instances.get_mut(id) else {
+            return;
+        };
+        let mut instance = rec.latest().clone();
+        if instance.state != InstanceState::Pending {
+            return;
+        }
+        instance.state = InstanceState::InService;
+        let asg_name = instance.asg.clone();
+        rec.set(at, instance);
+        let Some(asg_name) = asg_name else { return };
+        self.state.record_activity(ScalingActivity {
+            at,
+            asg: asg_name.clone(),
+            description: format!("Launched EC2 instance: {id}"),
+            status: ActivityStatus::Successful,
+        });
+        // Auto-register with the attached ELB, like AWS ASG-ELB integration.
+        let elb_name = self
+            .state
+            .asgs
+            .get(&asg_name)
+            .and_then(|g| g.latest().elb.clone());
+        if let Some(elb_name) = elb_name {
+            let available = self
+                .state
+                .elbs
+                .get(&elb_name)
+                .map(|e| e.latest().available)
+                .unwrap_or(false);
+            if available {
+                if let Some(erec) = self.state.elbs.get_mut(&elb_name) {
+                    let mut e = erec.latest().clone();
+                    if !e.registered.contains(id) {
+                        e.registered.push(id.clone());
+                    }
+                    erec.set(at, e);
+                }
+                if let Some(irec) = self.state.instances.get_mut(id) {
+                    let mut i = irec.latest().clone();
+                    i.registered_with_elb = true;
+                    irec.set(at, i);
+                }
+            } else {
+                self.state.record_activity(ScalingActivity {
+                    at,
+                    asg: asg_name,
+                    description: format!(
+                        "Failed to register instance {id} with ELB {elb_name}: ServiceUnavailable"
+                    ),
+                    status: ActivityStatus::Failed("ServiceUnavailable".into()),
+                });
+            }
+        }
+    }
+
+    fn on_terminate_complete(&mut self, at: SimTime, id: &InstanceId) {
+        let Some(rec) = self.state.instances.get_mut(id) else {
+            return;
+        };
+        let mut instance = rec.latest().clone();
+        if instance.state == InstanceState::Terminated {
+            return;
+        }
+        instance.state = InstanceState::Terminated;
+        instance.registered_with_elb = false;
+        let asg_name = instance.asg.clone();
+        rec.set(at, instance);
+        if let Some(asg_name) = &asg_name {
+            if let Some(grec) = self.state.asgs.get_mut(asg_name) {
+                let mut g = grec.latest().clone();
+                g.instances.retain(|i| i != id);
+                grec.set(at, g);
+            }
+            self.state.record_activity(ScalingActivity {
+                at,
+                asg: asg_name.clone(),
+                description: format!("Terminated EC2 instance: {id}"),
+                status: ActivityStatus::Successful,
+            });
+        }
+        // Remove from any ELB registration.
+        let elb_names: Vec<ElbName> = self
+            .state
+            .elbs
+            .iter()
+            .filter(|(_, e)| e.latest().registered.contains(id))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for elb_name in elb_names {
+            if let Some(erec) = self.state.elbs.get_mut(&elb_name) {
+                let mut e = erec.latest().clone();
+                e.registered.retain(|i| i != id);
+                erec.set(at, e);
+            }
+        }
+    }
+
+    fn on_reconcile(&mut self, at: SimTime, asg_name: &AsgName) {
+        let Some(grec) = self.state.asgs.get(asg_name) else {
+            return; // ASG deleted; stop rescheduling.
+        };
+        let group = grec.latest().clone();
+        let active: Vec<InstanceId> = group
+            .instances
+            .iter()
+            .filter(|id| {
+                self.state
+                    .instances
+                    .get(id)
+                    .is_some_and(|v| v.latest().state.is_active())
+            })
+            .cloned()
+            .collect();
+        let desired = group.desired_capacity as usize;
+        if active.len() < desired {
+            for _ in 0..(desired - active.len()) {
+                self.try_launch(at, asg_name);
+            }
+        } else if active.len() > desired {
+            // Scale in: newest first, deterministic.
+            let mut candidates: Vec<(SimTime, InstanceId)> = active
+                .iter()
+                .filter_map(|id| {
+                    self.state
+                        .instances
+                        .get(id)
+                        .map(|v| (v.latest().launched_at, id.clone()))
+                })
+                .collect();
+            candidates.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            for (_, id) in candidates.into_iter().take(active.len() - desired) {
+                if let Some(rec) = self.state.instances.get_mut(&id) {
+                    let mut i = rec.latest().clone();
+                    i.state = InstanceState::Terminating;
+                    rec.set(at, i);
+                }
+                let delay = self.config.terminate_time.sample(&mut self.rng);
+                self.events
+                    .schedule(at + delay, CloudEvent::TerminateComplete(id.clone()));
+                self.state.record_activity(ScalingActivity {
+                    at,
+                    asg: asg_name.clone(),
+                    description: format!("Terminating EC2 instance (scale in): {id}"),
+                    status: ActivityStatus::InProgress,
+                });
+            }
+        }
+        self.events.schedule(
+            at + self.config.reconcile_interval,
+            CloudEvent::Reconcile(asg_name.clone()),
+        );
+    }
+
+    /// Attempts to launch one instance into `asg_name`, recording a failed
+    /// scaling activity when a referenced resource is missing or a limit is
+    /// hit. These activity messages are what the operation node's log later
+    /// surfaces as errors.
+    fn try_launch(&mut self, at: SimTime, asg_name: &AsgName) {
+        let Some(grec) = self.state.asgs.get(asg_name) else {
+            return;
+        };
+        let group = grec.latest().clone();
+        let fail = |state: &mut CloudState, message: String| {
+            state.record_activity(ScalingActivity {
+                at,
+                asg: asg_name.clone(),
+                description: message.clone(),
+                status: ActivityStatus::Failed(message),
+            });
+        };
+        let Some(lc_rec) = self.state.launch_configs.get(&group.launch_config) else {
+            fail(
+                &mut self.state,
+                format!(
+                    "Failed to launch instance: launch configuration {} not found",
+                    group.launch_config
+                ),
+            );
+            return;
+        };
+        let lc = lc_rec.latest().clone();
+        let ami_ok = self
+            .state
+            .amis
+            .get(&lc.ami)
+            .map(|a| a.latest().available)
+            .unwrap_or(false);
+        if !ami_ok {
+            fail(
+                &mut self.state,
+                format!("Failed to launch instance: AMI {} is unavailable", lc.ami),
+            );
+            return;
+        }
+        let kp_ok = self
+            .state
+            .key_pairs
+            .get(&lc.key_pair)
+            .map(|k| k.latest().available)
+            .unwrap_or(false);
+        if !kp_ok {
+            fail(
+                &mut self.state,
+                format!(
+                    "Failed to launch instance: key pair {} does not exist",
+                    lc.key_pair
+                ),
+            );
+            return;
+        }
+        let sg_ok = self
+            .state
+            .security_groups
+            .get(&lc.security_group)
+            .map(|s| s.latest().available)
+            .unwrap_or(false);
+        if !sg_ok {
+            fail(
+                &mut self.state,
+                format!(
+                    "Failed to launch instance: security group {} does not exist",
+                    lc.security_group
+                ),
+            );
+            return;
+        }
+        if self.state.active_instance_count() >= self.state.instance_limit {
+            let limit = self.state.instance_limit;
+            fail(
+                &mut self.state,
+                format!("Failed to launch instance: InstanceLimitExceeded (limit {limit})"),
+            );
+            return;
+        }
+        let version = self
+            .state
+            .amis
+            .get(&lc.ami)
+            .map(|a| a.latest().version.clone())
+            .unwrap_or_default();
+        let id = InstanceId::generate(&mut self.rng);
+        let instance = Instance {
+            id: id.clone(),
+            state: InstanceState::Pending,
+            ami: lc.ami.clone(),
+            version,
+            instance_type: lc.instance_type.clone(),
+            key_pair: lc.key_pair.clone(),
+            security_group: lc.security_group.clone(),
+            launch_config: Some(group.launch_config.clone()),
+            asg: Some(asg_name.clone()),
+            registered_with_elb: false,
+            launched_at: at,
+        };
+        self.state
+            .instances
+            .insert(id.clone(), Versioned::new(at, instance));
+        if let Some(grec) = self.state.asgs.get_mut(asg_name) {
+            let mut g = grec.latest().clone();
+            g.instances.push(id.clone());
+            grec.set(at, g);
+        }
+        let boot = self.config.boot_time.sample(&mut self.rng);
+        self.events
+            .schedule(at + boot, CloudEvent::BootComplete(id.clone()));
+        self.state.record_activity(ScalingActivity {
+            at,
+            asg: asg_name.clone(),
+            description: format!("Launching a new EC2 instance: {id}"),
+            status: ActivityStatus::InProgress,
+        });
+    }
+}

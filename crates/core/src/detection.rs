@@ -1,0 +1,93 @@
+//! Detections: what the engine reports to the operator.
+
+use pod_cloud::InstanceId;
+use pod_faulttree::DiagnosisReport;
+use pod_sim::SimTime;
+
+/// Which mechanism detected the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectionSource {
+    /// Token replay: a known activity executed out of turn.
+    ConformanceUnfit,
+    /// A log line matching a known-error pattern.
+    ConformanceKnownError,
+    /// A log line that could not be classified at all.
+    ConformanceUnclassified,
+    /// A log-triggered assertion evaluation failed.
+    AssertionLog,
+    /// A one-off (step-timeout) timer-triggered assertion failed.
+    AssertionOneOffTimer,
+    /// The periodic health-check assertion failed.
+    AssertionPeriodicTimer,
+}
+
+impl DetectionSource {
+    /// Whether the detection came from conformance checking rather than
+    /// assertion evaluation (the §V.D split).
+    pub fn is_conformance(self) -> bool {
+        matches!(
+            self,
+            DetectionSource::ConformanceUnfit
+                | DetectionSource::ConformanceKnownError
+                | DetectionSource::ConformanceUnclassified
+        )
+    }
+}
+
+/// One detected error, with its (possibly skipped) diagnosis.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// When the error was detected.
+    pub at: SimTime,
+    /// The detecting mechanism.
+    pub source: DetectionSource,
+    /// Human-readable description (assertion text or offending log line).
+    pub description: String,
+    /// The process step the error is associated with, if known.
+    pub step: Option<String>,
+    /// The cloud instance implicated, if known.
+    pub instance: Option<InstanceId>,
+    /// The diagnosis report; `None` when diagnosis was suppressed by the
+    /// per-key cooldown (an identical diagnosis just ran).
+    pub diagnosis: Option<DiagnosisReport>,
+}
+
+/// Summary statistics of one monitored operation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// All detections, in order.
+    pub detections: Vec<Detection>,
+    /// Log events submitted to conformance checking.
+    pub conformance_events: usize,
+    /// Conformance events classified as errors (unfit/error/unclassified).
+    pub conformance_errors: usize,
+    /// Assertion evaluations performed (all triggers).
+    pub assertions_evaluated: usize,
+    /// Whether the trace reached the process end event.
+    pub trace_complete: bool,
+}
+
+impl RunSummary {
+    /// Detections that ran a full diagnosis.
+    pub fn diagnosed(&self) -> impl Iterator<Item = &Detection> {
+        self.detections.iter().filter(|d| d.diagnosis.is_some())
+    }
+
+    /// Whether any detection came from conformance checking.
+    pub fn any_conformance_detection(&self) -> bool {
+        self.detections.iter().any(|d| d.source.is_conformance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_classification() {
+        assert!(DetectionSource::ConformanceUnfit.is_conformance());
+        assert!(DetectionSource::ConformanceKnownError.is_conformance());
+        assert!(!DetectionSource::AssertionLog.is_conformance());
+        assert!(!DetectionSource::AssertionPeriodicTimer.is_conformance());
+    }
+}

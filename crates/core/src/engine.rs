@@ -1,0 +1,545 @@
+//! The POD-Diagnosis engine: local log processor wiring, conformance
+//! service, assertion triggering, timers and error diagnosis — the online
+//! half of Figure 1 of the paper.
+
+use std::collections::HashMap;
+
+use pod_assert::{
+    AssertionEvaluator, AssertionLibrary, AssertionTrigger, CloudAssertion, ConsistentApi,
+    TimerId, TimerService,
+};
+use pod_cloud::{Cloud, InstanceId};
+use pod_faulttree::{
+    DiagnosisContext, DiagnosisEngine, DiagnosisReport, FaultTreeRepository,
+};
+use pod_log::{
+    ImportantLineForwarder, LogEvent, LogStorage, NoiseFilter, Pipeline, ProcessAnnotator,
+    ProcessContext, Severity, TimerSetter, Trigger,
+};
+use pod_process::{Conformance, ConformanceChecker};
+use pod_regex::{Regex, RegexSet};
+use pod_sim::{LatencyModel, SimDuration, SimRng, SimTime};
+
+use crate::config::{PodConfig, SharedEnv};
+use crate::detection::{Detection, DetectionSource, RunSummary};
+
+/// The assertion key of the master fault tree, used as a fallback for
+/// detections without a more specific tree.
+const MASTER_TREE_KEY: &str = "asg-has-n-instances-with-version";
+
+#[derive(Debug, Clone)]
+enum TimerPayload {
+    /// A silent step did not complete in time.
+    StepCompletion {
+        /// Expected number of completed relaunches by now.
+        expected_done: u32,
+    },
+    /// The operation-wide periodic health check.
+    Periodic,
+    /// A dispatched diagnosis for an earlier detection.
+    Diagnose {
+        /// Index of the detection in the summary.
+        detection_index: usize,
+        /// Fault-tree key.
+        key: String,
+        /// Process step of the error context.
+        step: Option<String>,
+        /// Implicated instance.
+        instance: Option<InstanceId>,
+    },
+}
+
+/// The online POD-Diagnosis engine for one operation execution (one process
+/// instance / trace).
+///
+/// Feed it every operation-log line with [`PodEngine::ingest`]; call
+/// [`PodEngine::poll`] at idle moments so timers can fire; collect the
+/// [`RunSummary`] with [`PodEngine::finish`].
+#[derive(Debug)]
+pub struct PodEngine {
+    cloud: Cloud,
+    storage: LogStorage,
+    env: SharedEnv,
+    trace_id: String,
+    process_id: String,
+    pipeline: Pipeline,
+    conformance: ConformanceChecker,
+    known_errors: RegexSet,
+    evaluator: AssertionEvaluator,
+    diag: DiagnosisEngine,
+    timers: TimerService<TimerPayload>,
+    bindings: AssertionLibrary,
+    trees: FaultTreeRepository,
+    wait_activity: Option<String>,
+    completion_activity: Option<String>,
+    in_flight_activities: Vec<String>,
+    step_timeout: SimDuration,
+    periodic_interval: SimDuration,
+    conformance_latency: SimDuration,
+    diagnosis_cooldown: SimDuration,
+    diagnosis_dispatch_delay: SimDuration,
+    diagnosis_overhead: LatencyModel,
+    rng: SimRng,
+    periodic_assertions: Vec<CloudAssertion>,
+    batch_size: u32,
+    op_started: Option<SimTime>,
+    periodic_timer: Option<TimerId>,
+    step_timer: Option<TimerId>,
+    last_done: u32,
+    last_diagnosis_at: HashMap<String, SimTime>,
+    summary: RunSummary,
+}
+
+impl PodEngine {
+    /// Builds an engine for one trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any configured pattern does not compile.
+    pub fn new(
+        cloud: Cloud,
+        storage: LogStorage,
+        env: SharedEnv,
+        config: PodConfig,
+        trace_id: impl Into<String>,
+    ) -> Result<PodEngine, pod_regex::ParseError> {
+        let trace_id = trace_id.into();
+        let process_id = config.model.name().to_string();
+        let mut pipeline = Pipeline::new();
+        if !config.relevance_patterns.is_empty() {
+            pipeline.add_stage(Box::new(NoiseFilter::keep(RegexSet::new(
+                &config.relevance_patterns,
+            )?)));
+        }
+        pipeline.add_stage(Box::new(TimerSetter::new(
+            Regex::new(&config.operation_start_pattern)?,
+            Regex::new(&config.operation_end_pattern)?,
+            trace_id.clone(),
+        )));
+        pipeline.add_stage(Box::new(ProcessAnnotator::new(
+            config.rules.clone(),
+            process_id.clone(),
+            trace_id.clone(),
+        )));
+        pipeline.add_stage(Box::new(ImportantLineForwarder));
+
+        let api = ConsistentApi::new(cloud.clone(), config.retry_policy.clone());
+        let evaluator = AssertionEvaluator::new(api, storage.clone());
+        let diag_api = ConsistentApi::new(cloud.clone(), config.diagnosis_retry_policy.clone());
+        let diag = DiagnosisEngine::new(diag_api, storage.clone()).with_order(config.test_order);
+        Ok(PodEngine {
+            conformance: ConformanceChecker::new(&config.model),
+            known_errors: RegexSet::new(&config.known_error_patterns)?,
+            pipeline,
+            evaluator,
+            diag,
+            timers: TimerService::new(),
+            bindings: config.bindings,
+            trees: config.trees,
+            wait_activity: config.wait_activity,
+            completion_activity: config.completion_activity,
+            in_flight_activities: config.in_flight_activities,
+            step_timeout: config.step_timeout,
+            periodic_interval: config.periodic_interval,
+            conformance_latency: config.conformance_latency,
+            diagnosis_cooldown: config.diagnosis_cooldown,
+            diagnosis_dispatch_delay: config.diagnosis_dispatch_delay,
+            diagnosis_overhead: config.diagnosis_overhead,
+            rng: SimRng::seed_from(config.engine_seed ^ 0x90D_D1A6),
+            periodic_assertions: config.periodic_assertions,
+            batch_size: config.batch_size,
+            cloud,
+            storage,
+            env,
+            trace_id,
+            process_id,
+            op_started: None,
+            periodic_timer: None,
+            step_timer: None,
+            last_done: 0,
+            last_diagnosis_at: HashMap::new(),
+            summary: RunSummary::default(),
+        })
+    }
+
+    /// The trace (process-instance) id this engine monitors.
+    pub fn trace_id(&self) -> &str {
+        &self.trace_id
+    }
+
+    /// Detections so far.
+    pub fn detections(&self) -> &[Detection] {
+        &self.summary.detections
+    }
+
+    /// Ingests one raw operation-log line.
+    pub fn ingest(&mut self, event: LogEvent) {
+        let out = self.pipeline.push(event);
+        self.storage.extend(out.forwarded);
+        for trigger in out.triggers {
+            match trigger {
+                Trigger::Conformance(e) => self.on_conformance(e),
+                Trigger::Assertion { activity, event } => self.on_assertion(activity, event),
+                Trigger::PeriodicStart { .. } => self.on_operation_start(),
+                Trigger::PeriodicStop { .. } => self.on_operation_end(),
+            }
+        }
+        self.fire_due_timers();
+    }
+
+    /// Lets due timers fire; call at idle moments (e.g. orchestrator poll
+    /// points).
+    pub fn poll(&mut self) {
+        self.fire_due_timers();
+    }
+
+    /// Finalises the run and returns the summary. Pending dispatched
+    /// diagnoses are executed before returning.
+    pub fn finish(&mut self) -> RunSummary {
+        if let Some(id) = self.periodic_timer.take() {
+            self.timers.cancel(id);
+        }
+        if let Some(id) = self.step_timer.take() {
+            self.timers.cancel(id);
+        }
+        // Let any dispatched-but-not-yet-started diagnosis run.
+        self.cloud
+            .clock()
+            .advance(self.diagnosis_dispatch_delay + SimDuration::from_millis(1));
+        self.fire_due_timers();
+        self.summary.trace_complete = self.conformance.is_complete(&self.trace_id);
+        self.summary.clone()
+    }
+
+    // -----------------------------------------------------------------
+    // Conformance
+    // -----------------------------------------------------------------
+
+    fn on_conformance(&mut self, event: LogEvent) {
+        // The conformance service call costs ≈ 10 ms.
+        self.cloud.clock().advance(self.conformance_latency);
+        self.summary.conformance_events += 1;
+        let activity = event.context.as_ref().and_then(|c| c.step_id.clone());
+        let verdict = match &activity {
+            Some(act) => self.conformance.replay(&self.trace_id, act),
+            None => {
+                let known = self.known_errors.first_match(&event.message).is_some();
+                self.conformance.record_error(&self.trace_id, known)
+            }
+        };
+        self.log_conformance(&event, &verdict);
+        if verdict.is_error() {
+            self.summary.conformance_errors += 1;
+            let source = match &verdict {
+                Conformance::Unfit { .. } => DetectionSource::ConformanceUnfit,
+                Conformance::Error => DetectionSource::ConformanceKnownError,
+                _ => DetectionSource::ConformanceUnclassified,
+            };
+            let instance = extract_instance(&event);
+            let step = activity
+                .clone()
+                .or_else(|| self.conformance.last_activity(&self.trace_id).map(str::to_string));
+            let description = format!("{} [{}]", event.message, verdict.tag());
+            self.detect(source, None, description, step, instance);
+        }
+        // Step-timer management from process context.
+        if let Some(act) = &activity {
+            if self.wait_activity.as_deref() == Some(act.as_str()) {
+                self.arm_step_timer();
+            }
+            if self.completion_activity.as_deref() == Some(act.as_str()) {
+                if let Some(id) = self.step_timer.take() {
+                    self.timers.cancel(id);
+                }
+            }
+        }
+    }
+
+    fn log_conformance(&self, event: &LogEvent, verdict: &Conformance) {
+        let severity = if verdict.is_error() {
+            Severity::Error
+        } else {
+            Severity::Info
+        };
+        let extra = match verdict {
+            Conformance::Unfit { expected, skipped } => format!(
+                " expected=[{}] hypothesised-skips=[{}]",
+                expected.join(","),
+                skipped.join(",")
+            ),
+            _ => String::new(),
+        };
+        self.storage.append(
+            LogEvent::new(
+                self.cloud.clock().now(),
+                "conformance.log",
+                format!(
+                    "[conformance] [{}] [{}]{extra} {}",
+                    self.trace_id,
+                    verdict.tag(),
+                    event.message
+                ),
+            )
+            .with_type("conformance")
+            .with_tag(verdict.tag())
+            .with_severity(severity),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Assertions
+    // -----------------------------------------------------------------
+
+    fn on_assertion(&mut self, activity: String, event: LogEvent) {
+        if let Some(done) = event.field("done").and_then(|d| d.parse::<u32>().ok()) {
+            self.last_done = done;
+        }
+        let bound = self.bindings.for_activity(&activity).to_vec();
+        for binding in bound {
+            let env = self.env.snapshot();
+            let Some(assertion) = binding.resolve(Some(&event), env.expected_count) else {
+                continue;
+            };
+            let ctx = event
+                .context
+                .clone()
+                .unwrap_or_else(|| ProcessContext::new(self.process_id.clone(), self.trace_id.clone()));
+            let record =
+                self.evaluator
+                    .evaluate(&assertion, &env, AssertionTrigger::Log, Some(&ctx));
+            self.summary.assertions_evaluated += 1;
+            if record.is_failure() {
+                let instance = extract_instance(&event);
+                self.detect(
+                    DetectionSource::AssertionLog,
+                    Some(assertion.key()),
+                    format!("assertion failed: {}", record.description),
+                    Some(activity.clone()),
+                    instance,
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Timers
+    // -----------------------------------------------------------------
+
+    fn on_operation_start(&mut self) {
+        let now = self.cloud.clock().now();
+        self.op_started = Some(now);
+        let id = self.timers.schedule_periodic(
+            now + self.periodic_interval,
+            self.periodic_interval,
+            TimerPayload::Periodic,
+        );
+        self.periodic_timer = Some(id);
+    }
+
+    fn on_operation_end(&mut self) {
+        if let Some(id) = self.periodic_timer.take() {
+            self.timers.cancel(id);
+        }
+        if let Some(id) = self.step_timer.take() {
+            self.timers.cancel(id);
+        }
+    }
+
+    fn arm_step_timer(&mut self) {
+        if let Some(id) = self.step_timer.take() {
+            self.timers.cancel(id);
+        }
+        let at = self.cloud.clock().now() + self.step_timeout;
+        let id = self.timers.schedule_once(
+            at,
+            TimerPayload::StepCompletion {
+                expected_done: self.last_done + self.batch_size,
+            },
+        );
+        self.step_timer = Some(id);
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now = self.cloud.clock().now();
+        let due = self.timers.due(now);
+        for (_id, _at, payload) in due {
+            match payload {
+                TimerPayload::StepCompletion { expected_done } => {
+                    self.step_timer = None;
+                    self.on_step_timeout(expected_done);
+                }
+                TimerPayload::Periodic => self.on_periodic_check(),
+                TimerPayload::Diagnose {
+                    detection_index,
+                    key,
+                    step,
+                    instance,
+                } => {
+                    let report = self.run_diagnosis(&key, step, instance);
+                    if let Some(d) = self.summary.detections.get_mut(detection_index) {
+                        d.diagnosis = Some(report);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A silent step exceeded its 95th-percentile duration: evaluate the
+    /// post-step assertion anyway. Late-but-successful runs make this the
+    /// paper's first false-positive class.
+    fn on_step_timeout(&mut self, expected_done: u32) {
+        let env = self.env.snapshot();
+        let assertion = CloudAssertion::AsgHasInstancesWithVersion {
+            count: expected_done,
+        };
+        let step = self.completion_activity.clone();
+        let ctx = {
+            let mut c = ProcessContext::new(self.process_id.clone(), self.trace_id.clone());
+            if let Some(s) = &step {
+                c = c.with_step(s.clone());
+            }
+            c
+        };
+        let record =
+            self.evaluator
+                .evaluate(&assertion, &env, AssertionTrigger::OneOffTimer, Some(&ctx));
+        self.summary.assertions_evaluated += 1;
+        if record.is_failure() {
+            // Timer-based: no instance id in the context (limited
+            // information — the paper's first wrong-diagnosis class).
+            self.detect(
+                DetectionSource::AssertionOneOffTimer,
+                Some(assertion.key()),
+                format!("step timeout: {}", record.description),
+                step,
+                None,
+            );
+        }
+    }
+
+    /// The periodic, process-aware health check: desired capacity must
+    /// match the expectation and the active count may only dip by the
+    /// in-flight replacement batch.
+    fn on_periodic_check(&mut self) {
+        let env = self.env.snapshot();
+        let in_flight = self
+            .conformance
+            .last_activity(&self.trace_id)
+            .is_some_and(|act| self.in_flight_activities.iter().any(|a| a == act));
+        let floor = if in_flight {
+            env.expected_count.saturating_sub(self.batch_size)
+        } else {
+            env.expected_count
+        };
+        let mut checks = vec![
+            CloudAssertion::AsgDesiredCapacity {
+                count: env.expected_count,
+            },
+            CloudAssertion::AsgActiveCountAtLeast { count: floor },
+        ];
+        checks.extend(self.periodic_assertions.iter().cloned());
+        let ctx = ProcessContext::new(self.process_id.clone(), self.trace_id.clone());
+        for assertion in checks {
+            let record = self.evaluator.evaluate(
+                &assertion,
+                &env,
+                AssertionTrigger::PeriodicTimer,
+                Some(&ctx),
+            );
+            self.summary.assertions_evaluated += 1;
+            if record.is_failure() {
+                self.detect(
+                    DetectionSource::AssertionPeriodicTimer,
+                    Some(assertion.key()),
+                    format!("periodic check failed: {}", record.description),
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Detection & diagnosis
+    // -----------------------------------------------------------------
+
+    fn detect(
+        &mut self,
+        source: DetectionSource,
+        assertion_key: Option<&str>,
+        description: String,
+        step: Option<String>,
+        instance: Option<InstanceId>,
+    ) {
+        let at = self.cloud.clock().now();
+        // Assertion failures select the tree for the failed assertion;
+        // conformance detections use the master tree.
+        let key = assertion_key.unwrap_or(MASTER_TREE_KEY).to_string();
+        let detection_index = self.summary.detections.len();
+        self.summary.detections.push(Detection {
+            at,
+            source,
+            description,
+            step: step.clone(),
+            instance: instance.clone(),
+            diagnosis: None,
+        });
+        // Respect the per-key cooldown, then dispatch the diagnosis with the
+        // central-processor delay.
+        if let Some(last) = self.last_diagnosis_at.get(&key) {
+            if at.duration_since(*last) < self.diagnosis_cooldown {
+                return;
+            }
+        }
+        self.last_diagnosis_at.insert(key.clone(), at);
+        self.timers.schedule_once(
+            at + self.diagnosis_dispatch_delay,
+            TimerPayload::Diagnose {
+                detection_index,
+                key,
+                step,
+                instance,
+            },
+        );
+    }
+
+    fn run_diagnosis(
+        &mut self,
+        key: &str,
+        step: Option<String>,
+        instance: Option<InstanceId>,
+    ) -> DiagnosisReport {
+        let tree = self
+            .trees
+            .select(key)
+            .or_else(|| self.trees.select(MASTER_TREE_KEY))
+            .expect("repository provides the master tree");
+        let ctx = DiagnosisContext {
+            env: self.env.snapshot(),
+            step,
+            instance,
+            operation_started: self.op_started.unwrap_or(SimTime::ZERO),
+        };
+        // Service overhead: tree selection, instantiation, pruning, log
+        // context collection.
+        let overhead = self.diagnosis_overhead.sample(&mut self.rng);
+        let started = self.cloud.clock().now();
+        self.cloud.clock().advance(overhead);
+        let mut report = self.diag.diagnose(tree, &ctx);
+        report.started_at = started;
+        report.duration += overhead;
+        self.last_diagnosis_at
+            .insert(key.to_string(), self.cloud.clock().now());
+        report
+    }
+}
+
+/// Extracts the implicated instance id from an annotated event.
+fn extract_instance(event: &LogEvent) -> Option<InstanceId> {
+    event
+        .context
+        .as_ref()
+        .and_then(|c| c.cloud_instance_id.clone())
+        .or_else(|| event.field("instanceid").map(str::to_string))
+        .map(InstanceId::new)
+}

@@ -1,0 +1,232 @@
+//! Offline analysis of stored operation logs.
+//!
+//! "The data in the log storage can be used for future process discovery,
+//! e.g. when a process has changed, or offline diagnosis." This module is
+//! that second use: given the operation logs accumulated in central
+//! storage, it replays every trace against the process model after the
+//! fact — no cloud access, no timers — and reports per-trace conformance:
+//! which runs completed, where each deviating run left the process, and
+//! which lines were errors or unclassifiable.
+
+use std::collections::BTreeMap;
+
+use pod_log::{LogEvent, RuleBook};
+use pod_process::{Conformance, ConformanceChecker, ProcessModel};
+use pod_regex::RegexSet;
+
+/// Per-trace results of an offline conformance pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAnalysis {
+    /// The process-instance id.
+    pub trace_id: String,
+    /// Total lines attributed to the trace.
+    pub events: usize,
+    /// Lines that replayed in order.
+    pub fit: usize,
+    /// Known activities out of order.
+    pub unfit: usize,
+    /// Lines matching known-error patterns.
+    pub known_errors: usize,
+    /// Lines that could not be classified at all.
+    pub unclassified: usize,
+    /// Whether the trace reached the process end event.
+    pub complete: bool,
+    /// The last activity that replayed successfully.
+    pub last_activity: Option<String>,
+    /// What the model expected next at the end of the log.
+    pub expected_next: Vec<String>,
+}
+
+impl TraceAnalysis {
+    /// Whether the trace shows any non-conformance.
+    pub fn is_clean(&self) -> bool {
+        self.unfit == 0 && self.known_errors == 0 && self.unclassified == 0 && self.complete
+    }
+}
+
+/// The result of analysing a whole log store.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineReport {
+    /// Per-trace analyses, ordered by trace id.
+    pub traces: Vec<TraceAnalysis>,
+}
+
+impl OfflineReport {
+    /// Traces with any deviation.
+    pub fn deviating(&self) -> impl Iterator<Item = &TraceAnalysis> {
+        self.traces.iter().filter(|t| !t.is_clean())
+    }
+
+    /// Lookup by trace id.
+    pub fn trace(&self, id: &str) -> Option<&TraceAnalysis> {
+        self.traces.iter().find(|t| t.trace_id == id)
+    }
+}
+
+/// Replays stored operation logs against the model, offline.
+///
+/// Events are grouped into traces by `trace_of` (events yielding `None` are
+/// skipped); each trace is replayed through a fresh conformance instance.
+///
+/// # Errors
+///
+/// Fails only if a known-error pattern does not compile.
+///
+/// # Examples
+///
+/// ```
+/// use pod_core::offline::analyse;
+/// use pod_log::LogEvent;
+/// use pod_orchestrator::process_def;
+/// use pod_sim::SimTime;
+///
+/// let events = vec![
+///     LogEvent::new(SimTime::ZERO, "asgard.log",
+///         "Started rolling upgrade task run-1 pushing ami-01 into group g for app pm")
+///         .with_field("taskid", "run-1"),
+/// ];
+/// let report = analyse(
+///     &events,
+///     &process_def::rolling_upgrade_model(),
+///     &process_def::rolling_upgrade_rules(),
+///     &process_def::known_error_patterns(),
+///     |e| e.field("taskid").map(str::to_string),
+/// ).unwrap();
+/// let t = report.trace("run-1").unwrap();
+/// assert_eq!(t.fit, 1);
+/// assert!(!t.complete, "one line does not finish the process");
+/// ```
+pub fn analyse<S: AsRef<str>>(
+    events: &[LogEvent],
+    model: &ProcessModel,
+    rules: &RuleBook,
+    known_error_patterns: &[S],
+    trace_of: impl Fn(&LogEvent) -> Option<String>,
+) -> Result<OfflineReport, pod_regex::ParseError> {
+    let known_errors = RegexSet::new(known_error_patterns)?;
+    let mut checker = ConformanceChecker::new(model);
+    let mut stats: BTreeMap<String, TraceAnalysis> = BTreeMap::new();
+    for event in events {
+        let Some(trace_id) = trace_of(event) else {
+            continue;
+        };
+        let entry = stats
+            .entry(trace_id.clone())
+            .or_insert_with(|| TraceAnalysis {
+                trace_id: trace_id.clone(),
+                events: 0,
+                fit: 0,
+                unfit: 0,
+                known_errors: 0,
+                unclassified: 0,
+                complete: false,
+                last_activity: None,
+                expected_next: Vec::new(),
+            });
+        entry.events += 1;
+        match rules.match_line(&event.message) {
+            Some(m) => match checker.replay(&trace_id, &m.activity) {
+                Conformance::Fit => entry.fit += 1,
+                Conformance::Unfit { .. } => entry.unfit += 1,
+                _ => unreachable!("replay only returns fit/unfit"),
+            },
+            None => {
+                if known_errors.first_match(&event.message).is_some() {
+                    checker.record_error(&trace_id, true);
+                    entry.known_errors += 1;
+                } else {
+                    checker.record_error(&trace_id, false);
+                    entry.unclassified += 1;
+                }
+            }
+        }
+    }
+    for analysis in stats.values_mut() {
+        analysis.complete = checker.is_complete(&analysis.trace_id);
+        analysis.last_activity = checker
+            .last_activity(&analysis.trace_id)
+            .map(str::to_string);
+        analysis.expected_next = checker.expected(&analysis.trace_id);
+    }
+    Ok(OfflineReport {
+        traces: stats.into_values().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_log::{Boundary, LineRule};
+    use pod_process::ProcessModelBuilder;
+    use pod_sim::SimTime;
+
+    fn model() -> ProcessModel {
+        let mut b = ProcessModelBuilder::new("m");
+        let s = b.start();
+        let a = b.task("a");
+        let t = b.task("b");
+        let e = b.end();
+        b.flow(s, a);
+        b.flow(a, t);
+        b.flow(t, e);
+        b.build().unwrap()
+    }
+
+    fn rules() -> RuleBook {
+        let mut r = RuleBook::new();
+        r.push(LineRule::new("a", Boundary::End, &["step A done"]).unwrap());
+        r.push(LineRule::new("b", Boundary::End, &["step B done"]).unwrap());
+        r
+    }
+
+    fn event(trace: &str, msg: &str) -> LogEvent {
+        LogEvent::new(SimTime::ZERO, "op.log", msg).with_field("trace", trace)
+    }
+
+    #[test]
+    fn clean_and_deviating_traces_are_separated() {
+        let events = vec![
+            event("good", "step A done"),
+            event("good", "step B done"),
+            event("bad", "step B done"), // out of order
+            event("bad", "ERROR: something broke"),
+        ];
+        let report = analyse(&events, &model(), &rules(), &["ERROR"], |e| {
+            e.field("trace").map(str::to_string)
+        })
+        .unwrap();
+        let good = report.trace("good").unwrap();
+        assert!(good.is_clean());
+        assert_eq!(good.fit, 2);
+        assert!(good.complete);
+        let bad = report.trace("bad").unwrap();
+        assert!(!bad.is_clean());
+        assert_eq!(bad.unfit, 1);
+        assert_eq!(bad.known_errors, 1);
+        assert_eq!(bad.expected_next, vec!["a".to_string()]);
+        assert_eq!(report.deviating().count(), 1);
+    }
+
+    #[test]
+    fn unclassified_lines_are_counted() {
+        let events = vec![event("t", "step A done"), event("t", "mystery output")];
+        let report = analyse(&events, &model(), &rules(), &["ERROR"], |e| {
+            e.field("trace").map(str::to_string)
+        })
+        .unwrap();
+        let t = report.trace("t").unwrap();
+        assert_eq!(t.unclassified, 1);
+        assert_eq!(t.last_activity.as_deref(), Some("a"));
+        assert!(!t.complete);
+    }
+
+    #[test]
+    fn events_without_trace_are_skipped() {
+        let events = vec![LogEvent::new(SimTime::ZERO, "x", "step A done")];
+        let report = analyse(&events, &model(), &rules(), &["ERROR"], |e| {
+            e.field("trace").map(str::to_string)
+        })
+        .unwrap();
+        assert!(report.traces.is_empty());
+    }
+}

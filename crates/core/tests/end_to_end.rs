@@ -1,0 +1,290 @@
+//! End-to-end tests: the POD engine monitoring real rolling upgrades on the
+//! simulated cloud.
+
+use pod_assert::RetryPolicy;
+use pod_cloud::{Cloud, CloudConfig};
+use pod_core::{DetectionSource, PodConfig, PodEngine, RunSummary, SharedEnv};
+use pod_faulttree::rolling_upgrade_repository;
+use pod_log::{LogEvent, LogStorage};
+use pod_orchestrator::{
+    process_def, FaultInjector, FaultType, RollingUpgrade, UpgradeConfig, UpgradeObserver,
+};
+use pod_sim::{Clock, SimDuration, SimRng, SimTime};
+
+struct World {
+    cloud: Cloud,
+    config: UpgradeConfig,
+    env: SharedEnv,
+    storage: LogStorage,
+}
+
+fn build_world(seed: u64, n: u32) -> World {
+    let cloud = Cloud::new(
+        Clock::new(),
+        SimRng::seed_from(seed),
+        CloudConfig::default(),
+    );
+    let ami_v1 = cloud.admin_create_ami("app", "1.0");
+    let ami_v2 = cloud.admin_create_ami("app", "2.0");
+    let sg = cloud.admin_create_security_group("web", &[80]);
+    let kp = cloud.admin_create_key_pair("prod");
+    let elb = cloud.admin_create_elb("front");
+    let lc = cloud.admin_create_launch_config("lc-v1", ami_v1, "m1.small", kp.clone(), sg.clone());
+    let asg = cloud.admin_create_asg("pm--asg", lc, 1, 30, n, Some(elb.clone()));
+    let config = UpgradeConfig::new("pm", asg.clone(), elb.clone(), ami_v2.clone(), "2.0");
+    let env = SharedEnv::new(pod_assert::ExpectedEnv {
+        asg,
+        elb,
+        launch_config: pod_cloud::LaunchConfigName::new(format!(
+            "{}-run-1",
+            config.new_launch_config
+        )),
+        expected_ami: ami_v2,
+        expected_version: "2.0".into(),
+        expected_key_pair: kp,
+        expected_security_group: sg,
+        expected_instance_type: "m1.small".into(),
+        expected_count: n,
+    });
+    World {
+        cloud,
+        config,
+        env,
+        storage: LogStorage::new(),
+    }
+}
+
+fn pod_config() -> PodConfig {
+    let mut config = PodConfig::new(
+        process_def::rolling_upgrade_model(),
+        process_def::rolling_upgrade_rules(),
+        process_def::rolling_upgrade_assertions(),
+        rolling_upgrade_repository(true),
+    );
+    config.relevance_patterns = process_def::relevance_patterns()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    config.known_error_patterns = process_def::known_error_patterns()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    config.operation_start_pattern = process_def::operation_start_pattern().to_string();
+    config.operation_end_pattern = process_def::operation_end_pattern().to_string();
+    config.wait_activity = Some(pod_faulttree::steps::WAIT_ASG.to_string());
+    config.completion_activity = Some(pod_faulttree::steps::READY.to_string());
+    config.in_flight_activities = vec![
+        pod_faulttree::steps::DEREGISTER.to_string(),
+        pod_faulttree::steps::TERMINATE.to_string(),
+        pod_faulttree::steps::WAIT_ASG.to_string(),
+    ];
+    config.retry_policy = RetryPolicy {
+        max_retries: 4,
+        timeout: SimDuration::from_secs(20),
+        ..RetryPolicy::default()
+    };
+    config
+}
+
+fn run_upgrade(world: &World, engine: PodEngine) -> (RunSummary, pod_orchestrator::UpgradeReport) {
+    run_upgrade_with(world, engine, None)
+}
+
+fn run_upgrade_with(
+    world: &World,
+    engine: PodEngine,
+    inject: Option<(SimTime, FaultType)>,
+) -> (RunSummary, pod_orchestrator::UpgradeReport) {
+    struct Obs<'w> {
+        engine: PodEngine,
+        world: &'w World,
+        inject: Option<(SimTime, FaultInjector)>,
+        rng: SimRng,
+    }
+    impl UpgradeObserver for Obs<'_> {
+        fn on_log(&mut self, event: LogEvent) {
+            self.engine.ingest(event);
+        }
+        fn on_tick(&mut self, cloud: &Cloud, now: SimTime) {
+            if let Some((at, _)) = &self.inject {
+                if now >= *at {
+                    let (_, mut injector) = self.inject.take().expect("checked above");
+                    let lc = format!("{}-run-1", self.world.config.new_launch_config);
+                    injector.inject(cloud, &self.world.config, &lc, &mut self.rng);
+                }
+            }
+            self.engine.poll();
+        }
+    }
+    let mut upgrade = RollingUpgrade::new(world.cloud.clone(), world.config.clone(), "run-1");
+    let mut obs = Obs {
+        engine,
+        world,
+        inject: inject.map(|(at, fault)| (at, FaultInjector::new(fault))),
+        rng: SimRng::seed_from(777),
+    };
+    let report = upgrade.run(&mut obs);
+    (obs.engine.finish(), report)
+}
+
+fn engine_for(world: &World) -> PodEngine {
+    PodEngine::new(
+        world.cloud.clone(),
+        world.storage.clone(),
+        world.env.clone(),
+        pod_config(),
+        "run-1",
+    )
+    .expect("patterns compile")
+}
+
+#[test]
+fn healthy_upgrade_produces_no_detections() {
+    let world = build_world(101, 4);
+    let engine = engine_for(&world);
+    let (summary, report) = run_upgrade(&world, engine);
+    assert!(report.outcome.is_success());
+    assert!(summary.trace_complete, "trace must replay to completion");
+    assert!(
+        summary.detections.is_empty(),
+        "unexpected detections: {:#?}",
+        summary
+            .detections
+            .iter()
+            .map(|d| (&d.source, &d.description))
+            .collect::<Vec<_>>()
+    );
+    assert!(summary.conformance_events > 10);
+    assert_eq!(summary.conformance_errors, 0);
+    assert!(summary.assertions_evaluated >= 12);
+}
+
+#[test]
+fn wrong_ami_fault_is_detected_and_diagnosed() {
+    let world = build_world(102, 4);
+    let engine = engine_for(&world);
+    // Inject fault type 1 shortly after the upgrade starts (after the LC
+    // has been created).
+    let inject_at = world.cloud.clock().now() + SimDuration::from_secs(120);
+    let (summary, _report) =
+        run_upgrade_with(&world, engine, Some((inject_at, FaultType::AmiChangedDuringUpgrade)));
+    assert!(
+        !summary.detections.is_empty(),
+        "the wrong-AMI fault must be detected"
+    );
+    // At least one diagnosis identifies the wrong-AMI root cause.
+    let diagnosed: Vec<&str> = summary
+        .detections
+        .iter()
+        .filter_map(|d| d.diagnosis.as_ref())
+        .flat_map(|r| r.root_causes.iter().map(|c| c.node_id.as_str()))
+        .collect();
+    assert!(
+        diagnosed.contains(&"lc-wrong-ami"),
+        "diagnosed causes: {diagnosed:?}"
+    );
+}
+
+#[test]
+fn unavailable_ami_fault_triggers_conformance_and_assertion_detection() {
+    let world = build_world(103, 4);
+    let mut upgrade_config = world.config.clone();
+    upgrade_config.max_wait_per_instance = SimDuration::from_secs(300);
+    let world = World {
+        config: upgrade_config,
+        ..world
+    };
+    let engine = engine_for(&world);
+    let inject_at = world.cloud.clock().now() + SimDuration::from_secs(100);
+    let (summary, report) =
+        run_upgrade_with(&world, engine, Some((inject_at, FaultType::AmiUnavailable)));
+    assert!(!report.outcome.is_success(), "upgrade should stall");
+    assert!(!summary.detections.is_empty());
+    // The orchestrator surfaces cloud launch failures → conformance flags
+    // known-error lines.
+    assert!(
+        summary.any_conformance_detection(),
+        "sources: {:?}",
+        summary
+            .detections
+            .iter()
+            .map(|d| d.source)
+            .collect::<Vec<_>>()
+    );
+    let diagnosed: Vec<&str> = summary
+        .detections
+        .iter()
+        .filter_map(|d| d.diagnosis.as_ref())
+        .flat_map(|r| r.root_causes.iter().map(|c| c.node_id.as_str()))
+        .collect();
+    assert!(
+        diagnosed.contains(&"ami-unavailable"),
+        "diagnosed causes: {diagnosed:?}"
+    );
+}
+
+#[test]
+fn diagnosis_times_are_seconds_scale() {
+    let world = build_world(104, 4);
+    let engine = engine_for(&world);
+    let inject_at = world.cloud.clock().now() + SimDuration::from_secs(120);
+    let (summary, _) =
+        run_upgrade_with(&world, engine, Some((inject_at, FaultType::KeyPairManagementFault)));
+    let durations: Vec<f64> = summary
+        .detections
+        .iter()
+        .filter_map(|d| d.diagnosis.as_ref())
+        .map(|r| r.duration.as_secs_f64())
+        .collect();
+    assert!(!durations.is_empty());
+    for d in &durations {
+        assert!(*d > 0.1 && *d < 30.0, "diagnosis took {d}s");
+    }
+}
+
+#[test]
+fn detection_timestamps_are_monotonic() {
+    let world = build_world(105, 4);
+    let engine = engine_for(&world);
+    let inject_at = world.cloud.clock().now() + SimDuration::from_secs(60);
+    let (summary, _) = run_upgrade_with(
+        &world,
+        engine,
+        Some((inject_at, FaultType::SecurityGroupConfigurationFault)),
+    );
+    let mut last = SimTime::ZERO;
+    for d in &summary.detections {
+        assert!(d.at >= last);
+        last = d.at;
+    }
+}
+
+#[test]
+fn configuration_faults_are_invisible_to_conformance() {
+    // Fault types 1-4 keep the log output normal; only assertions see them.
+    let world = build_world(106, 4);
+    let engine = engine_for(&world);
+    let inject_at = world.cloud.clock().now() + SimDuration::from_secs(120);
+    let (summary, _) = run_upgrade_with(
+        &world,
+        engine,
+        Some((inject_at, FaultType::InstanceTypeChangedDuringUpgrade)),
+    );
+    assert!(!summary.detections.is_empty(), "fault must be detected");
+    assert!(
+        summary
+            .detections
+            .iter()
+            .all(|d| !d.source.is_conformance()),
+        "configuration faults must not be flagged by conformance: {:?}",
+        summary
+            .detections
+            .iter()
+            .map(|d| d.source)
+            .collect::<Vec<_>>()
+    );
+    assert!(summary
+        .detections
+        .iter()
+        .any(|d| d.source == DetectionSource::AssertionLog));
+}

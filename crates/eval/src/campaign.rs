@@ -1,0 +1,544 @@
+//! The fault-injection campaign: 8 fault types × N runs, with confounding
+//! simultaneous operations — the experiment of Section V of the paper.
+
+use pod_cloud::{Cloud, InstanceId};
+use pod_core::PodEngine;
+use pod_faulttree::TestOrder;
+use pod_log::LogEvent;
+use pod_orchestrator::{
+    FaultInjector, FaultType, Interference, RollingUpgrade, UpgradeObserver, UpgradeOutcome,
+};
+use pod_sim::{SimDuration, SimRng, SimTime};
+
+use crate::metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
+use crate::scenario::{build_engine, build_scenario, Scenario, ScenarioConfig};
+use crate::timing::TimingStats;
+
+/// Campaign knobs. Defaults reproduce the paper's setup: 20 runs per fault
+/// type, clusters of 4 (every fifth run: 20), mixed interference, fault
+/// trees *without* the instance-limit amendment (the paper added it only
+/// after the experiment).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Runs per fault type (paper: 20 → 160 total).
+    pub runs_per_fault: usize,
+    /// Master seed; every run derives its own.
+    pub seed: u64,
+    /// Use the amended fault trees (instance-limit root cause present).
+    pub amended_trees: bool,
+    /// Fraction of runs whose fault is transient (injected, then reverted
+    /// before diagnosis can confirm it — wrong-diagnosis class 3).
+    pub transient_fraction: f64,
+    /// Fraction of AMI-change runs where the AMI changes *again* during
+    /// diagnosis (wrong-diagnosis class 2).
+    pub reinject_fraction: f64,
+    /// Probability that a run carries at least one interference operation.
+    pub interference_fraction: f64,
+    /// Every `n`-th run uses the 20-instance cluster (batch 4).
+    pub large_cluster_every: usize,
+    /// Diagnosis sibling order.
+    pub test_order: TestOrder,
+    /// The interference kinds to draw from.
+    pub interference_kinds: Vec<Interference>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            runs_per_fault: 20,
+            seed: 42,
+            amended_trees: false,
+            transient_fraction: 0.06,
+            reinject_fraction: 0.10,
+            interference_fraction: 0.40,
+            large_cluster_every: 5,
+            test_order: TestOrder::ByProbability,
+            // Weighted mix: the shared-account limit pressure is the rare
+            // event it was in the paper's experiment.
+            interference_kinds: vec![
+                Interference::ScaleIn,
+                Interference::ScaleIn,
+                Interference::ScaleOut,
+                Interference::ScaleOut,
+                Interference::RandomTermination,
+                Interference::RandomTermination,
+                Interference::OtherTeamCapacityPressure,
+            ],
+        }
+    }
+}
+
+/// The plan of one run, derived deterministically from the campaign seed.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// The fault to inject.
+    pub fault: FaultType,
+    /// Scenario parameters (cluster size, seeds…).
+    pub scenario: ScenarioConfig,
+    /// When to inject, measured from simulation start.
+    pub inject_at: SimTime,
+    /// Revert the fault this long after injection (transient faults).
+    pub transient_after: Option<SimDuration>,
+    /// Re-inject (a different rogue AMI) this long after injection.
+    pub reinject_after: Option<SimDuration>,
+    /// Interference operations and their times.
+    pub interferences: Vec<(SimTime, Interference)>,
+}
+
+/// The record of one executed run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Sources of every raw detection, in order.
+    pub detection_sources: Vec<pod_core::DetectionSource>,
+    /// The plan that was executed.
+    pub plan: RunPlan,
+    /// What actually happened (actual injection time etc.).
+    pub truth: GroundTruth,
+    /// The classification of the run's detections.
+    pub outcome: RunOutcome,
+    /// Whether the orchestrator finished the upgrade.
+    pub upgrade_completed: bool,
+}
+
+/// Conformance-checking statistics across the campaign (§V.D).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConformanceStats {
+    /// Runs whose fault type is a configuration fault (types 1–4).
+    pub configuration_runs: usize,
+    /// …of which conformance checking flagged anything.
+    pub configuration_runs_flagged: usize,
+    /// Runs whose fault type is a resource fault (types 5–8).
+    pub resource_runs: usize,
+    /// …of which conformance produced an erroneous trace before the first
+    /// assertion detection.
+    pub resource_runs_flagged_first: usize,
+    /// …of which conformance flagged anything at all.
+    pub resource_runs_flagged: usize,
+}
+
+/// The complete campaign result.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Interference operations applied across all runs.
+    pub interference_applied: usize,
+    /// Every executed run.
+    pub records: Vec<RunRecord>,
+    /// Overall Table-I metrics.
+    pub overall: MetricSet,
+    /// Metrics grouped by fault type (Figure 7).
+    pub per_fault: Vec<(FaultType, MetricSet)>,
+    /// Diagnosis-time distribution (Figure 6).
+    pub timing: TimingStats,
+    /// Conformance statistics (§V.D).
+    pub conformance: ConformanceStats,
+}
+
+/// The campaign runner.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(config: CampaignConfig) -> Campaign {
+        Campaign { config }
+    }
+
+    /// Builds the deterministic run plans.
+    pub fn plans(&self) -> Vec<RunPlan> {
+        let mut rng = SimRng::seed_from(self.config.seed);
+        let mut plans = Vec::new();
+        for fault in FaultType::all() {
+            for i in 0..self.config.runs_per_fault {
+                plans.push(self.plan_one(fault, i, &mut rng));
+            }
+        }
+        plans
+    }
+
+    fn plan_one(&self, fault: FaultType, index: usize, rng: &mut SimRng) -> RunPlan {
+        let large = self.config.large_cluster_every > 0
+            && (index + 1) % self.config.large_cluster_every == 0;
+        let (cluster_size, batch_size) = if large { (20, 4) } else { (4, 1) };
+        let scenario = ScenarioConfig {
+            cluster_size,
+            batch_size,
+            seed: rng.uniform_u64(1, u64::MAX - 1),
+            amended_trees: self.config.amended_trees,
+            test_order: self.config.test_order,
+            consistent_api: true,
+        };
+        // Rough duration: replacements are sequential per instance, ≈ 62 s
+        // each.
+        let est = 20 + cluster_size as u64 * 62;
+        let inject_at = SimTime::from_secs(rng.uniform_u64(15, est * 6 / 10));
+        let transient_after = rng
+            .chance(self.config.transient_fraction)
+            .then(|| SimDuration::from_secs(rng.uniform_u64(45, 90)));
+        let reinject_after = (fault == FaultType::AmiChangedDuringUpgrade
+            && rng.chance(self.config.reinject_fraction))
+        .then(|| SimDuration::from_secs(rng.uniform_u64(30, 90)));
+        let mut interferences = Vec::new();
+        if !self.config.interference_kinds.is_empty()
+            && rng.chance(self.config.interference_fraction)
+        {
+            let count = if rng.chance(0.2) { 2 } else { 1 };
+            for _ in 0..count {
+                let kind = *rng.choose(&self.config.interference_kinds);
+                let at = SimTime::from_secs(rng.uniform_u64(30, est * 6 / 10));
+                interferences.push((at, kind));
+            }
+            interferences.sort_by_key(|(at, _)| *at);
+        }
+        RunPlan {
+            fault,
+            scenario,
+            inject_at,
+            transient_after,
+            reinject_after,
+            interferences,
+        }
+    }
+
+    /// Executes the whole campaign.
+    pub fn run(&self) -> CampaignReport {
+        let mut records = Vec::new();
+        for plan in self.plans() {
+            records.push(execute_run(&plan));
+        }
+        summarise(records)
+    }
+}
+
+fn summarise(records: Vec<RunRecord>) -> CampaignReport {
+    let mut overall = MetricSet::default();
+    let mut per_fault: Vec<(FaultType, MetricSet)> = FaultType::all()
+        .into_iter()
+        .map(|f| (f, MetricSet::default()))
+        .collect();
+    let mut times = Vec::new();
+    let mut conformance = ConformanceStats::default();
+    for r in &records {
+        overall.add(&r.outcome);
+        if let Some((_, set)) = per_fault.iter_mut().find(|(f, _)| *f == r.plan.fault) {
+            set.add(&r.outcome);
+        }
+        // Figure 6 reports one diagnosis time per run: the first diagnosis.
+        times.extend(r.outcome.diagnosis_times.first().copied());
+        if r.plan.fault.is_configuration_fault() {
+            // Interference can legitimately disturb the log, so the paper's
+            // "invisible to conformance" claim is scored on clean runs.
+            if r.truth.interferences.is_empty() {
+                conformance.configuration_runs += 1;
+                if r.outcome.conformance_any {
+                    conformance.configuration_runs_flagged += 1;
+                }
+            }
+        } else {
+            conformance.resource_runs += 1;
+            if r.outcome.conformance_any {
+                conformance.resource_runs_flagged += 1;
+            }
+            if r.outcome.conformance_first {
+                conformance.resource_runs_flagged_first += 1;
+            }
+        }
+    }
+    let interference_applied = records.iter().map(|r| r.truth.interferences.len()).sum();
+    CampaignReport {
+        interference_applied,
+        records,
+        overall,
+        per_fault,
+        timing: TimingStats::new(times),
+        conformance,
+    }
+}
+
+/// Executes one planned run and classifies its detections. If the sampled
+/// injection time falls after the operation already ended (the upgrade was
+/// faster than estimated), the run is retried with an earlier injection so
+/// every run really carries its fault, like the paper's campaign.
+pub fn execute_run(plan: &RunPlan) -> RunRecord {
+    let mut plan = plan.clone();
+    loop {
+        let record = execute_run_once(&plan);
+        if record.truth.injected_at < SimTime::from_micros(u64::MAX)
+            || plan.inject_at < SimTime::from_secs(10)
+        {
+            return record;
+        }
+        plan.inject_at = SimTime::from_micros(plan.inject_at.as_micros() / 2);
+    }
+}
+
+fn execute_run_once(plan: &RunPlan) -> RunRecord {
+    let scenario = build_scenario(&plan.scenario);
+    let engine = build_engine(&scenario, &plan.scenario);
+    let mut observer = CampaignObserver::new(engine, &scenario, plan);
+    let mut upgrade = RollingUpgrade::new(
+        scenario.cloud.clone(),
+        scenario.upgrade.clone(),
+        scenario.trace_id.clone(),
+    );
+    let report = upgrade.run(&mut observer);
+    let summary = observer.engine.finish();
+    let truth = GroundTruth {
+        fault: plan.fault,
+        injected_at: observer
+            .injected_at
+            .unwrap_or(SimTime::from_micros(u64::MAX)),
+        reverted_at: observer.reverted_at,
+        interferences: observer.applied_interferences.clone(),
+    };
+    let outcome = classify_run(&truth, &summary.detections);
+    RunRecord {
+        detection_sources: summary.detections.iter().map(|d| d.source).collect(),
+        plan: plan.clone(),
+        truth,
+        outcome,
+        upgrade_completed: matches!(report.outcome, UpgradeOutcome::Completed),
+    }
+}
+
+/// The observer that feeds the engine and executes the injection /
+/// interference schedule at orchestrator safe points.
+struct CampaignObserver<'s> {
+    engine: PodEngine,
+    scenario: &'s Scenario,
+    plan: &'s RunPlan,
+    rng: SimRng,
+    injector: FaultInjector,
+    injected_at: Option<SimTime>,
+    reverted_at: Option<SimTime>,
+    reinjected: bool,
+    second_injector: Option<FaultInjector>,
+    pending_interferences: Vec<(SimTime, Interference)>,
+    applied_interferences: Vec<(SimTime, Interference)>,
+    /// Scale acks pending: (when, new expected count delta).
+    pending_env_acks: Vec<(SimTime, i64)>,
+    standalone: Vec<InstanceId>,
+    capacity_release_at: Option<SimTime>,
+}
+
+impl<'s> CampaignObserver<'s> {
+    fn new(engine: PodEngine, scenario: &'s Scenario, plan: &'s RunPlan) -> Self {
+        CampaignObserver {
+            engine,
+            scenario,
+            plan,
+            rng: SimRng::seed_from(plan.scenario.seed ^ 0xD1A6),
+            injector: FaultInjector::new(plan.fault),
+            injected_at: None,
+            reverted_at: None,
+            reinjected: false,
+            second_injector: None,
+            pending_interferences: plan.interferences.clone(),
+            applied_interferences: Vec::new(),
+            pending_env_acks: Vec::new(),
+            standalone: Vec::new(),
+            capacity_release_at: None,
+        }
+    }
+
+    fn lc_exists(&self, cloud: &Cloud) -> bool {
+        cloud
+            .admin_describe_launch_config(&pod_cloud::LaunchConfigName::new(
+                &self.scenario.upgrade_lc_name,
+            ))
+            .is_some()
+    }
+
+    fn drive_schedule(&mut self, cloud: &Cloud, now: SimTime) {
+        // Fault injection (configuration faults wait for the upgrade LC).
+        if self.injected_at.is_none() && now >= self.plan.inject_at {
+            let ready = !self.plan.fault.is_configuration_fault() || self.lc_exists(cloud);
+            if ready {
+                self.injector.inject(
+                    cloud,
+                    &self.scenario.upgrade,
+                    &self.scenario.upgrade_lc_name,
+                    &mut self.rng,
+                );
+                self.injected_at = Some(now);
+            }
+        }
+        // Transient revert: the fault-injection mechanism corrects the
+        // fault "soon after" — shortly after the first detection, racing
+        // the dispatched diagnosis (wrong-diagnosis class 3). A fallback
+        // deadline reverts even if nothing detected it.
+        if let (Some(injected), Some(after)) = (self.injected_at, self.plan.transient_after) {
+            if self.reverted_at.is_none() {
+                // Only detections the fault itself can plausibly cause
+                // (periodic-timer detections are dominated by concurrent
+                // operations and must not trigger the revert).
+                let detected_at = self
+                    .engine
+                    .detections()
+                    .iter()
+                    .find(|d| {
+                        d.at >= injected
+                            && matches!(
+                                d.source,
+                                pod_core::DetectionSource::AssertionLog
+                                    | pod_core::DetectionSource::ConformanceKnownError
+                            )
+                    })
+                    .map(|d| d.at);
+                let due = match detected_at {
+                    Some(at) => now >= at + SimDuration::from_secs(2),
+                    None => now >= injected + after + SimDuration::from_secs(420),
+                };
+                if due && self.injector.revert(cloud, &self.scenario.upgrade_lc_name) {
+                    self.reverted_at = Some(now);
+                }
+            }
+        }
+        // Second AMI change mid-diagnosis (wrong-diagnosis class 2).
+        if let (Some(injected), Some(after)) = (self.injected_at, self.plan.reinject_after) {
+            if !self.reinjected && now >= injected + after && self.reverted_at.is_none() {
+                let mut second = FaultInjector::new(FaultType::AmiChangedDuringUpgrade);
+                second.inject(
+                    cloud,
+                    &self.scenario.upgrade,
+                    &self.scenario.upgrade_lc_name,
+                    &mut self.rng,
+                );
+                self.second_injector = Some(second);
+                self.reinjected = true;
+            }
+        }
+        // Interferences.
+        let due: Vec<(SimTime, Interference)> = {
+            let (fire, keep): (Vec<_>, Vec<_>) = self
+                .pending_interferences
+                .drain(..)
+                .partition(|(at, _)| now >= *at);
+            self.pending_interferences = keep;
+            fire
+        };
+        for (_, kind) in due {
+            let ids = kind.apply(cloud, &self.scenario.upgrade, &mut self.rng);
+            self.applied_interferences.push((now, kind));
+            match kind {
+                Interference::ScaleIn => {
+                    // The operator acknowledges the legitimate change a
+                    // while later; assertions racing this window reproduce
+                    // FP class 2 and give the periodic check time to flag
+                    // the interference.
+                    self.pending_env_acks
+                        .push((now + SimDuration::from_secs(75), -1));
+                }
+                Interference::ScaleOut => {
+                    self.pending_env_acks
+                        .push((now + SimDuration::from_secs(75), 1));
+                }
+                Interference::OtherTeamCapacityPressure => {
+                    self.standalone = ids;
+                    self.capacity_release_at = Some(now + SimDuration::from_secs(240));
+                }
+                Interference::RandomTermination => {}
+            }
+        }
+        // Operator acknowledgements of legitimate scaling.
+        let acks: Vec<(SimTime, i64)> = {
+            let (fire, keep): (Vec<_>, Vec<_>) =
+                self.pending_env_acks.drain(..).partition(|(at, _)| now >= *at);
+            self.pending_env_acks = keep;
+            fire
+        };
+        for (_, delta) in acks {
+            self.scenario.env.update(|env| {
+                env.expected_count = (env.expected_count as i64 + delta).max(1) as u32;
+            });
+        }
+        // Release the other team's capacity.
+        if let Some(at) = self.capacity_release_at {
+            if now >= at {
+                cloud.admin_release_standalone(&self.standalone);
+                cloud.admin_set_instance_limit(40);
+                self.standalone.clear();
+                self.capacity_release_at = None;
+            }
+        }
+    }
+}
+
+impl UpgradeObserver for CampaignObserver<'_> {
+    fn on_log(&mut self, event: LogEvent) {
+        self.engine.ingest(event);
+    }
+
+    fn on_tick(&mut self, cloud: &Cloud, now: SimTime) {
+        self.drive_schedule(cloud, now);
+        self.engine.poll();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cover_all_faults() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 3,
+            ..CampaignConfig::default()
+        });
+        let p1 = c.plans();
+        let p2 = c.plans();
+        assert_eq!(p1.len(), 24);
+        assert_eq!(
+            p1.iter().map(|p| p.fault).collect::<Vec<_>>(),
+            p2.iter().map(|p| p.fault).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            p1.iter().map(|p| p.scenario.seed).collect::<Vec<_>>(),
+            p2.iter().map(|p| p.scenario.seed).collect::<Vec<_>>()
+        );
+        for fault in FaultType::all() {
+            assert_eq!(p1.iter().filter(|p| p.fault == fault).count(), 3);
+        }
+    }
+
+    #[test]
+    fn single_run_detects_its_fault() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        });
+        let plans = c.plans();
+        let record = execute_run(&plans[0]);
+        assert_eq!(record.plan.fault, FaultType::AmiChangedDuringUpgrade);
+        assert!(record.outcome.fault_detected, "{record:#?}");
+        assert!(record.outcome.fault_diagnosed_correctly, "{record:#?}");
+    }
+
+    #[test]
+    fn mini_campaign_has_high_recall() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 2,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        });
+        let report = c.run();
+        assert_eq!(report.records.len(), 16);
+        assert!(
+            report.overall.detection_recall() >= 0.9,
+            "recall {} (missed: {:?})",
+            report.overall.detection_recall(),
+            report
+                .records
+                .iter()
+                .filter(|r| !r.outcome.fault_detected)
+                .map(|r| r.plan.fault)
+                .collect::<Vec<_>>()
+        );
+        assert!(!report.timing.is_empty());
+    }
+}

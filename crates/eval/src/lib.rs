@@ -1,0 +1,30 @@
+//! The evaluation harness: reproduces Section V of the paper.
+//!
+//! - [`build_scenario`] / [`build_engine`] — a steady-state cluster on the
+//!   simulated cloud plus a wired POD engine;
+//! - [`Campaign`] — the fault-injection campaign: the 8 fault types × N
+//!   runs, clusters of 4 or 20 instances, confounded by concurrent
+//!   scale-in/out, random terminations and a second team exhausting the
+//!   shared account;
+//! - [`classify_run`] / [`MetricSet`] — per-run attribution of detections
+//!   to ground truth and the Table-I formulas (precision, recall, accuracy
+//!   rate);
+//! - [`TimingStats`] — the Figure-6 diagnosis-time distribution;
+//! - [`render_report`] — plain-text rendering of every table and figure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campaign;
+mod metrics;
+mod report;
+mod scenario;
+mod timing;
+
+pub use campaign::{
+    execute_run, Campaign, CampaignConfig, CampaignReport, ConformanceStats, RunPlan, RunRecord,
+};
+pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
+pub use report::{render_metrics_line, render_report};
+pub use scenario::{build_engine, build_scenario, pod_config, Scenario, ScenarioConfig};
+pub use timing::TimingStats;

@@ -1,0 +1,159 @@
+//! Rendering of campaign results: the headline numbers, the Figure-6
+//! diagnosis-time histogram and the Figure-7 per-fault-type bars, as text.
+
+use std::fmt::Write as _;
+
+use crate::campaign::CampaignReport;
+use crate::metrics::MetricSet;
+
+/// Renders a percentage.
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Renders a fixed-width ASCII bar.
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Renders the full campaign report (Table I metrics, Figure 6, Figure 7,
+/// §V.D conformance statistics) as plain text.
+pub fn render_report(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let m = &report.overall;
+    let _ = writeln!(out, "== POD-Diagnosis campaign report ==");
+    let _ = writeln!(
+        out,
+        "runs: {} ({} faults detected, {} missed, {} of {} interference operations detected, \
+         {} false positives)",
+        m.runs,
+        m.faults_detected,
+        m.faults_missed,
+        m.interference_detections,
+        report.interference_applied,
+        m.false_positives
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- Table I metrics (overall) --");
+    let _ = writeln!(out, "precision of detection : {}", pct(m.detection_precision()));
+    let _ = writeln!(out, "recall of detection    : {}", pct(m.detection_recall()));
+    let _ = writeln!(
+        out,
+        "diagnosis accuracy (of detected faults) : {}",
+        pct(m.diagnosis_accuracy_over_detected())
+    );
+    let _ = writeln!(
+        out,
+        "accuracy rate AR = Num_correct/(TP+FP)  : {}",
+        pct(m.accuracy_rate())
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- Figure 6: distribution of error diagnosis time --");
+    let t = &report.timing;
+    if t.is_empty() {
+        let _ = writeln!(out, "(no diagnoses)");
+    } else {
+        let _ = writeln!(
+            out,
+            "n = {}, min = {}, mean = {}, p95 = {}, max = {}",
+            t.len(),
+            t.min(),
+            t.mean(),
+            t.percentile(0.95),
+            t.max()
+        );
+        let hist = t.histogram(10);
+        let peak = hist.iter().map(|(_, _, c)| *c).max().unwrap_or(1).max(1);
+        for (lo, hi, count) in hist {
+            let _ = writeln!(
+                out,
+                "  {:>8} - {:>8} | {:<30} {count}",
+                lo.to_string(),
+                hi.to_string(),
+                bar(count as f64 / peak as f64, 30)
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "-- Figure 7: precision / recall / diagnosis accuracy by fault type --"
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>10} {:>10} {:>10}",
+        "fault type", "precision", "recall", "accuracy"
+    );
+    for (fault, set) in &report.per_fault {
+        let _ = writeln!(
+            out,
+            "{:<42} {:>10} {:>10} {:>10}",
+            fault.to_string(),
+            pct(set.detection_precision()),
+            pct(set.detection_recall()),
+            pct(set.diagnosis_accuracy_over_detected()),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- Section V.D: conformance checking --");
+    let c = &report.conformance;
+    let _ = writeln!(
+        out,
+        "configuration-fault runs (types 1-4): {} — flagged by conformance: {} (paper: 0)",
+        c.configuration_runs, c.configuration_runs_flagged
+    );
+    let _ = writeln!(
+        out,
+        "resource-fault runs (types 5-8): {} — erroneous log traces seen by conformance: {} \
+         (before assertions: {}; paper: 20 of 80)",
+        c.resource_runs, c.resource_runs_flagged, c.resource_runs_flagged_first
+    );
+    out
+}
+
+/// Renders a single metric set as one summary line.
+pub fn render_metrics_line(label: &str, m: &MetricSet) -> String {
+    format!(
+        "{label}: P={} R={} ACC={} AR={} (TP={} IF={} FP={})",
+        pct(m.detection_precision()),
+        pct(m.detection_recall()),
+        pct(m.diagnosis_accuracy_over_detected()),
+        pct(m.accuracy_rate()),
+        m.faults_detected,
+        m.interference_detections,
+        m.false_positives,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+
+    #[test]
+    fn report_renders_all_sections() {
+        let report = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        })
+        .run();
+        let text = render_report(&report);
+        assert!(text.contains("Table I"));
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("Figure 7"));
+        assert!(text.contains("conformance"));
+        assert!(text.contains("precision of detection"));
+        for fault in pod_orchestrator::FaultType::all() {
+            assert!(text.contains(&fault.to_string()), "missing {fault}");
+        }
+    }
+
+    #[test]
+    fn bar_widths() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+    }
+}

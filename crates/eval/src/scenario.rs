@@ -1,0 +1,207 @@
+//! Scenario construction: a cluster on the simulated cloud, an upgrade
+//! configuration, the expected environment, and the POD engine wired with
+//! the rolling-upgrade artefacts.
+
+use pod_assert::{ExpectedEnv, RetryPolicy};
+use pod_cloud::{Cloud, CloudConfig};
+use pod_core::{PodConfig, PodEngine, SharedEnv};
+use pod_faulttree::{rolling_upgrade_repository, steps, TestOrder};
+use pod_log::LogStorage;
+use pod_orchestrator::{process_def, UpgradeConfig};
+use pod_sim::{Clock, SimDuration, SimRng};
+
+/// Everything one experiment run operates on.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The simulated cloud account.
+    pub cloud: Cloud,
+    /// The upgrade the orchestrator will perform.
+    pub upgrade: UpgradeConfig,
+    /// The shared expected environment.
+    pub env: SharedEnv,
+    /// Central log storage.
+    pub storage: LogStorage,
+    /// The name of the launch configuration the upgrade will create (the
+    /// fault-injection target).
+    pub upgrade_lc_name: String,
+    /// The trace id of the upgrade.
+    pub trace_id: String,
+}
+
+/// Scenario knobs.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Cluster size (the paper uses 4 or 20).
+    pub cluster_size: u32,
+    /// Instances replaced per loop iteration (1 for 4-node, 4 for 20-node).
+    pub batch_size: u32,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Whether fault trees include the amended instance-limit root cause.
+    pub amended_trees: bool,
+    /// Sibling visiting order in diagnosis.
+    pub test_order: TestOrder,
+    /// Disable the consistent-API retry layer (ablation).
+    pub consistent_api: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> ScenarioConfig {
+        ScenarioConfig {
+            cluster_size: 4,
+            batch_size: 1,
+            seed: 1,
+            amended_trees: true,
+            test_order: TestOrder::ByProbability,
+            consistent_api: true,
+        }
+    }
+}
+
+/// Builds a steady-state cluster ready for a rolling upgrade.
+pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
+    let cloud = Cloud::new(
+        Clock::new(),
+        SimRng::seed_from(config.seed),
+        CloudConfig::default(),
+    );
+    let ami_v1 = cloud.admin_create_ami("app", "1.0");
+    let ami_v2 = cloud.admin_create_ami("app", "2.0");
+    let sg = cloud.admin_create_security_group("web", &[80, 443]);
+    let kp = cloud.admin_create_key_pair("prod-key");
+    let elb = cloud.admin_create_elb("front");
+    let lc_v1 = cloud.admin_create_launch_config("lc-v1", ami_v1, "m1.small", kp.clone(), sg.clone());
+    let asg = cloud.admin_create_asg(
+        "pm--asg",
+        lc_v1,
+        1,
+        (config.cluster_size * 2).max(30),
+        config.cluster_size,
+        Some(elb.clone()),
+    );
+    let trace_id = format!("run-{}", config.seed);
+    let mut upgrade = UpgradeConfig::new("pm", asg.clone(), elb.clone(), ami_v2.clone(), "2.0");
+    upgrade.batch_size = config.batch_size as usize;
+    let upgrade_lc_name = format!("{}-{}", upgrade.new_launch_config, trace_id);
+    let env = SharedEnv::new(ExpectedEnv {
+        asg,
+        elb,
+        launch_config: pod_cloud::LaunchConfigName::new(&upgrade_lc_name),
+        expected_ami: ami_v2,
+        expected_version: "2.0".into(),
+        expected_key_pair: kp,
+        expected_security_group: sg,
+        expected_instance_type: "m1.small".into(),
+        expected_count: config.cluster_size,
+    });
+    Scenario {
+        cloud,
+        upgrade,
+        env,
+        storage: LogStorage::new(),
+        upgrade_lc_name,
+        trace_id,
+    }
+}
+
+/// Builds the POD engine configuration for the rolling upgrade.
+pub fn pod_config(config: &ScenarioConfig) -> PodConfig {
+    let mut c = PodConfig::new(
+        process_def::rolling_upgrade_model(),
+        process_def::rolling_upgrade_rules(),
+        process_def::rolling_upgrade_assertions(),
+        rolling_upgrade_repository(config.amended_trees),
+    );
+    c.relevance_patterns = process_def::relevance_patterns()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    c.known_error_patterns = process_def::known_error_patterns()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    c.operation_start_pattern = process_def::operation_start_pattern().to_string();
+    c.operation_end_pattern = process_def::operation_end_pattern().to_string();
+    c.wait_activity = Some(steps::WAIT_ASG.to_string());
+    c.completion_activity = Some(steps::READY.to_string());
+    c.in_flight_activities = vec![
+        steps::DEREGISTER.to_string(),
+        steps::TERMINATE.to_string(),
+        steps::WAIT_ASG.to_string(),
+    ];
+    c.test_order = config.test_order;
+    c.batch_size = config.batch_size;
+    // The step timeout is the 95th percentile of the historical replacement
+    // duration (terminate ≈ 25 s + reconcile ≤ 10 s + boot, lognormal with a
+    // heavy tail). Late-but-healthy replacements beyond p95 become the
+    // paper's first false-positive class.
+    c.step_timeout = SimDuration::from_millis(82_000);
+    c.periodic_interval = SimDuration::from_secs(60);
+    // Regression-test assertions at every periodic tick: every referenced
+    // resource must still exist.
+    c.periodic_assertions = vec![
+        pod_assert::CloudAssertion::AmiAvailable,
+        pod_assert::CloudAssertion::KeyPairAvailable,
+        pod_assert::CloudAssertion::SecurityGroupAvailable,
+        pod_assert::CloudAssertion::ElbAvailable,
+    ];
+    c.retry_policy = RetryPolicy {
+        max_retries: 4,
+        base_backoff: SimDuration::from_millis(200),
+        multiplier: 2.0,
+        timeout: SimDuration::from_secs(20),
+    };
+    c.diagnosis_retry_policy = RetryPolicy {
+        max_retries: 2,
+        base_backoff: SimDuration::from_millis(250),
+        multiplier: 2.0,
+        timeout: SimDuration::from_secs(12),
+    };
+    c.engine_seed = config.seed;
+    c
+}
+
+/// Builds the engine for a scenario.
+pub fn build_engine(scenario: &Scenario, config: &ScenarioConfig) -> PodEngine {
+    let pod = pod_config(config);
+    PodEngine::new(
+        scenario.cloud.clone(),
+        scenario.storage.clone(),
+        scenario.env.clone(),
+        pod,
+        scenario.trace_id.clone(),
+    )
+    .expect("rolling-upgrade patterns compile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_ready_to_upgrade() {
+        let s = build_scenario(&ScenarioConfig::default());
+        let g = s.cloud.admin_describe_asg(&s.upgrade.asg).unwrap();
+        assert_eq!(g.desired_capacity, 4);
+        assert_eq!(s.cloud.admin_asg_active_instances(&s.upgrade.asg).len(), 4);
+    }
+
+    #[test]
+    fn twenty_node_scenario() {
+        let s = build_scenario(&ScenarioConfig {
+            cluster_size: 20,
+            batch_size: 4,
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(s.cloud.admin_asg_active_instances(&s.upgrade.asg).len(), 20);
+        assert_eq!(s.upgrade.batch_size, 4);
+    }
+
+    #[test]
+    fn engine_builds() {
+        let cfg = ScenarioConfig::default();
+        let s = build_scenario(&cfg);
+        let e = build_engine(&s, &cfg);
+        assert_eq!(e.trace_id(), "run-1");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on the evaluation metrics and timing statistics.
+
+use pod_eval::{MetricSet, RunOutcome, TimingStats};
+use pod_sim::SimDuration;
+use proptest::prelude::*;
+
+fn arb_outcome() -> impl Strategy<Value = RunOutcome> {
+    (
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0usize..4,
+        0usize..4,
+        0usize..4,
+    )
+        .prop_map(|(detected, correct, interference, fps, fp_none)| RunOutcome {
+            fault_detected: detected,
+            fault_diagnosed_correctly: detected && correct,
+            interference_detections: interference,
+            interference_diagnosed_correctly: interference, // all correct here
+            false_positives: fps.max(fp_none),
+            fp_diagnosed_as_none: fp_none.min(fps.max(fp_none)),
+            raw_detections: 0,
+            conformance_first: false,
+            conformance_any: false,
+            diagnosis_times: Vec::new(),
+            first_cause_latencies: Vec::new(),
+        })
+}
+
+proptest! {
+    /// All four Table-I metrics stay within [0, 1] for any outcome mix.
+    #[test]
+    fn metrics_are_bounded(outcomes in prop::collection::vec(arb_outcome(), 0..40)) {
+        let mut m = MetricSet::default();
+        for o in &outcomes {
+            m.add(o);
+        }
+        for v in [
+            m.detection_precision(),
+            m.detection_recall(),
+            m.diagnosis_accuracy_over_detected(),
+            m.accuracy_rate(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+        prop_assert_eq!(m.runs, outcomes.len());
+    }
+
+    /// Merging metric sets equals accumulating the union of their runs.
+    #[test]
+    fn merge_equals_union(
+        left in prop::collection::vec(arb_outcome(), 0..20),
+        right in prop::collection::vec(arb_outcome(), 0..20),
+    ) {
+        let mut a = MetricSet::default();
+        for o in &left {
+            a.add(o);
+        }
+        let mut b = MetricSet::default();
+        for o in &right {
+            b.add(o);
+        }
+        a.merge(&b);
+        let mut whole = MetricSet::default();
+        for o in left.iter().chain(&right) {
+            whole.add(o);
+        }
+        prop_assert_eq!(a, whole);
+    }
+
+    /// Recall is exactly detected/(detected+missed), and adding a detected
+    /// run never lowers it.
+    #[test]
+    fn recall_is_monotone_in_detections(outcomes in prop::collection::vec(arb_outcome(), 1..30)) {
+        let mut m = MetricSet::default();
+        for o in &outcomes {
+            m.add(o);
+        }
+        let before = m.detection_recall();
+        m.add(&RunOutcome {
+            fault_detected: true,
+            ..RunOutcome::default()
+        });
+        prop_assert!(m.detection_recall() >= before - 1e-12);
+    }
+
+    /// TimingStats: percentile is monotone and bracketed by min/max, and
+    /// the histogram always partitions the full sample.
+    #[test]
+    fn timing_stats_invariants(
+        samples in prop::collection::vec(1u64..100_000, 1..60),
+        q in 0.01f64..0.99,
+        buckets in 1usize..12,
+    ) {
+        let stats = TimingStats::new(
+            samples.iter().map(|ms| SimDuration::from_millis(*ms)).collect(),
+        );
+        let p = stats.percentile(q);
+        prop_assert!(stats.min() <= p && p <= stats.max());
+        prop_assert!(stats.min() <= stats.mean() && stats.mean() <= stats.max());
+        let hist = stats.histogram(buckets);
+        let total: usize = hist.iter().map(|(_, _, c)| c).sum();
+        prop_assert_eq!(total, samples.len());
+        // Bins are contiguous and ordered.
+        for pair in hist.windows(2) {
+            prop_assert_eq!(pair[0].1, pair[1].0);
+        }
+    }
+
+    /// Higher quantiles never decrease.
+    #[test]
+    fn percentile_monotone_in_q(samples in prop::collection::vec(1u64..10_000, 1..50)) {
+        let stats = TimingStats::new(
+            samples.iter().map(|ms| SimDuration::from_millis(*ms)).collect(),
+        );
+        let mut last = SimDuration::ZERO;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let p = stats.percentile(q);
+            prop_assert!(p >= last);
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on fault-tree structure, pruning and instantiation.
+
+use pod_assert::CloudAssertion;
+use pod_faulttree::{DiagnosticTest, FaultNode, FaultTree, FaultTreeRepository};
+use proptest::prelude::*;
+
+/// Builds a random two-level tree: `branches` top branches, each with the
+/// given number of leaves, each leaf optionally step-constrained.
+fn build_tree(leaf_spec: &[Vec<Option<u8>>]) -> FaultTree {
+    let mut root = FaultNode::branch("root", "top event on {ASG}");
+    for (bi, leaves) in leaf_spec.iter().enumerate() {
+        let mut branch = FaultNode::branch(format!("b{bi}"), format!("branch {bi}"));
+        for (li, step) in leaves.iter().enumerate() {
+            let mut leaf = FaultNode::root_cause(
+                format!("b{bi}-l{li}"),
+                "leaf {N}",
+                DiagnosticTest::AssertionFails(CloudAssertion::AmiAvailable),
+                0.1 + li as f64 * 0.05,
+            );
+            if let Some(s) = step {
+                leaf = leaf.in_step(format!("step{s}"));
+            }
+            branch = branch.child(leaf);
+        }
+        root = root.child(branch);
+    }
+    FaultTree::new("k", root)
+}
+
+proptest! {
+    /// Pruned potential-fault counts never exceed the unpruned count, and
+    /// pruning with a step keeps exactly the unconstrained leaves plus the
+    /// matching ones.
+    #[test]
+    fn pruning_counts_are_exact(
+        leaf_spec in prop::collection::vec(
+            prop::collection::vec(prop::option::of(0u8..3), 1..4),
+            1..4,
+        ),
+        step in 0u8..3,
+    ) {
+        let tree = build_tree(&leaf_spec);
+        let all: usize = leaf_spec.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(tree.root.potential_faults(None), all);
+        let step_name = format!("step{step}");
+        let expected: usize = leaf_spec
+            .iter()
+            .flatten()
+            .filter(|s| s.is_none() || s.map(|v| format!("step{v}")) == Some(step_name.clone()))
+            .count();
+        prop_assert_eq!(tree.root.potential_faults(Some(&step_name)), expected);
+    }
+
+    /// Instantiation replaces exactly the provided variables and leaves
+    /// unknown placeholders untouched.
+    #[test]
+    fn instantiation_is_targeted(value in "[a-z0-9-]{1,12}") {
+        let node = FaultNode::branch("n", "the ASG {ASG} and the mystery {UNKNOWN}");
+        let text = node.instantiate(&[("ASG".to_string(), value.clone())]);
+        prop_assert!(text.contains(&value));
+        let unresolved = "{UNKNOWN}";
+        let resolved = "{ASG}";
+        prop_assert!(text.contains(unresolved));
+        prop_assert!(!text.contains(resolved));
+    }
+
+    /// `ids()` enumerates every node exactly once, parents before children.
+    #[test]
+    fn ids_cover_the_tree(
+        leaf_spec in prop::collection::vec(
+            prop::collection::vec(prop::option::of(0u8..2), 1..3),
+            1..4,
+        ),
+    ) {
+        let tree = build_tree(&leaf_spec);
+        let ids = tree.root.ids();
+        let expected = 1 + leaf_spec.len() + leaf_spec.iter().map(|b| b.len()).sum::<usize>();
+        prop_assert_eq!(ids.len(), expected);
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), expected, "ids are unique");
+        prop_assert_eq!(ids[0], "root");
+    }
+
+    /// Repository lookup returns the tree that was stored under the key.
+    #[test]
+    fn repository_is_a_map(keys in prop::collection::vec("[a-z-]{1,10}", 1..6)) {
+        let mut repo = FaultTreeRepository::new();
+        let mut deduped = keys.clone();
+        deduped.sort();
+        deduped.dedup();
+        for key in &deduped {
+            repo.add(FaultTree::new(key.clone(), FaultNode::branch(format!("r-{key}"), "t")));
+        }
+        for key in &deduped {
+            let expected = format!("r-{key}");
+            prop_assert_eq!(repo.select(key).unwrap().root.id.clone(), expected);
+        }
+        prop_assert!(repo.select("definitely-not-a-key").is_none());
+    }
+}
+
+#[test]
+fn rolling_upgrade_repository_trees_have_unique_keys() {
+    let repo = pod_faulttree::rolling_upgrade_repository(true);
+    let mut keys: Vec<&str> = repo.trees().iter().map(|t| t.assertion_key.as_str()).collect();
+    let n = keys.len();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), n, "duplicate assertion keys in the repository");
+}
+
+#[test]
+fn every_library_tree_has_at_least_one_testable_fault() {
+    for amended in [true, false] {
+        let repo = pod_faulttree::rolling_upgrade_repository(amended);
+        for tree in repo.trees() {
+            assert!(
+                tree.root.potential_faults(None) > 0,
+                "tree {} has nothing to test",
+                tree.assertion_key
+            );
+        }
+    }
+}

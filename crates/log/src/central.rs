@@ -1,0 +1,195 @@
+//! The central log processor (Figure 1 of the paper).
+//!
+//! "A central log processor grabs the logs from the central log storage and
+//! triggers the error diagnosis when it finds a failure or exception
+//! indicated by the log line." This component tails the shared
+//! [`LogStorage`] from a background thread and forwards failure-indicating
+//! events over a channel, where the deployment's diagnosis trigger consumes
+//! them.
+//!
+//! The deterministic evaluation campaign reacts to triggers inline (virtual
+//! time cannot advance from a wall-clock thread); this processor is the
+//! deployment-shaped alternative for real-time use, and is exercised by its
+//! own threaded tests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pod_regex::RegexSet;
+
+use crate::event::{LogEvent, Severity};
+use crate::storage::LogStorage;
+
+/// A failure event surfaced by the central processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureNotice {
+    /// The offending log event.
+    pub event: LogEvent,
+    /// Index of the failure pattern that matched, if any (events can also
+    /// be surfaced purely by their `Error` severity).
+    pub matched_pattern: Option<usize>,
+}
+
+/// Handle to a running central log processor.
+///
+/// Dropping the handle stops the background thread.
+///
+/// # Examples
+///
+/// ```
+/// use pod_log::{CentralLogProcessor, LogEvent, LogStorage};
+/// use pod_regex::RegexSet;
+/// use pod_sim::SimTime;
+///
+/// let storage = LogStorage::new();
+/// let processor = CentralLogProcessor::spawn(
+///     storage.clone(),
+///     RegexSet::new(&["assertion .* FAILED"]).unwrap(),
+///     std::time::Duration::from_millis(1),
+/// );
+/// storage.append(LogEvent::new(SimTime::ZERO, "assertion.log",
+///     "assertion X FAILED: boom"));
+/// let notice = processor
+///     .notices()
+///     .recv_timeout(std::time::Duration::from_secs(5))
+///     .unwrap();
+/// assert_eq!(notice.matched_pattern, Some(0));
+/// processor.stop();
+/// ```
+#[derive(Debug)]
+pub struct CentralLogProcessor {
+    receiver: Receiver<FailureNotice>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CentralLogProcessor {
+    /// Starts tailing `storage` every `poll_interval` (wall clock),
+    /// surfacing events that match any `failure_patterns` or carry
+    /// [`Severity::Error`].
+    pub fn spawn(
+        storage: LogStorage,
+        failure_patterns: RegexSet,
+        poll_interval: Duration,
+    ) -> CentralLogProcessor {
+        let (sender, receiver) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            run_loop(&storage, &failure_patterns, poll_interval, &sender, &stop_flag);
+        });
+        CentralLogProcessor {
+            receiver,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The channel failure notices arrive on.
+    pub fn notices(&self) -> &Receiver<FailureNotice> {
+        &self.receiver
+    }
+
+    /// Drains all currently pending notices without blocking.
+    pub fn drain(&self) -> Vec<FailureNotice> {
+        self.receiver.try_iter().collect()
+    }
+
+    /// Stops the background thread and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CentralLogProcessor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_loop(
+    storage: &LogStorage,
+    patterns: &RegexSet,
+    poll_interval: Duration,
+    sender: &Sender<FailureNotice>,
+    stop: &AtomicBool,
+) {
+    let mut cursor = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        for event in storage.events_since(&mut cursor) {
+            let matched_pattern = patterns.first_match(&event.message);
+            if matched_pattern.is_some() || event.severity == Severity::Error {
+                if sender.send(FailureNotice { event, matched_pattern }).is_err() {
+                    return; // receiver gone
+                }
+            }
+        }
+        std::thread::sleep(poll_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_sim::SimTime;
+
+    fn processor(storage: &LogStorage) -> CentralLogProcessor {
+        CentralLogProcessor::spawn(
+            storage.clone(),
+            RegexSet::new(&["FAILED", "conformance:unfit"]).unwrap(),
+            Duration::from_millis(1),
+        )
+    }
+
+    #[test]
+    fn surfaces_pattern_matches_and_error_severity() {
+        let storage = LogStorage::new();
+        let p = processor(&storage);
+        storage.append(LogEvent::new(SimTime::ZERO, "a", "all good here"));
+        storage.append(LogEvent::new(SimTime::ZERO, "a", "assertion FAILED: x"));
+        storage.append(
+            LogEvent::new(SimTime::ZERO, "a", "implicit").with_severity(Severity::Error),
+        );
+        let first = p.notices().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.matched_pattern, Some(0));
+        let second = p.notices().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(second.matched_pattern, None);
+        assert_eq!(second.event.message, "implicit");
+        assert!(p.drain().is_empty());
+        p.stop();
+    }
+
+    #[test]
+    fn keeps_tailing_across_batches() {
+        let storage = LogStorage::new();
+        let p = processor(&storage);
+        for round in 0..5 {
+            storage.append(LogEvent::new(
+                SimTime::from_millis(round),
+                "a",
+                format!("round {round} FAILED"),
+            ));
+            let n = p.notices().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(n.event.message.contains(&format!("round {round}")));
+        }
+        p.stop();
+    }
+
+    #[test]
+    fn drop_stops_the_thread() {
+        let storage = LogStorage::new();
+        let p = processor(&storage);
+        drop(p); // must not hang
+        storage.append(LogEvent::new(SimTime::ZERO, "a", "FAILED after stop"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Log infrastructure for POD-Diagnosis: events, transformation rules, the
+//! local log-processor pipeline and central log storage.
+//!
+//! This crate reproduces the role Logstash plays in the paper's
+//! implementation (Section IV): log lines are modelled as Logstash-shaped
+//! events ([`LogEvent`]), matched against per-activity regular expressions
+//! ([`RuleBook`]), annotated with process context ([`ProcessContext`]) and
+//! pushed through a [`Pipeline`] of stages — noise filter, annotator, timer
+//! setter, trigger — before "important" lines are forwarded to the shared
+//! [`LogStorage`]. A [`CentralLogProcessor`] can tail that storage from a
+//! background thread and surface failure lines, the way Figure 1's central
+//! processor triggers error diagnosis.
+//!
+//! JSON serialization of events is hand-rolled in [`Json`] so the workspace
+//! carries no external serialization dependency.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod central;
+mod event;
+mod json;
+mod matcher;
+mod pipeline;
+mod storage;
+
+pub use central::{CentralLogProcessor, FailureNotice};
+pub use event::{LogEvent, ProcessContext, Severity, StepOutcome};
+pub use json::{Json, JsonError};
+pub use matcher::{Boundary, LineRule, RuleBook, RuleMatch};
+pub use pipeline::{
+    ImportantLineForwarder, NoiseFilter, Pipeline, PipelineOutput, ProcessAnnotator, Stage,
+    StageOutput, TimerSetter, Trigger,
+};
+pub use storage::{LogQuery, LogStorage};

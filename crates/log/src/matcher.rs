@@ -1,0 +1,219 @@
+//! Transformation rules: regex → activity tag + extracted fields.
+//!
+//! The paper derives, per activity, a set of regular expressions from the
+//! clustered log lines and forms transformation rules: *"if (regex_i or
+//! regex_i+1 or …) matches, add tag `[activity name]` to the line"*. A
+//! [`RuleBook`] holds those rules and classifies raw lines.
+
+use pod_regex::Regex;
+
+/// Where in an activity's lifetime a matching line falls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// The line marks the start of the activity.
+    Start,
+    /// The line marks the end of the activity — the usual assertion trigger.
+    End,
+    /// A progress line during the activity.
+    During,
+}
+
+/// One transformation rule: any of `patterns` matching tags the line with
+/// `activity`.
+#[derive(Debug, Clone)]
+pub struct LineRule {
+    /// The activity name this rule tags lines with.
+    pub activity: String,
+    /// Which boundary of the activity a match represents.
+    pub boundary: Boundary,
+    /// The alternative patterns (logical OR).
+    pub patterns: Vec<Regex>,
+}
+
+impl LineRule {
+    /// Builds a rule from pattern strings.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any pattern does not compile.
+    pub fn new<S: AsRef<str>>(
+        activity: impl Into<String>,
+        boundary: Boundary,
+        patterns: &[S],
+    ) -> Result<LineRule, pod_regex::ParseError> {
+        Ok(LineRule {
+            activity: activity.into(),
+            boundary,
+            patterns: patterns
+                .iter()
+                .map(|p| Regex::new(p.as_ref()))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// The result of matching a line against a rule book.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleMatch {
+    /// The tagged activity.
+    pub activity: String,
+    /// The boundary the matching rule represents.
+    pub boundary: Boundary,
+    /// Named-capture fields extracted from the line, in capture order.
+    pub fields: Vec<(String, String)>,
+}
+
+/// An ordered collection of transformation rules.
+///
+/// Rules are tried in insertion order and the first match wins, mirroring a
+/// Logstash filter chain.
+///
+/// # Examples
+///
+/// ```
+/// use pod_log::{Boundary, LineRule, RuleBook};
+///
+/// let mut book = RuleBook::new();
+/// book.push(LineRule::new(
+///     "terminate-old-instance",
+///     Boundary::End,
+///     &[r"Terminated instance (?P<instanceid>i-[0-9a-f]+)"],
+/// ).unwrap());
+///
+/// let m = book.match_line("... Terminated instance i-7df34041.").unwrap();
+/// assert_eq!(m.activity, "terminate-old-instance");
+/// assert_eq!(m.fields, vec![("instanceid".to_string(), "i-7df34041".to_string())]);
+/// assert!(book.match_line("unrelated noise").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleBook {
+    rules: Vec<LineRule>,
+}
+
+impl RuleBook {
+    /// Creates an empty rule book.
+    pub fn new() -> RuleBook {
+        RuleBook { rules: Vec::new() }
+    }
+
+    /// Appends a rule; later rules have lower priority.
+    pub fn push(&mut self, rule: LineRule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules in priority order.
+    pub fn rules(&self) -> &[LineRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the book has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Classifies `line`, returning the first matching rule's activity and
+    /// any named-capture fields.
+    pub fn match_line(&self, line: &str) -> Option<RuleMatch> {
+        for rule in &self.rules {
+            for re in &rule.patterns {
+                if let Some(caps) = re.captures(line) {
+                    let fields = re
+                        .capture_names()
+                        .filter_map(|name| {
+                            caps.name(name)
+                                .map(|m| (name.to_string(), m.as_str().to_string()))
+                        })
+                        .collect();
+                    return Some(RuleMatch {
+                        activity: rule.activity.clone(),
+                        boundary: rule.boundary,
+                        fields,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// All activities known to the book, deduplicated, in rule order.
+    pub fn activities(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for rule in &self.rules {
+            if !seen.contains(&rule.activity.as_str()) {
+                seen.push(rule.activity.as_str());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book() -> RuleBook {
+        let mut b = RuleBook::new();
+        b.push(
+            LineRule::new(
+                "update-launch-config",
+                Boundary::End,
+                &[r"Created launch configuration (?P<lc>lc-[\w-]+)"],
+            )
+            .unwrap(),
+        );
+        b.push(
+            LineRule::new(
+                "terminate-old-instance",
+                Boundary::End,
+                &[
+                    r"Terminated instance (?P<instanceid>i-[0-9a-f]+)",
+                    r"Instance (?P<instanceid>i-[0-9a-f]+) is shutting down",
+                ],
+            )
+            .unwrap(),
+        );
+        b
+    }
+
+    #[test]
+    fn first_rule_wins() {
+        let mut b = RuleBook::new();
+        b.push(LineRule::new("a", Boundary::End, &["x"]).unwrap());
+        b.push(LineRule::new("b", Boundary::End, &["x"]).unwrap());
+        assert_eq!(b.match_line("x").unwrap().activity, "a");
+    }
+
+    #[test]
+    fn alternative_patterns_share_activity() {
+        let b = book();
+        let m1 = b.match_line("Terminated instance i-1a").unwrap();
+        let m2 = b.match_line("Instance i-2b is shutting down").unwrap();
+        assert_eq!(m1.activity, "terminate-old-instance");
+        assert_eq!(m2.activity, "terminate-old-instance");
+        assert_eq!(m2.fields[0].1, "i-2b");
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        assert!(book().match_line("something else entirely").is_none());
+    }
+
+    #[test]
+    fn activities_deduplicated() {
+        let b = book();
+        assert_eq!(
+            b.activities(),
+            vec!["update-launch-config", "terminate-old-instance"]
+        );
+    }
+
+    #[test]
+    fn invalid_pattern_is_an_error() {
+        assert!(LineRule::new("bad", Boundary::Start, &["("]).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! The local log processor pipeline (Figure 3 of the paper).
+//!
+//! A [`Pipeline`] is an ordered chain of [`Stage`]s. Each raw line from the
+//! operation log flows through the stages, which can drop it (noise filter),
+//! annotate it (process/assertion annotator), raise [`Trigger`]s (timer
+//! setter, trigger stage) and finally forward it to central storage.
+
+use std::fmt;
+
+use pod_regex::RegexSet;
+
+use crate::event::{LogEvent, ProcessContext};
+use crate::matcher::{Boundary, RuleBook};
+
+/// A side effect raised by a pipeline stage, consumed by the POD-Diagnosis
+/// engine (conformance checking, assertion evaluation, timers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Send the event to the conformance-checking service.
+    Conformance(LogEvent),
+    /// Evaluate the post-step assertion for `activity`.
+    Assertion {
+        /// The activity whose post-conditions should be checked.
+        activity: String,
+        /// The event that completed the activity.
+        event: LogEvent,
+    },
+    /// Start the per-process periodic timer (operation began).
+    PeriodicStart {
+        /// The process instance the timer belongs to.
+        process_instance_id: String,
+    },
+    /// Stop the per-process periodic timer (operation ended).
+    PeriodicStop {
+        /// The process instance the timer belongs to.
+        process_instance_id: String,
+    },
+}
+
+/// What a stage did with an event.
+#[derive(Debug)]
+pub struct StageOutput {
+    /// The (possibly transformed) event, or `None` if dropped.
+    pub event: Option<LogEvent>,
+    /// Triggers raised while processing.
+    pub triggers: Vec<Trigger>,
+}
+
+impl StageOutput {
+    /// Passes the event through unchanged.
+    pub fn pass(event: LogEvent) -> StageOutput {
+        StageOutput {
+            event: Some(event),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Drops the event.
+    pub fn drop_event() -> StageOutput {
+        StageOutput {
+            event: None,
+            triggers: Vec::new(),
+        }
+    }
+}
+
+/// One processing component in the local log processor.
+pub trait Stage: fmt::Debug {
+    /// Processes one event.
+    fn process(&mut self, event: LogEvent) -> StageOutput;
+}
+
+/// The result of pushing one raw line through the whole pipeline.
+#[derive(Debug, Default)]
+pub struct PipelineOutput {
+    /// Events that survived all stages (to forward to central storage).
+    pub forwarded: Vec<LogEvent>,
+    /// All triggers raised by any stage.
+    pub triggers: Vec<Trigger>,
+}
+
+/// An ordered chain of stages.
+///
+/// # Examples
+///
+/// ```
+/// use pod_log::{LogEvent, NoiseFilter, Pipeline};
+/// use pod_regex::RegexSet;
+/// use pod_sim::SimTime;
+///
+/// let mut p = Pipeline::new();
+/// p.add_stage(Box::new(NoiseFilter::keep(
+///     RegexSet::new(&["instance", "upgrade"]).unwrap(),
+/// )));
+/// let out = p.push(LogEvent::new(SimTime::ZERO, "op.log", "rolling upgrade started"));
+/// assert_eq!(out.forwarded.len(), 1);
+/// let out = p.push(LogEvent::new(SimTime::ZERO, "op.log", "heartbeat tick"));
+/// assert!(out.forwarded.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn Stage>>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline (passes everything through).
+    pub fn new() -> Pipeline {
+        Pipeline { stages: Vec::new() }
+    }
+
+    /// Appends a stage to the end of the chain.
+    pub fn add_stage(&mut self, stage: Box<dyn Stage>) {
+        self.stages.push(stage);
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Pushes one event through every stage in order.
+    pub fn push(&mut self, event: LogEvent) -> PipelineOutput {
+        let mut out = PipelineOutput::default();
+        let mut current = Some(event);
+        for stage in &mut self.stages {
+            let Some(event) = current.take() else { break };
+            let result = stage.process(event);
+            out.triggers.extend(result.triggers);
+            current = result.event;
+        }
+        if let Some(event) = current {
+            out.forwarded.push(event);
+        }
+        out
+    }
+}
+
+/// Drops lines that are not relevant to the current operation.
+#[derive(Debug)]
+pub struct NoiseFilter {
+    keep: RegexSet,
+    drop: RegexSet,
+}
+
+impl NoiseFilter {
+    /// Keeps only lines matching any of `keep`.
+    pub fn keep(keep: RegexSet) -> NoiseFilter {
+        NoiseFilter {
+            keep,
+            drop: RegexSet::default(),
+        }
+    }
+
+    /// Keeps lines matching `keep` unless they also match `drop`.
+    pub fn keep_except(keep: RegexSet, drop: RegexSet) -> NoiseFilter {
+        NoiseFilter { keep, drop }
+    }
+}
+
+impl Stage for NoiseFilter {
+    fn process(&mut self, event: LogEvent) -> StageOutput {
+        let relevant = self.keep.is_empty() || self.keep.first_match(&event.message).is_some();
+        let excluded = self.drop.first_match(&event.message).is_some();
+        if relevant && !excluded {
+            StageOutput::pass(event)
+        } else {
+            StageOutput::drop_event()
+        }
+    }
+}
+
+/// Annotates events with process context using a [`RuleBook`] and raises
+/// conformance / assertion triggers — combining the paper's *log annotator*
+/// and *trigger* components.
+#[derive(Debug)]
+pub struct ProcessAnnotator {
+    rules: RuleBook,
+    process_id: String,
+    process_instance_id: String,
+    /// Whether matched events also raise an assertion trigger at activity end.
+    trigger_assertions: bool,
+    /// Whether matched events raise a conformance trigger.
+    trigger_conformance: bool,
+}
+
+impl ProcessAnnotator {
+    /// Creates an annotator bound to one process instance.
+    pub fn new(
+        rules: RuleBook,
+        process_id: impl Into<String>,
+        process_instance_id: impl Into<String>,
+    ) -> ProcessAnnotator {
+        ProcessAnnotator {
+            rules,
+            process_id: process_id.into(),
+            process_instance_id: process_instance_id.into(),
+            trigger_assertions: true,
+            trigger_conformance: true,
+        }
+    }
+
+    /// Disables assertion triggering (annotation only).
+    pub fn without_assertion_triggers(mut self) -> Self {
+        self.trigger_assertions = false;
+        self
+    }
+
+    /// Disables conformance triggering (annotation only).
+    pub fn without_conformance_triggers(mut self) -> Self {
+        self.trigger_conformance = false;
+        self
+    }
+}
+
+impl Stage for ProcessAnnotator {
+    fn process(&mut self, event: LogEvent) -> StageOutput {
+        let Some(m) = self.rules.match_line(&event.message) else {
+            // Unmatched lines still flow to conformance, which will classify
+            // them as unknown/error — that is a detection signal.
+            let mut out = StageOutput::pass(event);
+            if self.trigger_conformance {
+                let e = out.event.as_ref().expect("pass keeps event").clone();
+                out.triggers.push(Trigger::Conformance(e));
+            }
+            return out;
+        };
+        let mut ctx =
+            ProcessContext::new(self.process_id.clone(), self.process_instance_id.clone())
+                .with_step(m.activity.clone());
+        if let Some((_, id)) = m.fields.iter().find(|(k, _)| k == "instanceid") {
+            ctx = ctx.with_cloud_instance(id.clone());
+        }
+        let mut event = event.with_context(ctx);
+        for (k, v) in &m.fields {
+            if event.field(k).is_none() {
+                event = event.with_field(k.clone(), v.clone());
+            }
+        }
+        let mut triggers = Vec::new();
+        if self.trigger_conformance {
+            triggers.push(Trigger::Conformance(event.clone()));
+        }
+        if self.trigger_assertions && m.boundary == Boundary::End {
+            triggers.push(Trigger::Assertion {
+                activity: m.activity.clone(),
+                event: event.clone(),
+            });
+        }
+        StageOutput {
+            event: Some(event),
+            triggers,
+        }
+    }
+}
+
+/// Starts the periodic timer on the operation-start line and stops it on the
+/// operation-end line (the paper's *timer setter*).
+#[derive(Debug)]
+pub struct TimerSetter {
+    start: pod_regex::Regex,
+    end: pod_regex::Regex,
+    process_instance_id: String,
+}
+
+impl TimerSetter {
+    /// Creates a timer setter for one process instance.
+    pub fn new(
+        start: pod_regex::Regex,
+        end: pod_regex::Regex,
+        process_instance_id: impl Into<String>,
+    ) -> TimerSetter {
+        TimerSetter {
+            start,
+            end,
+            process_instance_id: process_instance_id.into(),
+        }
+    }
+}
+
+impl Stage for TimerSetter {
+    fn process(&mut self, event: LogEvent) -> StageOutput {
+        let mut out = StageOutput::pass(event);
+        let msg = &out.event.as_ref().expect("pass keeps event").message;
+        if self.start.is_match(msg) {
+            out.triggers.push(Trigger::PeriodicStart {
+                process_instance_id: self.process_instance_id.clone(),
+            });
+        } else if self.end.is_match(msg) {
+            out.triggers.push(Trigger::PeriodicStop {
+                process_instance_id: self.process_instance_id.clone(),
+            });
+        }
+        out
+    }
+}
+
+/// Forwards only "important" lines — those tagged with an activity — to the
+/// central storage, dropping the rest after triggers have fired.
+#[derive(Debug, Default)]
+pub struct ImportantLineForwarder;
+
+impl Stage for ImportantLineForwarder {
+    fn process(&mut self, event: LogEvent) -> StageOutput {
+        if event.context.is_some() {
+            StageOutput::pass(event)
+        } else {
+            StageOutput::drop_event()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::LineRule;
+    use pod_regex::Regex;
+    use pod_sim::SimTime;
+
+    fn event(msg: &str) -> LogEvent {
+        LogEvent::new(SimTime::from_millis(1), "asgard.log", msg)
+    }
+
+    fn rules() -> RuleBook {
+        let mut b = RuleBook::new();
+        b.push(
+            LineRule::new(
+                "start-task",
+                Boundary::Start,
+                &[r"Started rolling upgrade"],
+            )
+            .unwrap(),
+        );
+        b.push(
+            LineRule::new(
+                "new-instance-ready",
+                Boundary::End,
+                &[r"Instance (?P<instanceid>i-[0-9a-f]+) is ready"],
+            )
+            .unwrap(),
+        );
+        b
+    }
+
+    #[test]
+    fn annotator_attaches_context_and_triggers() {
+        let mut a = ProcessAnnotator::new(rules(), "rolling-upgrade", "run-9");
+        let out = a.process(event("Instance i-77 is ready for use."));
+        let e = out.event.unwrap();
+        let ctx = e.context.as_ref().unwrap();
+        assert_eq!(ctx.step_id.as_deref(), Some("new-instance-ready"));
+        assert_eq!(ctx.cloud_instance_id.as_deref(), Some("i-77"));
+        assert_eq!(out.triggers.len(), 2);
+        assert!(matches!(out.triggers[0], Trigger::Conformance(_)));
+        assert!(matches!(
+            &out.triggers[1],
+            Trigger::Assertion { activity, .. } if activity == "new-instance-ready"
+        ));
+    }
+
+    #[test]
+    fn start_boundary_does_not_trigger_assertion() {
+        let mut a = ProcessAnnotator::new(rules(), "rolling-upgrade", "run-9");
+        let out = a.process(event("Started rolling upgrade"));
+        assert_eq!(out.triggers.len(), 1);
+        assert!(matches!(out.triggers[0], Trigger::Conformance(_)));
+    }
+
+    #[test]
+    fn unmatched_line_still_goes_to_conformance() {
+        let mut a = ProcessAnnotator::new(rules(), "rolling-upgrade", "run-9");
+        let out = a.process(event("some totally unknown output"));
+        assert!(out.event.as_ref().unwrap().context.is_none());
+        assert_eq!(out.triggers.len(), 1);
+        assert!(matches!(out.triggers[0], Trigger::Conformance(_)));
+    }
+
+    #[test]
+    fn timer_setter_raises_start_and_stop() {
+        let mut t = TimerSetter::new(
+            Regex::new("upgrade task started").unwrap(),
+            Regex::new("upgrade task completed").unwrap(),
+            "run-1",
+        );
+        let out = t.process(event("upgrade task started"));
+        assert!(matches!(out.triggers[0], Trigger::PeriodicStart { .. }));
+        let out = t.process(event("upgrade task completed"));
+        assert!(matches!(out.triggers[0], Trigger::PeriodicStop { .. }));
+        let out = t.process(event("nothing"));
+        assert!(out.triggers.is_empty());
+    }
+
+    #[test]
+    fn full_pipeline_filters_annotates_forwards() {
+        let mut p = Pipeline::new();
+        p.add_stage(Box::new(NoiseFilter::keep(
+            RegexSet::new(&["Instance", "upgrade"]).unwrap(),
+        )));
+        p.add_stage(Box::new(ProcessAnnotator::new(
+            rules(),
+            "rolling-upgrade",
+            "run-1",
+        )));
+        p.add_stage(Box::new(ImportantLineForwarder));
+
+        // Noise: dropped before annotation, no triggers.
+        let out = p.push(event("jvm gc pause 12ms"));
+        assert!(out.forwarded.is_empty());
+        assert!(out.triggers.is_empty());
+
+        // Known activity: forwarded with context.
+        let out = p.push(event("Instance i-aa is ready for use"));
+        assert_eq!(out.forwarded.len(), 1);
+        assert!(out.forwarded[0].context.is_some());
+        assert_eq!(out.triggers.len(), 2);
+
+        // Relevant but unknown: conformance trigger, not forwarded.
+        let out = p.push(event("upgrade hit unexpected state"));
+        assert!(out.forwarded.is_empty());
+        assert_eq!(out.triggers.len(), 1);
+    }
+
+    #[test]
+    fn keep_except_drops_excluded() {
+        let mut f = NoiseFilter::keep_except(
+            RegexSet::new(&["instance"]).unwrap(),
+            RegexSet::new(&["DEBUG"]).unwrap(),
+        );
+        assert!(f.process(event("instance ok")).event.is_some());
+        assert!(f.process(event("DEBUG instance detail")).event.is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for JSON round-tripping and log storage.
+
+use pod_log::{Json, LogEvent, LogQuery, LogStorage, Severity};
+use pod_sim::SimTime;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON values of bounded depth.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite, round-trippable numbers.
+        (-1.0e12..1.0e12f64).prop_map(|n| Json::Number((n * 100.0).round() / 100.0)),
+        "[ -~]{0,20}".prop_map(Json::str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Json::Array),
+            prop::collection::vec(("[a-z@_]{1,8}", inner), 0..5).prop_map(|entries| {
+                // Deduplicate keys (objects have unique keys).
+                let mut o = Json::object();
+                for (k, v) in entries {
+                    o.set(k, v);
+                }
+                o
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Serialize → parse is the identity on the JSON subset.
+    #[test]
+    fn json_round_trips(v in arb_json()) {
+        let text = v.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// Parsing never panics on arbitrary input.
+    #[test]
+    fn json_parse_never_panics(s in "[ -~]{0,80}") {
+        let _ = Json::parse(&s);
+    }
+
+    /// Every stored event is found by an unconstrained query, and
+    /// tag-filtered queries return exactly the tagged subset.
+    #[test]
+    fn storage_queries_partition(tags in prop::collection::vec(prop::bool::ANY, 1..30)) {
+        let storage = LogStorage::new();
+        for (i, tagged) in tags.iter().enumerate() {
+            let mut e = LogEvent::new(SimTime::from_millis(i as u64), "s.log", format!("m{i}"));
+            if *tagged {
+                e = e.with_tag("wanted");
+            }
+            storage.append(e);
+        }
+        prop_assert_eq!(storage.query(&LogQuery::new()).len(), tags.len());
+        let tagged_count = tags.iter().filter(|t| **t).count();
+        prop_assert_eq!(storage.query(&LogQuery::new().with_tag("wanted")).len(), tagged_count);
+    }
+
+    /// Cursor tailing sees every event exactly once, in order, regardless
+    /// of how appends and reads interleave.
+    #[test]
+    fn cursor_sees_each_event_once(batches in prop::collection::vec(1usize..5, 1..10)) {
+        let storage = LogStorage::new();
+        let mut cursor = 0;
+        let mut seen = Vec::new();
+        let mut next_id = 0u64;
+        for batch in batches {
+            for _ in 0..batch {
+                storage.append(LogEvent::new(
+                    SimTime::from_millis(next_id),
+                    "s.log",
+                    format!("event-{next_id}"),
+                ));
+                next_id += 1;
+            }
+            seen.extend(storage.events_since(&mut cursor));
+        }
+        prop_assert_eq!(seen.len(), next_id as usize);
+        for (i, e) in seen.iter().enumerate() {
+            prop_assert_eq!(e.message.clone(), format!("event-{i}"));
+        }
+    }
+
+    /// Severity filtering is monotone: Error ⊆ Warn ⊆ Info.
+    #[test]
+    fn severity_filter_is_monotone(levels in prop::collection::vec(0u8..3, 0..30)) {
+        let storage = LogStorage::new();
+        for (i, level) in levels.iter().enumerate() {
+            let severity = match level {
+                0 => Severity::Info,
+                1 => Severity::Warn,
+                _ => Severity::Error,
+            };
+            storage.append(
+                LogEvent::new(SimTime::from_millis(i as u64), "s", "x").with_severity(severity),
+            );
+        }
+        let info = storage.query(&LogQuery::new().with_min_severity(Severity::Info)).len();
+        let warn = storage.query(&LogQuery::new().with_min_severity(Severity::Warn)).len();
+        let error = storage.query(&LogQuery::new().with_min_severity(Severity::Error)).len();
+        prop_assert!(error <= warn && warn <= info);
+        prop_assert_eq!(info, levels.len());
+    }
+
+    /// The Logstash JSON shape of any event parses back.
+    #[test]
+    fn log_event_json_round_trips(
+        msg in "[ -~]{0,60}",
+        tags in prop::collection::vec("[a-z0-9:]{1,10}", 0..4),
+    ) {
+        let mut e = LogEvent::new(SimTime::from_millis(5), "asgard.log", msg);
+        for t in tags {
+            e = e.with_tag(t);
+        }
+        let parsed = Json::parse(&e.to_json().to_string()).unwrap();
+        prop_assert_eq!(parsed.get("@source").and_then(Json::as_str), Some("asgard.log"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Log-line clustering by string distance.
+//!
+//! The paper clusters log lines with a string-distance metric before naming
+//! the clusters and deriving regular expressions. We mask volatile tokens
+//! first ([`crate::mask_line`]) so that two occurrences of the same event
+//! with different ids land in the same cluster, then run a greedy
+//! leader-based agglomeration: each line joins the first existing cluster
+//! whose representative is within the distance threshold.
+
+use crate::distance::normalized_token_distance;
+use crate::template::mask_line;
+
+/// Clustering tunables.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Maximum normalised token distance for a line to join a cluster.
+    pub threshold: f64,
+    /// Whether to mask volatile tokens before measuring distance.
+    pub mask_variables: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            threshold: 0.25,
+            mask_variables: true,
+        }
+    }
+}
+
+/// A cluster of log lines, by index into the input slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The masked representative (leader) string.
+    pub representative: String,
+    /// Indices of member lines in the input order.
+    pub members: Vec<usize>,
+}
+
+/// Clusters `lines` and returns clusters ordered by first appearance.
+///
+/// # Examples
+///
+/// ```
+/// use pod_mining::{cluster_lines, ClusterConfig};
+///
+/// let lines = [
+///     "Terminated instance i-1",
+///     "Launched instance i-9 into group g",
+///     "Terminated instance i-2",
+/// ];
+/// let clusters = cluster_lines(&lines, &ClusterConfig::default());
+/// assert_eq!(clusters.len(), 2);
+/// assert_eq!(clusters[0].members, vec![0, 2]);
+/// ```
+pub fn cluster_lines<S: AsRef<str>>(lines: &[S], config: &ClusterConfig) -> Vec<Cluster> {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let key = if config.mask_variables {
+            mask_line(line.as_ref())
+        } else {
+            line.as_ref().to_string()
+        };
+        let found = clusters
+            .iter_mut()
+            .find(|c| normalized_token_distance(&c.representative, &key) <= config.threshold);
+        match found {
+            Some(c) => c.members.push(idx),
+            None => clusters.push(Cluster {
+                representative: key,
+                members: vec![idx],
+            }),
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_masked_lines_share_cluster() {
+        let lines = [
+            "Launching a new EC2 instance: i-11111111",
+            "Launching a new EC2 instance: i-22222222",
+            "Launching a new EC2 instance: i-33333333",
+        ];
+        let clusters = cluster_lines(&lines, &ClusterConfig::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distinct_events_get_distinct_clusters() {
+        let lines = [
+            "Created launch configuration lc-v2",
+            "Terminating EC2 instance: i-aa",
+            "Waiting for ASG to start new instance",
+            "Terminating EC2 instance: i-bb",
+        ];
+        let clusters = cluster_lines(&lines, &ClusterConfig::default());
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[1].members, vec![1, 3]);
+    }
+
+    #[test]
+    fn threshold_zero_requires_exact_masked_match() {
+        let lines = ["a b c", "a b d"];
+        let cfg = ClusterConfig {
+            threshold: 0.0,
+            mask_variables: false,
+        };
+        assert_eq!(cluster_lines(&lines, &cfg).len(), 2);
+    }
+
+    #[test]
+    fn loose_threshold_merges_more() {
+        let lines = ["a b c d", "a b c e", "x y z w"];
+        let cfg = ClusterConfig {
+            threshold: 0.5,
+            mask_variables: false,
+        };
+        let clusters = cluster_lines(&lines, &cfg);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        let lines: [&str; 0] = [];
+        assert!(cluster_lines(&lines, &ClusterConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Application-noise generation.
+//!
+//! The upgraded application is itself a distributed log-monitoring stack
+//! (Redis, Logstash, ElasticSearch, Kibana in the paper's setup), whose
+//! routine output is interleaved with the operation log. The noise filter
+//! of the local log processor must drop these lines; this generator
+//! produces them.
+
+use pod_log::LogEvent;
+use pod_sim::{SimRng, SimTime};
+
+/// Routine application log templates (no overlap with operation lines).
+const TEMPLATES: &[&str] = &[
+    "redis: background saving finished in {n} ms",
+    "logstash: pipeline flushed {n} events",
+    "elasticsearch: [gc][{n}] overhead, spent collecting in last second",
+    "kibana: request /api/status completed in {n} ms",
+    "redis: {n} clients connected, using {n} kb memory",
+    "elasticsearch: cluster health status green, {n} shards active",
+];
+
+/// Generates plausible application noise lines.
+#[derive(Debug)]
+pub struct NoiseGenerator {
+    rng: SimRng,
+    /// Probability of emitting a noise line at each opportunity.
+    pub rate: f64,
+}
+
+impl NoiseGenerator {
+    /// Creates a generator emitting with the given per-tick probability.
+    pub fn new(rng: SimRng, rate: f64) -> NoiseGenerator {
+        NoiseGenerator { rng, rate }
+    }
+
+    /// Possibly produces one noise event at `now`.
+    pub fn maybe_emit(&mut self, now: SimTime) -> Option<LogEvent> {
+        if !self.rng.chance(self.rate) {
+            return None;
+        }
+        Some(self.emit(now))
+    }
+
+    /// Produces one noise event at `now`.
+    pub fn emit(&mut self, now: SimTime) -> LogEvent {
+        let template = *self.rng.choose(TEMPLATES);
+        let mut message = String::new();
+        for part in template.split("{n}") {
+            if !message.is_empty() {
+                message.push_str(&self.rng.uniform_u64(1, 5000).to_string());
+            }
+            message.push_str(part);
+        }
+        // Handle templates ending with {n}.
+        if template.ends_with("{n}") {
+            message.push_str(&self.rng.uniform_u64(1, 5000).to_string());
+        }
+        LogEvent::new(now, "application.log", message).with_type("application")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_filled_templates() {
+        let mut g = NoiseGenerator::new(SimRng::seed_from(1), 1.0);
+        for _ in 0..50 {
+            let e = g.emit(SimTime::ZERO);
+            assert!(!e.message.contains("{n}"), "unfilled: {}", e.message);
+            assert_eq!(e.source, "application.log");
+        }
+    }
+
+    #[test]
+    fn rate_zero_emits_nothing() {
+        let mut g = NoiseGenerator::new(SimRng::seed_from(1), 0.0);
+        assert!(g.maybe_emit(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn noise_does_not_match_operation_rules() {
+        let rules = crate::process_def::rolling_upgrade_rules();
+        let mut g = NoiseGenerator::new(SimRng::seed_from(2), 1.0);
+        for _ in 0..100 {
+            let e = g.emit(SimTime::ZERO);
+            assert!(rules.match_line(&e.message).is_none(), "{}", e.message);
+        }
+    }
+}

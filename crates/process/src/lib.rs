@@ -1,0 +1,33 @@
+//! Process models and conformance checking for POD-Diagnosis.
+//!
+//! This crate implements the process side of the paper:
+//!
+//! - [`ProcessModel`] — a validated BPMN subset (start/end events, tasks,
+//!   exclusive and parallel gateways) built with [`ProcessModelBuilder`];
+//!   the rolling-upgrade model of Figure 2 is an instance of it;
+//! - [`PetriNet`] — the model compiled to a labelled Petri net, following
+//!   the paper's adaptation of token replay from Petri nets to BPMN
+//!   semantics;
+//! - [`ConformanceChecker`] — the near-real-time conformance service: one
+//!   model, many traces, classifying each event as fit / unfit / error /
+//!   unclassified ([`Conformance`]) and deriving the [`ErrorContext`]
+//!   (last valid activity, expected activities, hypothesised skips) that
+//!   error diagnosis consumes;
+//! - [`replay_fitness`] — the token-replay fitness metric used to evaluate
+//!   models discovered by process mining.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod conformance;
+mod fitness;
+mod model;
+mod petri;
+
+pub use conformance::{Conformance, ConformanceChecker, ErrorContext};
+pub use fitness::{replay_fitness, ReplayCounts};
+pub use model::{
+    Flow, FlowId, GatewayKind, ModelError, Node, NodeId, NodeKind, ProcessModel,
+    ProcessModelBuilder,
+};
+pub use petri::{Marking, PetriNet, Transition};

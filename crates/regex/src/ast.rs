@@ -1,0 +1,109 @@
+//! Abstract syntax tree for the supported regex dialect.
+
+/// A single item in a character class, e.g. `a`, `a-z` or `\d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// One literal character.
+    Char(char),
+    /// An inclusive range `lo-hi`.
+    Range(char, char),
+    /// A perl-style shorthand class (`\d`, `\w`, `\s` and negations).
+    Perl(PerlClass),
+}
+
+/// Perl-style shorthand character classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerlClass {
+    /// `\d` — ASCII digits.
+    Digit,
+    /// `\D` — anything but an ASCII digit.
+    NotDigit,
+    /// `\w` — ASCII word characters (`[0-9A-Za-z_]`).
+    Word,
+    /// `\W` — anything but a word character.
+    NotWord,
+    /// `\s` — ASCII whitespace.
+    Space,
+    /// `\S` — anything but whitespace.
+    NotSpace,
+}
+
+impl PerlClass {
+    /// Whether `c` belongs to the class.
+    pub fn matches(self, c: char) -> bool {
+        match self {
+            PerlClass::Digit => c.is_ascii_digit(),
+            PerlClass::NotDigit => !c.is_ascii_digit(),
+            PerlClass::Word => c.is_ascii_alphanumeric() || c == '_',
+            PerlClass::NotWord => !(c.is_ascii_alphanumeric() || c == '_'),
+            PerlClass::Space => c.is_ascii_whitespace(),
+            PerlClass::NotSpace => !c.is_ascii_whitespace(),
+        }
+    }
+}
+
+/// A bracketed character class `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Whether the class is negated (`[^...]`).
+    pub negated: bool,
+    /// The items inside the brackets.
+    pub items: Vec<ClassItem>,
+}
+
+impl CharClass {
+    /// Whether `c` matches the class.
+    pub fn matches(&self, c: char) -> bool {
+        let inside = self.items.iter().any(|item| match item {
+            ClassItem::Char(ch) => *ch == c,
+            ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+            ClassItem::Perl(p) => p.matches(c),
+        });
+        inside != self.negated
+    }
+}
+
+/// A parsed regular expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// The empty expression, matching the empty string.
+    Empty,
+    /// One literal character.
+    Literal(char),
+    /// `.` — any character except newline.
+    AnyChar,
+    /// A bracketed class.
+    Class(CharClass),
+    /// A shorthand class used outside brackets.
+    Perl(PerlClass),
+    /// `^` — start of input.
+    StartAnchor,
+    /// `$` — end of input.
+    EndAnchor,
+    /// Concatenation of subexpressions.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// A repetition such as `a*`, `a+?`, `a{2,5}`.
+    Repeat {
+        /// The repeated subexpression.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions, `None` for unbounded.
+        max: Option<u32>,
+        /// Whether the repetition is greedy (`true` unless suffixed `?`).
+        greedy: bool,
+    },
+    /// A capturing group `(...)` or named group `(?P<name>...)`.
+    Group {
+        /// 1-based capture index.
+        index: u32,
+        /// Optional name for `(?P<name>...)` groups.
+        name: Option<String>,
+        /// Group body.
+        node: Box<Ast>,
+    },
+    /// A non-capturing group `(?:...)`.
+    NonCapturing(Box<Ast>),
+}

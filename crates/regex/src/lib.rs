@@ -1,0 +1,460 @@
+//! A small, dependency-free regular-expression engine.
+//!
+//! POD-Diagnosis is driven end-to-end by regular expressions: Logstash-style
+//! noise filters, activity matchers derived by process mining, and the
+//! process-context annotators all match log lines against patterns. This
+//! crate provides the engine, hand-rolled for the offline build environment.
+//!
+//! The dialect covers what the system needs: literals, `.`, escapes,
+//! shorthand classes (`\d \w \s` and negations), bracketed classes with
+//! ranges and negation, anchors (`^`, `$`), greedy and lazy repetition
+//! (`* + ? {m} {m,} {m,n}`), alternation, and capturing / non-capturing /
+//! named groups (`(?P<name>...)`).
+//!
+//! The implementation is a classic backtracking VM (parse → AST → compile →
+//! execute) with an empty-match loop guard, so patterns like `(a*)*` cannot
+//! hang.
+//!
+//! # Examples
+//!
+//! ```
+//! use pod_regex::Regex;
+//!
+//! let re = Regex::new(r"Instance (?P<app>\w+) on (?P<id>i-[0-9a-f]+) is ready").unwrap();
+//! let caps = re.captures("... Instance pm on i-7df34041 is ready for use.").unwrap();
+//! assert_eq!(caps.name("id").unwrap().as_str(), "i-7df34041");
+//! assert_eq!(caps.name("app").unwrap().as_str(), "pm");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+mod compile;
+mod parser;
+mod vm;
+
+pub use parser::ParseError;
+
+use compile::Program;
+
+/// A compiled regular expression.
+///
+/// Matching is *unanchored* by default: [`Regex::find`] and
+/// [`Regex::captures`] scan for the leftmost match. Use `^` / `$` in the
+/// pattern to anchor.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Program,
+    names: Vec<(u32, String)>,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the position and cause if the
+    /// pattern is not valid in the supported dialect.
+    pub fn new(pattern: &str) -> Result<Regex, ParseError> {
+        let parsed = parser::parse(pattern)?;
+        let prog = compile::compile(&parsed.ast, parsed.capture_count);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            prog,
+            names: parsed.capture_names,
+        })
+    }
+
+    /// The source pattern.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Finds the leftmost match in `text`.
+    pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
+        self.captures(text).map(|c| c.get(0).expect("group 0 always set"))
+    }
+
+    /// Finds the leftmost match and returns all capture groups.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        let chars: Vec<char> = text.chars().collect();
+        // Byte offset of each char index, plus the end offset.
+        let mut offsets = Vec::with_capacity(chars.len() + 1);
+        let mut off = 0;
+        for c in &chars {
+            offsets.push(off);
+            off += c.len_utf8();
+        }
+        offsets.push(off);
+        for start in 0..=chars.len() {
+            if let Some(slots) = vm::exec(&self.prog, &chars, start) {
+                return Some(Captures {
+                    text,
+                    offsets,
+                    slots,
+                    names: self.names.clone(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Iterates over all non-overlapping matches in `text`.
+    pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> FindIter<'r, 't> {
+        FindIter {
+            re: self,
+            text,
+            next_start: 0,
+            done: false,
+        }
+    }
+
+    /// Number of capturing groups, excluding group 0.
+    pub fn capture_count(&self) -> u32 {
+        self.prog.n_captures
+    }
+
+    /// The names of the named capture groups, in index order.
+    pub fn capture_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|(_, n)| n.as_str())
+    }
+
+    /// Replaces the leftmost match with `replacement` (no `$` expansion).
+    pub fn replace(&self, text: &str, replacement: &str) -> String {
+        match self.find(text) {
+            Some(m) => {
+                let mut out = String::with_capacity(text.len());
+                out.push_str(&text[..m.start()]);
+                out.push_str(replacement);
+                out.push_str(&text[m.end()..]);
+                out
+            }
+            None => text.to_string(),
+        }
+    }
+
+    /// Replaces every non-overlapping match with `replacement`.
+    pub fn replace_all(&self, text: &str, replacement: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut last = 0;
+        for m in self.find_iter(text) {
+            out.push_str(&text[last..m.start()]);
+            out.push_str(replacement);
+            last = m.end();
+        }
+        out.push_str(&text[last..]);
+        out
+    }
+
+    /// Splits `text` around every non-overlapping match. Empty matches
+    /// split between characters, like the standard library's pattern split.
+    pub fn split<'r, 't>(&'r self, text: &'t str) -> impl Iterator<Item = &'t str> + 'r
+    where
+        't: 'r,
+    {
+        let mut last = 0;
+        let mut matches = self.find_iter(text).collect::<Vec<_>>().into_iter();
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            match matches.next() {
+                Some(m) => {
+                    let piece = &text[last..m.start()];
+                    last = m.end();
+                    Some(piece)
+                }
+                None => {
+                    done = true;
+                    Some(&text[last..])
+                }
+            }
+        })
+    }
+}
+
+/// A single match: a located substring of the searched text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'t> {
+    text: &'t str,
+    start: usize,
+    end: usize,
+}
+
+impl<'t> Match<'t> {
+    /// Byte offset of the start of the match.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Byte offset of the end of the match (exclusive).
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The matched text.
+    pub fn as_str(&self) -> &'t str {
+        &self.text[self.start..self.end]
+    }
+
+    /// Whether the match is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The capture groups of a successful match. Group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    text: &'t str,
+    offsets: Vec<usize>,
+    slots: Vec<Option<usize>>,
+    names: Vec<(u32, String)>,
+}
+
+impl<'t> Captures<'t> {
+    /// Returns the match for capture group `i`, if it participated.
+    pub fn get(&self, i: usize) -> Option<Match<'t>> {
+        let s = (*self.slots.get(2 * i)?)?;
+        let e = (*self.slots.get(2 * i + 1)?)?;
+        Some(Match {
+            text: self.text,
+            start: self.offsets[s],
+            end: self.offsets[e],
+        })
+    }
+
+    /// Returns the match for the named group `name`.
+    pub fn name(&self, name: &str) -> Option<Match<'t>> {
+        let idx = self
+            .names
+            .iter()
+            .find(|(_, n)| n == name)
+            .map(|(i, _)| *i as usize)?;
+        self.get(idx)
+    }
+
+    /// Number of groups, including group 0.
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    /// Always `false`: group 0 exists on every successful match.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Iterator over non-overlapping matches; see [`Regex::find_iter`].
+#[derive(Debug)]
+pub struct FindIter<'r, 't> {
+    re: &'r Regex,
+    text: &'t str,
+    next_start: usize,
+    done: bool,
+}
+
+impl<'t> Iterator for FindIter<'_, 't> {
+    type Item = Match<'t>;
+
+    fn next(&mut self) -> Option<Match<'t>> {
+        if self.done || self.next_start > self.text.len() {
+            return None;
+        }
+        let tail = &self.text[self.next_start..];
+        let m = self.re.find(tail)?;
+        let abs = Match {
+            text: self.text,
+            start: self.next_start + m.start(),
+            end: self.next_start + m.end(),
+        };
+        if abs.is_empty() {
+            // Step one char past an empty match to guarantee progress.
+            match self.text[abs.end()..].chars().next() {
+                Some(c) => self.next_start = abs.end() + c.len_utf8(),
+                None => self.done = true,
+            }
+        } else {
+            self.next_start = abs.end();
+        }
+        Some(abs)
+    }
+}
+
+/// A set of patterns matched together, used by the log pipeline's noise
+/// filter and the activity matchers.
+///
+/// # Examples
+///
+/// ```
+/// use pod_regex::RegexSet;
+///
+/// let set = RegexSet::new(&[r"ERROR", r"instance i-\w+ terminated"]).unwrap();
+/// assert_eq!(set.first_match("instance i-abc123 terminated"), Some(1));
+/// assert!(set.matches("all quiet").is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegexSet {
+    regexes: Vec<Regex>,
+}
+
+impl RegexSet {
+    /// Compiles every pattern; fails on the first invalid one.
+    pub fn new<S: AsRef<str>>(patterns: &[S]) -> Result<RegexSet, ParseError> {
+        let regexes = patterns
+            .iter()
+            .map(|p| Regex::new(p.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RegexSet { regexes })
+    }
+
+    /// Indices of all patterns that match `text`.
+    pub fn matches(&self, text: &str) -> Vec<usize> {
+        self.regexes
+            .iter()
+            .enumerate()
+            .filter(|(_, re)| re.is_match(text))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the first (lowest-index) matching pattern.
+    pub fn first_match(&self, text: &str) -> Option<usize> {
+        self.regexes.iter().position(|re| re.is_match(text))
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.regexes.len()
+    }
+
+    /// Whether the set contains no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.regexes.is_empty()
+    }
+
+    /// The individual compiled patterns.
+    pub fn regexes(&self) -> &[Regex] {
+        &self.regexes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanchored_find_locates_leftmost() {
+        let re = Regex::new(r"\d+").unwrap();
+        let m = re.find("abc 123 def 456").unwrap();
+        assert_eq!(m.as_str(), "123");
+        assert_eq!((m.start(), m.end()), (4, 7));
+    }
+
+    #[test]
+    fn find_iter_collects_all() {
+        let re = Regex::new(r"i-[0-9a-f]+").unwrap();
+        let ids: Vec<&str> = re
+            .find_iter("i-7df34041, i-aa12, then i-beef")
+            .map(|m| m.as_str())
+            .collect();
+        assert_eq!(ids, vec!["i-7df34041", "i-aa12", "i-beef"]);
+    }
+
+    #[test]
+    fn find_iter_handles_empty_matches() {
+        let re = Regex::new(r"x*").unwrap();
+        let count = re.find_iter("abc").count();
+        assert_eq!(count, 4); // empty match at each position incl. end
+    }
+
+    #[test]
+    fn named_captures() {
+        let re = Regex::new(r"\[(?P<level>INFO|ERROR)\] (?P<msg>.*)$").unwrap();
+        let caps = re.captures("[ERROR] instance launch failed").unwrap();
+        assert_eq!(caps.name("level").unwrap().as_str(), "ERROR");
+        assert_eq!(caps.name("msg").unwrap().as_str(), "instance launch failed");
+        assert!(caps.name("missing").is_none());
+    }
+
+    #[test]
+    fn optional_group_is_none_when_absent() {
+        let re = Regex::new(r"a(b)?c").unwrap();
+        let caps = re.captures("ac").unwrap();
+        assert!(caps.get(1).is_none());
+        assert_eq!(caps.len(), 2);
+    }
+
+    #[test]
+    fn unicode_text_offsets_are_bytes() {
+        let re = Regex::new("b").unwrap();
+        let m = re.find("äb").unwrap();
+        assert_eq!(m.start(), 2);
+        assert_eq!(m.as_str(), "b");
+    }
+
+    #[test]
+    fn replace_first() {
+        let re = Regex::new(r"\d+").unwrap();
+        assert_eq!(re.replace("run 42 done", "N"), "run N done");
+        assert_eq!(re.replace("no digits", "N"), "no digits");
+    }
+
+    #[test]
+    fn replace_all_matches() {
+        let re = Regex::new(r"\d+").unwrap();
+        assert_eq!(re.replace_all("1 and 22 and 333", "N"), "N and N and N");
+        assert_eq!(re.replace_all("nothing", "N"), "nothing");
+    }
+
+    #[test]
+    fn split_around_matches() {
+        let re = Regex::new(r",\s*").unwrap();
+        let parts: Vec<&str> = re.split("a, b,c,  d").collect();
+        assert_eq!(parts, vec!["a", "b", "c", "d"]);
+        let re = Regex::new("x").unwrap();
+        let parts: Vec<&str> = re.split("no matches").collect();
+        assert_eq!(parts, vec!["no matches"]);
+    }
+
+    #[test]
+    fn realistic_asgard_pattern() {
+        let re = Regex::new(
+            r"Pushing (?P<ami>ami-[0-9a-f]+) into group (?P<asg>[\w-]+) for app (?P<app>\w+)",
+        )
+        .unwrap();
+        let line = "[2013-10-24 11:41:48,312] [Task:Pushing ami-750c9e4f into group pm--asg for app pm]";
+        let caps = re.captures(line).unwrap();
+        assert_eq!(caps.name("ami").unwrap().as_str(), "ami-750c9e4f");
+        assert_eq!(caps.name("asg").unwrap().as_str(), "pm--asg");
+    }
+
+    #[test]
+    fn timestamp_pattern() {
+        let re = Regex::new(r"^\[(?P<ts>\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3})\]").unwrap();
+        let caps = re.captures("[2013-11-19 11:48:01,100] [diagnosis] ...").unwrap();
+        assert_eq!(caps.name("ts").unwrap().as_str(), "2013-11-19 11:48:01,100");
+    }
+
+    #[test]
+    fn alternation_prefers_left_branch() {
+        let re = Regex::new("ab|a").unwrap();
+        assert_eq!(re.find("ab").unwrap().as_str(), "ab");
+    }
+
+    #[test]
+    fn set_reports_all_matches() {
+        let set = RegexSet::new(&["a", "b", "c"]).unwrap();
+        assert_eq!(set.matches("cab"), vec![0, 1, 2]);
+        assert_eq!(set.matches("b"), vec![1]);
+        assert_eq!(set.len(), 3);
+    }
+}

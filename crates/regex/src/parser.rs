@@ -1,0 +1,518 @@
+//! Recursive-descent parser for the supported regex dialect.
+//!
+//! Supported syntax: literals, `.`; escapes `\d \D \w \W \s \S \n \t \r` and
+//! escaped metacharacters; classes `[...]` with ranges, negation and
+//! shorthand classes; anchors `^ $`; repetition `* + ? {m} {m,} {m,n}` each
+//! with an optional non-greedy `?` suffix; alternation `|`; groups `(...)`,
+//! `(?:...)` and named groups `(?P<name>...)` / `(?<name>...)`.
+
+use std::fmt;
+
+use crate::ast::{Ast, CharClass, ClassItem, PerlClass};
+
+/// An error produced while parsing a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the pattern where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of a successful parse.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// Root of the AST.
+    pub ast: Ast,
+    /// Number of capturing groups (not counting group 0, the whole match).
+    pub capture_count: u32,
+    /// Names of named groups, as `(index, name)` pairs.
+    pub capture_names: Vec<(u32, String)>,
+}
+
+/// Maximum expansion allowed for `{m,n}` repetitions; guards against
+/// pathological compile-time blowup.
+const MAX_REPEAT: u32 = 256;
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+    next_group: u32,
+    names: Vec<(u32, String)>,
+}
+
+/// Parses `pattern` into an AST.
+pub fn parse(pattern: &str) -> Result<Parsed, ParseError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+        next_group: 1,
+        names: Vec::new(),
+    };
+    let ast = p.parse_alternation()?;
+    if p.pos < p.chars.len() {
+        return Err(p.error(format!("unexpected `{}`", p.chars[p.pos])));
+    }
+    Ok(Parsed {
+        ast,
+        capture_count: p.next_group - 1,
+        capture_names: p.names,
+    })
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos.min(self.pattern.len()),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        match items.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(items.pop().expect("one item")),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                if let Some(bounds) = self.try_parse_bounds()? {
+                    bounds
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::Empty
+        ) {
+            return Err(self.error("repetition operator applied to an anchor or empty expression"));
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Parses `{m}`, `{m,}`, `{m,n}` after the opening brace position.
+    /// Returns `None` (restoring position) when the braces are not a valid
+    /// bound, in which case `{` is treated as a literal.
+    fn try_parse_bounds(&mut self) -> Result<Option<(u32, Option<u32>)>, ParseError> {
+        let start = self.pos;
+        self.bump(); // consume '{'
+        let min = self.parse_number();
+        let bounds = match (min, self.peek()) {
+            (Some(m), Some('}')) => {
+                self.bump();
+                Some((m, Some(m)))
+            }
+            (Some(m), Some(',')) => {
+                self.bump();
+                let max = self.parse_number();
+                if self.eat('}') {
+                    Some((m, max))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match bounds {
+            Some((m, x)) => {
+                if let Some(x) = x {
+                    if x < m {
+                        return Err(self.error("repetition bound {m,n} requires m <= n"));
+                    }
+                    if x > MAX_REPEAT {
+                        return Err(self.error(format!("repetition bound exceeds {MAX_REPEAT}")));
+                    }
+                } else if m > MAX_REPEAT {
+                    return Err(self.error(format!("repetition bound exceeds {MAX_REPEAT}")));
+                }
+                Ok(Some((m, x)))
+            }
+            None => {
+                self.pos = start;
+                Ok(None)
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().ok()
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            Some('(') => self.parse_group(),
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some(c @ ('*' | '+' | '?')) => Err(self.error(format!("dangling `{c}`"))),
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+            None => Ok(Ast::Empty),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Ast, ParseError> {
+        self.bump(); // '('
+        let mut name = None;
+        let mut capturing = true;
+        if self.eat('?') {
+            match self.peek() {
+                Some(':') => {
+                    self.bump();
+                    capturing = false;
+                }
+                Some('P') | Some('<') => {
+                    if self.peek() == Some('P') {
+                        self.bump();
+                    }
+                    if !self.eat('<') {
+                        return Err(self.error("expected `<` after `(?P`"));
+                    }
+                    let mut n = String::new();
+                    while let Some(c) = self.peek() {
+                        if c == '>' {
+                            break;
+                        }
+                        if !(c.is_ascii_alphanumeric() || c == '_') {
+                            return Err(self.error(format!("invalid group-name character `{c}`")));
+                        }
+                        n.push(c);
+                        self.bump();
+                    }
+                    if !self.eat('>') {
+                        return Err(self.error("unterminated group name"));
+                    }
+                    if n.is_empty() {
+                        return Err(self.error("empty group name"));
+                    }
+                    name = Some(n);
+                }
+                _ => return Err(self.error("unsupported group flag")),
+            }
+        }
+        let ast = if capturing {
+            let index = self.next_group;
+            self.next_group += 1;
+            if let Some(ref n) = name {
+                if self.names.iter().any(|(_, existing)| existing == n) {
+                    return Err(self.error(format!("duplicate group name `{n}`")));
+                }
+                self.names.push((index, n.clone()));
+            }
+            let node = Box::new(self.parse_alternation()?);
+            Ast::Group { index, name, node }
+        } else {
+            Ast::NonCapturing(Box::new(self.parse_alternation()?))
+        };
+        if !self.eat(')') {
+            return Err(self.error("unterminated group"));
+        }
+        Ok(ast)
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        self.bump(); // '['
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        // `]` immediately after `[` or `[^` is a literal.
+        if self.peek() == Some(']') {
+            self.bump();
+            items.push(ClassItem::Char(']'));
+        }
+        loop {
+            let c = match self.peek() {
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => c,
+                None => return Err(self.error("unterminated character class")),
+            };
+            self.bump();
+            let lo = if c == '\\' {
+                match self.class_escape()? {
+                    ClassAtom::Char(ch) => ch,
+                    ClassAtom::Perl(p) => {
+                        items.push(ClassItem::Perl(p));
+                        continue;
+                    }
+                }
+            } else {
+                c
+            };
+            // Possible range `lo-hi`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                if self.chars.get(self.pos + 1).is_none() {
+                    return Err(self.error("unterminated character class"));
+                }
+                self.bump(); // '-'
+                let hc = self.bump().expect("checked above");
+                let hi = if hc == '\\' {
+                    match self.class_escape()? {
+                        ClassAtom::Char(ch) => ch,
+                        ClassAtom::Perl(_) => {
+                            return Err(self.error("shorthand class cannot bound a range"))
+                        }
+                    }
+                } else {
+                    hc
+                };
+                if hi < lo {
+                    return Err(self.error("invalid character range"));
+                }
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Char(lo));
+            }
+        }
+        Ok(Ast::Class(CharClass { negated, items }))
+    }
+
+    fn class_escape(&mut self) -> Result<ClassAtom, ParseError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("dangling escape in character class"))?;
+        Ok(match c {
+            'd' => ClassAtom::Perl(PerlClass::Digit),
+            'D' => ClassAtom::Perl(PerlClass::NotDigit),
+            'w' => ClassAtom::Perl(PerlClass::Word),
+            'W' => ClassAtom::Perl(PerlClass::NotWord),
+            's' => ClassAtom::Perl(PerlClass::Space),
+            'S' => ClassAtom::Perl(PerlClass::NotSpace),
+            'n' => ClassAtom::Char('\n'),
+            't' => ClassAtom::Char('\t'),
+            'r' => ClassAtom::Char('\r'),
+            other => ClassAtom::Char(other),
+        })
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, ParseError> {
+        self.bump(); // '\'
+        let c = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+        Ok(match c {
+            'd' => Ast::Perl(PerlClass::Digit),
+            'D' => Ast::Perl(PerlClass::NotDigit),
+            'w' => Ast::Perl(PerlClass::Word),
+            'W' => Ast::Perl(PerlClass::NotWord),
+            's' => Ast::Perl(PerlClass::Space),
+            'S' => Ast::Perl(PerlClass::NotSpace),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            other => Ast::Literal(other),
+        })
+    }
+}
+
+enum ClassAtom {
+    Char(char),
+    Perl(PerlClass),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_concat() {
+        let p = parse("abc").unwrap();
+        assert_eq!(
+            p.ast,
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_and_groups() {
+        let p = parse("(a|b)c").unwrap();
+        assert_eq!(p.capture_count, 1);
+        match &p.ast {
+            Ast::Concat(items) => {
+                assert!(matches!(items[0], Ast::Group { index: 1, .. }));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_named_groups() {
+        let p = parse(r"(?P<id>i-[0-9a-f]+)").unwrap();
+        assert_eq!(p.capture_names, vec![(1, "id".to_string())]);
+        let p2 = parse(r"(?<id2>\d+)").unwrap();
+        assert_eq!(p2.capture_names, vec![(1, "id2".to_string())]);
+    }
+
+    #[test]
+    fn rejects_duplicate_group_names() {
+        assert!(parse(r"(?P<a>x)(?P<a>y)").is_err());
+    }
+
+    #[test]
+    fn parses_bounded_repeats() {
+        let p = parse(r"\d{4}").unwrap();
+        assert_eq!(
+            p.ast,
+            Ast::Repeat {
+                node: Box::new(Ast::Perl(PerlClass::Digit)),
+                min: 4,
+                max: Some(4),
+                greedy: true,
+            }
+        );
+    }
+
+    #[test]
+    fn brace_without_bound_is_literal() {
+        let p = parse("a{b").unwrap();
+        assert_eq!(
+            p.ast,
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        assert!(parse("a{3,2}").is_err());
+        assert!(parse(&format!("a{{1,{}}}", 10_000)).is_err());
+    }
+
+    #[test]
+    fn parses_classes() {
+        let p = parse(r"[^a-z\d_]").unwrap();
+        match p.ast {
+            Ast::Class(c) => {
+                assert!(c.negated);
+                assert_eq!(c.items.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_bracket_in_class_is_literal() {
+        let p = parse(r"[]a]").unwrap();
+        match p.ast {
+            Ast::Class(c) => assert_eq!(
+                c.items,
+                vec![ClassItem::Char(']'), ClassItem::Char('a')]
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_dangling_operators() {
+        assert!(parse("*a").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse(r"a\").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn rejects_repeat_of_anchor() {
+        assert!(parse("^*").is_err());
+    }
+
+    #[test]
+    fn non_capturing_group_does_not_count() {
+        let p = parse("(?:ab)+(c)").unwrap();
+        assert_eq!(p.capture_count, 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The backtracking virtual machine that executes compiled programs.
+
+use crate::compile::{Inst, Program};
+
+/// Upper bound on VM steps per match attempt; guards against pathological
+/// backtracking. Log lines are short and the system's patterns are fixed, so
+/// this limit is never reached in practice.
+const STEP_LIMIT: usize = 1 << 22;
+
+/// The result of running the VM: capture slots (`None` where a group did not
+/// participate in the match).
+pub type Slots = Vec<Option<usize>>;
+
+#[derive(Debug)]
+struct Frame {
+    pc: usize,
+    pos: usize,
+    slots: Slots,
+    regs: Vec<usize>,
+}
+
+/// Attempts to match `prog` against `input` starting exactly at char index
+/// `start`. Returns the capture slots on success.
+pub fn exec(prog: &Program, input: &[char], start: usize) -> Option<Slots> {
+    let mut slots: Slots = vec![None; prog.n_slots];
+    let mut regs: Vec<usize> = vec![usize::MAX; prog.n_regs];
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pc = 0usize;
+    let mut pos = start;
+    let mut steps = 0usize;
+
+    macro_rules! backtrack {
+        () => {
+            match stack.pop() {
+                Some(f) => {
+                    pc = f.pc;
+                    pos = f.pos;
+                    slots = f.slots;
+                    regs = f.regs;
+                    continue;
+                }
+                None => return None,
+            }
+        };
+    }
+
+    loop {
+        steps += 1;
+        if steps > STEP_LIMIT {
+            return None;
+        }
+        match &prog.insts[pc] {
+            Inst::Char(c) => {
+                if input.get(pos) == Some(c) {
+                    pos += 1;
+                    pc += 1;
+                } else {
+                    backtrack!();
+                }
+            }
+            Inst::Any => {
+                if input.get(pos).is_some_and(|c| *c != '\n') {
+                    pos += 1;
+                    pc += 1;
+                } else {
+                    backtrack!();
+                }
+            }
+            Inst::Class(class) => {
+                if input.get(pos).is_some_and(|c| class.matches(*c)) {
+                    pos += 1;
+                    pc += 1;
+                } else {
+                    backtrack!();
+                }
+            }
+            Inst::Perl(p) => {
+                if input.get(pos).is_some_and(|c| p.matches(*c)) {
+                    pos += 1;
+                    pc += 1;
+                } else {
+                    backtrack!();
+                }
+            }
+            Inst::Split(first, second) => {
+                stack.push(Frame {
+                    pc: *second,
+                    pos,
+                    slots: slots.clone(),
+                    regs: regs.clone(),
+                });
+                pc = *first;
+            }
+            Inst::Jump(target) => pc = *target,
+            Inst::Save(slot) => {
+                slots[*slot] = Some(pos);
+                pc += 1;
+            }
+            Inst::Mark(reg) => {
+                regs[*reg] = pos;
+                pc += 1;
+            }
+            Inst::IfProgress { reg, target } => {
+                if regs[*reg] != pos {
+                    pc = *target;
+                } else {
+                    // The loop body matched the empty string; stop iterating
+                    // to avoid an infinite loop.
+                    pc += 1;
+                }
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    pc += 1;
+                } else {
+                    backtrack!();
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == input.len() {
+                    pc += 1;
+                } else {
+                    backtrack!();
+                }
+            }
+            Inst::Match => return Some(slots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn run(pattern: &str, text: &str) -> Option<Slots> {
+        let parsed = parse(pattern).unwrap();
+        let prog = compile(&parsed.ast, parsed.capture_count);
+        let chars: Vec<char> = text.chars().collect();
+        exec(&prog, &chars, 0)
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(run("abc", "abc").is_some());
+        assert!(run("abc", "abd").is_none());
+    }
+
+    #[test]
+    fn captures_record_positions() {
+        let slots = run("a(b+)c", "abbbc").unwrap();
+        assert_eq!(slots[0], Some(0));
+        assert_eq!(slots[1], Some(5));
+        assert_eq!(slots[2], Some(1));
+        assert_eq!(slots[3], Some(4));
+    }
+
+    #[test]
+    fn empty_loop_terminates() {
+        // `(a*)*` against "b" must match the empty prefix, not hang.
+        let slots = run("(a*)*", "b").unwrap();
+        assert_eq!(slots[0], Some(0));
+        assert_eq!(slots[1], Some(0));
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        let greedy = run("a(.*)c", "abcbc").unwrap();
+        assert_eq!((greedy[2], greedy[3]), (Some(1), Some(4)));
+        let lazy = run("a(.*?)c", "abcbc").unwrap();
+        assert_eq!((lazy[2], lazy[3]), (Some(1), Some(2)));
+    }
+
+    #[test]
+    fn anchors_enforced() {
+        assert!(run("^ab$", "ab").is_some());
+        assert!(run("^ab$", "abx").is_none());
+    }
+}

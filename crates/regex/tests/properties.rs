@@ -1,0 +1,142 @@
+//! Property-based tests for the regex engine.
+
+use pod_regex::{Regex, RegexSet};
+use proptest::prelude::*;
+
+/// Escapes a literal string so it can be embedded in a pattern verbatim.
+fn escape(lit: &str) -> String {
+    let mut out = String::new();
+    for c in lit.chars() {
+        if "\\.+*?()|[]{}^$".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// An escaped literal always matches itself.
+    #[test]
+    fn escaped_literal_matches_itself(s in "[ -~]{0,40}") {
+        let re = Regex::new(&escape(&s)).unwrap();
+        prop_assert!(re.is_match(&s));
+    }
+
+    /// An anchored escaped literal matches exactly and only itself.
+    #[test]
+    fn anchored_literal_is_exact(s in "[a-zA-Z0-9 _-]{1,30}", extra in "[a-zA-Z0-9]{1,5}") {
+        let re = Regex::new(&format!("^{}$", escape(&s))).unwrap();
+        prop_assert!(re.is_match(&s));
+        let suffixed = format!("{s}{extra}");
+        let prefixed = format!("{extra}{s}");
+        prop_assert!(!re.is_match(&suffixed));
+        prop_assert!(!re.is_match(&prefixed));
+    }
+
+    /// `find` returns a range whose slice equals `as_str`, inside bounds.
+    #[test]
+    fn find_range_is_consistent(hay in "[ -~]{0,60}") {
+        let re = Regex::new(r"[0-9]+").unwrap();
+        if let Some(m) = re.find(&hay) {
+            prop_assert!(m.end() <= hay.len());
+            prop_assert_eq!(m.as_str(), &hay[m.start()..m.end()]);
+            prop_assert!(m.as_str().chars().all(|c| c.is_ascii_digit()));
+            // Leftmost: nothing before the match may contain a digit.
+            prop_assert!(!hay[..m.start()].chars().any(|c| c.is_ascii_digit()));
+        } else {
+            prop_assert!(!hay.chars().any(|c| c.is_ascii_digit()));
+        }
+    }
+
+    /// `find_iter` yields non-overlapping, strictly advancing matches.
+    #[test]
+    fn find_iter_advances(hay in "[a-c0-9]{0,50}") {
+        let re = Regex::new(r"[0-9]+").unwrap();
+        let mut last_end = 0usize;
+        for m in re.find_iter(&hay) {
+            prop_assert!(m.start() >= last_end);
+            prop_assert!(m.end() > m.start());
+            last_end = m.end();
+        }
+    }
+
+    /// Star never fails: `x*` matches every string.
+    #[test]
+    fn star_matches_everything(hay in "[ -~]{0,50}") {
+        let re = Regex::new("x*").unwrap();
+        prop_assert!(re.is_match(&hay));
+    }
+
+    /// Alternation is the union of its branches.
+    #[test]
+    fn alternation_is_union(hay in "[a-f]{0,20}") {
+        let left = Regex::new("ab").unwrap();
+        let right = Regex::new("cd").unwrap();
+        let both = Regex::new("ab|cd").unwrap();
+        prop_assert_eq!(both.is_match(&hay), left.is_match(&hay) || right.is_match(&hay));
+    }
+
+    /// A bounded repeat `a{m,n}` matches iff the run length is within bounds
+    /// (for fully-anchored input).
+    #[test]
+    fn bounded_repeat_counts(n in 0usize..12) {
+        let hay: String = std::iter::repeat('a').take(n).collect();
+        let re = Regex::new("^a{2,5}$").unwrap();
+        prop_assert_eq!(re.is_match(&hay), (2..=5).contains(&n));
+    }
+
+    /// Captures lie within the overall match.
+    #[test]
+    fn captures_nested_in_match(hay in "[a-z0-9 ]{0,40}") {
+        let re = Regex::new(r"(\w+) (\w+)").unwrap();
+        if let Some(caps) = re.captures(&hay) {
+            let whole = caps.get(0).unwrap();
+            for i in 1..caps.len() {
+                if let Some(g) = caps.get(i) {
+                    prop_assert!(g.start() >= whole.start());
+                    prop_assert!(g.end() <= whole.end());
+                }
+            }
+        }
+    }
+
+    /// RegexSet::matches agrees with matching each pattern individually.
+    #[test]
+    fn set_agrees_with_individuals(hay in "[a-e]{0,20}") {
+        let pats = ["ab", "cd", "e+", "a$"];
+        let set = RegexSet::new(&pats).unwrap();
+        let expected: Vec<usize> = pats
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| Regex::new(p).unwrap().is_match(&hay))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(set.matches(&hay), expected);
+    }
+
+    /// The engine never panics on arbitrary (possibly invalid) patterns.
+    #[test]
+    fn parser_never_panics(pat in "[ -~]{0,30}") {
+        let _ = Regex::new(&pat); // Ok or Err, but no panic
+    }
+
+    /// Valid random patterns built from a safe grammar never hang or panic
+    /// when run against random input.
+    #[test]
+    fn safe_patterns_terminate(
+        pat in prop::sample::select(vec![
+            r"(a|b)*c",
+            r"a+b+c?",
+            r"(x*)*y",
+            r"[a-m]{1,4}[n-z]*",
+            r"(?:ab|ba)+",
+            r"(?P<g>a(b|c)d)e?",
+            r".*z.*",
+        ]),
+        hay in "[a-z]{0,40}",
+    ) {
+        let re = Regex::new(pat).unwrap();
+        let _ = re.captures(&hay);
+    }
+}

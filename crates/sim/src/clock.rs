@@ -1,0 +1,94 @@
+//! A shared virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A shared handle to the simulation's virtual clock.
+///
+/// The clock is advanced by whichever component drives the simulation (the
+/// scenario runner or the event loop); every other component holds a clone of
+/// the handle and reads the current time for timestamps.
+///
+/// Cloning a `Clock` is cheap and all clones observe the same time.
+///
+/// # Examples
+///
+/// ```
+/// use pod_sim::{Clock, SimDuration, SimTime};
+///
+/// let clock = Clock::new();
+/// let reader = clock.clone();
+/// clock.advance(SimDuration::from_millis(250));
+/// assert_eq!(reader.now(), SimTime::from_millis(250));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    micros: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Clock {
+            micros: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let new = self.micros.fetch_add(d.as_micros(), Ordering::SeqCst) + d.as_micros();
+        SimTime::from_micros(new)
+    }
+
+    /// Moves the clock forward to `t`. Does nothing if `t` is in the past —
+    /// virtual time never runs backwards.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let target = t.as_micros();
+        let mut cur = self.micros.load(Ordering::SeqCst);
+        while cur < target {
+            match self
+                .micros
+                .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime::from_micros(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_millis(5));
+        assert_eq!(b.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = Clock::new();
+        c.advance_to(SimTime::from_millis(100));
+        c.advance_to(SimTime::from_millis(50));
+        assert_eq!(c.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn advance_returns_new_time() {
+        let c = Clock::new();
+        let t = c.advance(SimDuration::from_millis(3));
+        assert_eq!(t, SimTime::from_millis(3));
+    }
+}

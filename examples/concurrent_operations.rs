@@ -1,0 +1,102 @@
+//! Interference demo: a rolling upgrade confounded by simultaneous
+//! operations — a legitimate scale-in (later acknowledged by the operator)
+//! and a random instance termination — showing how process context
+//! separates expected changes from real anomalies, and how diagnosis
+//! attributes each detection.
+//!
+//! Run with `cargo run --example concurrent_operations`.
+
+use pod_diagnosis::cloud::Cloud;
+use pod_diagnosis::core::SharedEnv;
+use pod_diagnosis::eval::{build_engine, build_scenario, ScenarioConfig};
+use pod_diagnosis::log::LogEvent;
+use pod_diagnosis::orchestrator::{Interference, RollingUpgrade, UpgradeObserver};
+use pod_diagnosis::sim::{SimRng, SimTime};
+
+struct Monitor<'s> {
+    engine: pod_diagnosis::core::PodEngine,
+    scenario: &'s pod_diagnosis::eval::Scenario,
+    env: SharedEnv,
+    schedule: Vec<(SimTime, Interference)>,
+    ack_at: Option<SimTime>,
+    rng: SimRng,
+}
+
+impl UpgradeObserver for Monitor<'_> {
+    fn on_log(&mut self, event: LogEvent) {
+        self.engine.ingest(event);
+    }
+
+    fn on_tick(&mut self, cloud: &Cloud, now: SimTime) {
+        let due: Vec<(SimTime, Interference)> = {
+            let (fire, keep): (Vec<_>, Vec<_>) =
+                self.schedule.drain(..).partition(|(at, _)| now >= *at);
+            self.schedule = keep;
+            fire
+        };
+        for (_, kind) in due {
+            kind.apply(cloud, &self.scenario.upgrade, &mut self.rng);
+            println!(">>> concurrent operation at {now}: {kind:?}");
+            if kind == Interference::ScaleIn {
+                // The operator acknowledges the legitimate change 75 s later.
+                self.ack_at = Some(SimTime::from_micros(now.as_micros() + 75_000_000));
+            }
+        }
+        if let Some(at) = self.ack_at {
+            if now >= at {
+                self.env.update(|e| e.expected_count -= 1);
+                self.ack_at = None;
+                println!(">>> operator acknowledged the scale-in at {now} (N := N-1)");
+            }
+        }
+        self.engine.poll();
+    }
+}
+
+fn main() {
+    let config = ScenarioConfig {
+        seed: 23,
+        cluster_size: 8,
+        ..ScenarioConfig::default()
+    };
+    let scenario = build_scenario(&config);
+    let engine = build_engine(&scenario, &config);
+    let mut monitor = Monitor {
+        engine,
+        scenario: &scenario,
+        env: scenario.env.clone(),
+        schedule: vec![
+            (SimTime::from_secs(120), Interference::ScaleIn),
+            (SimTime::from_secs(300), Interference::RandomTermination),
+        ],
+        ack_at: None,
+        rng: SimRng::seed_from(5),
+    };
+    let mut upgrade = RollingUpgrade::new(
+        scenario.cloud.clone(),
+        scenario.upgrade.clone(),
+        scenario.trace_id.clone(),
+    );
+    let report = upgrade.run(&mut monitor);
+    let summary = monitor.engine.finish();
+
+    println!(
+        "\nupgrade {:?}; {} detections",
+        report.outcome,
+        summary.detections.len()
+    );
+    for d in &summary.detections {
+        println!("  [{}] {:?}: {}", d.at, d.source, d.description);
+        if let Some(diag) = &d.diagnosis {
+            for c in &diag.root_causes {
+                println!("      root cause: {}", c.description);
+            }
+            for c in &diag.stopped_at {
+                println!("      confirmed but cause unknown: {}", c.description);
+            }
+            if diag.root_causes.is_empty() && diag.stopped_at.is_empty() {
+                println!("      no root cause identified");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Reproduces the paper's evaluation (Section V): 160 fault-injection runs
+//! (8 fault types × 20 runs) of a rolling upgrade on clusters of 4 or 20
+//! instances, confounded by concurrent operations — then prints Table I,
+//! Figure 6 and Figure 7.
+//!
+//! Run with `cargo run --release --example fault_injection_campaign`.
+//! Pass a number to change runs-per-fault (e.g. `-- 5` for a quick pass).
+
+use pod_diagnosis::eval::{render_report, Campaign, CampaignConfig};
+
+fn main() {
+    let runs_per_fault: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let config = CampaignConfig {
+        runs_per_fault,
+        seed: 2014, // the year of the paper
+        ..CampaignConfig::default()
+    };
+    eprintln!(
+        "running {} upgrades ({} per fault type) — all in virtual time...",
+        runs_per_fault * 8,
+        runs_per_fault
+    );
+    let started = std::time::Instant::now();
+    let report = Campaign::new(config).run();
+    eprintln!("campaign finished in {:.1?} wall-clock", started.elapsed());
+    println!("{}", render_report(&report));
+    let mut counts = std::collections::BTreeMap::new();
+    for r in &report.records {
+        for s in &r.detection_sources {
+            *counts.entry(format!("{s:?}")).or_insert(0usize) += 1;
+        }
+    }
+    println!("-- raw detection sources --");
+    for (k, v) in counts {
+        println!("{k:<28} {v}");
+    }
+
+
+    println!("-- paper targets --");
+    println!("precision 91.95%, recall 100%, accuracy (of detected) 96.55%, AR 97.13%");
+    println!("diagnosis time: min 1.29s, mean 2.30s, p95 <= 3.83s, max 10.44s");
+    println!("conformance: 20 of 80 resource-fault runs flagged before assertions");
+}

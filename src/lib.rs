@@ -1,0 +1,38 @@
+//! POD-Diagnosis — error diagnosis of sporadic operations on cloud
+//! applications.
+//!
+//! This is the umbrella crate of the workspace: it re-exports every
+//! subsystem so examples and downstream users can depend on a single crate.
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module mapping.
+//!
+//! The workspace reproduces the system described in *"POD-Diagnosis: Error
+//! Diagnosis of Sporadic Operations on Cloud Applications"* (DSN 2014):
+//! sporadic operations (the case study is a rolling upgrade) are modelled as
+//! explicit processes; log lines are annotated with process context and
+//! drive token-replay conformance checking and assertion evaluation; any
+//! detected error triggers a fault-tree walk that runs on-demand diagnostic
+//! tests to pinpoint root causes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pod_diagnosis::eval::{Campaign, CampaignConfig};
+//!
+//! // Run a tiny fault-injection campaign (2 runs per fault type).
+//! let config = CampaignConfig { runs_per_fault: 2, seed: 42, ..CampaignConfig::default() };
+//! let report = Campaign::new(config).run();
+//! assert!(report.overall.detection_recall() > 0.9);
+//! ```
+
+pub use pod_assert as assert;
+pub use pod_cloud as cloud;
+pub use pod_core as core;
+pub use pod_eval as eval;
+pub use pod_faulttree as faulttree;
+pub use pod_log as log;
+pub use pod_mining as mining;
+pub use pod_orchestrator as orchestrator;
+pub use pod_process as process;
+pub use pod_regex as regex;
+pub use pod_sim as sim;
