@@ -129,9 +129,7 @@ impl CloudAssertion {
     /// fault tree per assertion").
     pub fn key(&self) -> &'static str {
         match self {
-            CloudAssertion::AsgHasInstancesWithVersion { .. } => {
-                "asg-has-n-instances-with-version"
-            }
+            CloudAssertion::AsgHasInstancesWithVersion { .. } => "asg-has-n-instances-with-version",
             CloudAssertion::AsgInstanceCount { .. } => "asg-instance-count",
             CloudAssertion::AsgDesiredCapacity { .. } => "asg-desired-capacity",
             CloudAssertion::AsgActiveCountAtLeast { .. } => "asg-active-count-at-least",
@@ -145,14 +143,10 @@ impl CloudAssertion {
             CloudAssertion::SecurityGroupAvailable => "security-group-available",
             CloudAssertion::ElbAvailable => "elb-available",
             CloudAssertion::InstanceUsesAmi { .. } => "instance-uses-ami",
-            CloudAssertion::InstanceConfigurationCorrect { .. } => {
-                "instance-configuration-correct"
-            }
+            CloudAssertion::InstanceConfigurationCorrect { .. } => "instance-configuration-correct",
             CloudAssertion::InstanceInService { .. } => "instance-in-service",
             CloudAssertion::InstanceRegisteredWithElb { .. } => "instance-registered-with-elb",
-            CloudAssertion::InstanceDeregisteredFromElb { .. } => {
-                "instance-deregistered-from-elb"
-            }
+            CloudAssertion::InstanceDeregisteredFromElb { .. } => "instance-deregistered-from-elb",
             CloudAssertion::InstanceTerminated { .. } => "instance-terminated",
             CloudAssertion::AccountHasLaunchHeadroom => "account-has-launch-headroom",
         }
@@ -211,10 +205,9 @@ impl CloudAssertion {
             CloudAssertion::KeyPairAvailable => {
                 format!("the key pair {} exists", env.expected_key_pair)
             }
-            CloudAssertion::SecurityGroupAvailable => format!(
-                "the security group {} exists",
-                env.expected_security_group
-            ),
+            CloudAssertion::SecurityGroupAvailable => {
+                format!("the security group {} exists", env.expected_security_group)
+            }
             CloudAssertion::ElbAvailable => format!("the ELB {} is available", env.elb),
             CloudAssertion::InstanceUsesAmi { instance } => {
                 format!("the instance {instance} uses AMI {}", env.expected_ami)
@@ -260,9 +253,7 @@ impl CloudAssertion {
                     |instances| {
                         instances
                             .iter()
-                            .filter(|i| {
-                                i.state == InstanceState::InService && i.version == version
-                            })
+                            .filter(|i| i.state == InstanceState::InService && i.version == version)
                             .count() as u32
                             >= needed
                     },
@@ -289,13 +280,7 @@ impl CloudAssertion {
                 let needed = *count as usize;
                 map(api.read_until(
                     |c| c.describe_asg_instances(&env.asg),
-                    |instances| {
-                        instances
-                            .iter()
-                            .filter(|i| i.state.is_active())
-                            .count()
-                            >= needed
-                    },
+                    |instances| instances.iter().filter(|i| i.state.is_active()).count() >= needed,
                 ))
             }
             CloudAssertion::AsgLaunchConfigCorrect => map(api.read_until(
@@ -318,10 +303,9 @@ impl CloudAssertion {
                 |c| c.describe_launch_config(&env.launch_config),
                 |lc| lc.instance_type == env.expected_instance_type,
             )),
-            CloudAssertion::AmiAvailable => map(api.read_until(
-                |c| c.describe_ami(&env.expected_ami),
-                |a| a.available,
-            )),
+            CloudAssertion::AmiAvailable => {
+                map(api.read_until(|c| c.describe_ami(&env.expected_ami), |a| a.available))
+            }
             CloudAssertion::KeyPairAvailable => map(api.read_until(
                 |c| c.describe_key_pair(&env.expected_key_pair),
                 |k| k.available,
@@ -360,19 +344,18 @@ impl CloudAssertion {
             )),
             CloudAssertion::InstanceTerminated { instance } => map(api.read_until(
                 |c| c.describe_instance(instance),
-                |i| matches!(
-                    i.state,
-                    InstanceState::Terminating | InstanceState::Terminated
-                ),
+                |i| {
+                    matches!(
+                        i.state,
+                        InstanceState::Terminating | InstanceState::Terminated
+                    )
+                },
             )),
             CloudAssertion::AccountHasLaunchHeadroom => {
                 let limit = api.cloud().admin_active_instance_count();
                 // A real deployment would query service quotas; the admin
                 // count stands in for the quota API.
-                map(api.read_until(
-                    |c| c.count_active_instances(),
-                    move |used| *used <= limit,
-                ))
+                map(api.read_until(|c| c.count_active_instances(), move |used| *used <= limit))
             }
         };
         match result {
@@ -586,7 +569,13 @@ mod tests {
         let sg = cloud.admin_create_security_group("web", &[80]);
         let kp = cloud.admin_create_key_pair("prod");
         let elb = cloud.admin_create_elb("front");
-        let lc = cloud.admin_create_launch_config("lc-v2", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let lc = cloud.admin_create_launch_config(
+            "lc-v2",
+            ami.clone(),
+            "m1.small",
+            kp.clone(),
+            sg.clone(),
+        );
         let asg = cloud.admin_create_asg("app-asg", lc.clone(), 1, 10, 4, Some(elb.clone()));
         let env = ExpectedEnv {
             asg,
@@ -671,9 +660,13 @@ mod tests {
             AssertionOutcome::Passed
         );
         cloud.admin_set_ami_available(&env.expected_ami, false);
-        assert!(CloudAssertion::AmiAvailable.evaluate(&api, &env).is_failure());
+        assert!(CloudAssertion::AmiAvailable
+            .evaluate(&api, &env)
+            .is_failure());
         cloud.admin_set_elb_available(&env.elb, false);
-        assert!(CloudAssertion::ElbAvailable.evaluate(&api, &env).is_failure());
+        assert!(CloudAssertion::ElbAvailable
+            .evaluate(&api, &env)
+            .is_failure());
     }
 
     #[test]
@@ -681,21 +674,31 @@ mod tests {
         let (api, env, cloud) = setup();
         let id = cloud.admin_describe_asg(&env.asg).unwrap().instances[0].clone();
         assert_eq!(
-            CloudAssertion::InstanceInService { instance: id.clone() }.evaluate(&api, &env),
+            CloudAssertion::InstanceInService {
+                instance: id.clone()
+            }
+            .evaluate(&api, &env),
             AssertionOutcome::Passed
         );
         assert_eq!(
-            CloudAssertion::InstanceRegisteredWithElb { instance: id.clone() }
-                .evaluate(&api, &env),
+            CloudAssertion::InstanceRegisteredWithElb {
+                instance: id.clone()
+            }
+            .evaluate(&api, &env),
             AssertionOutcome::Passed
         );
-        assert!(CloudAssertion::InstanceTerminated { instance: id.clone() }
-            .evaluate(&api, &env)
-            .is_failure());
+        assert!(CloudAssertion::InstanceTerminated {
+            instance: id.clone()
+        }
+        .evaluate(&api, &env)
+        .is_failure());
         cloud.admin_terminate_instance(&id);
         cloud.sleep(pod_sim::SimDuration::from_secs(120));
         assert_eq!(
-            CloudAssertion::InstanceTerminated { instance: id.clone() }.evaluate(&api, &env),
+            CloudAssertion::InstanceTerminated {
+                instance: id.clone()
+            }
+            .evaluate(&api, &env),
             AssertionOutcome::Passed
         );
         assert_eq!(

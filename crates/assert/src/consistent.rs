@@ -10,6 +10,7 @@
 use std::fmt;
 
 use pod_cloud::{ApiError, Cloud};
+use pod_obs::{Counter, Histogram};
 use pod_sim::{SimDuration, SimTime};
 
 /// Retry/timeout policy of the consistent layer.
@@ -103,15 +104,35 @@ pub struct ConsistentApi {
     policy: RetryPolicy,
     /// When `false`, calls pass straight through (the ablation baseline).
     retries_enabled: bool,
+    metrics: ConsistentMetrics,
+}
+
+/// Cached handles for the consistent-layer metrics.
+#[derive(Debug, Clone)]
+struct ConsistentMetrics {
+    calls: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    expectation_failures: Counter,
+    converge_us: Histogram,
 }
 
 impl ConsistentApi {
     /// Wraps a cloud handle with the given policy.
     pub fn new(cloud: Cloud, policy: RetryPolicy) -> ConsistentApi {
+        let obs = cloud.obs();
+        let metrics = ConsistentMetrics {
+            calls: obs.counter("consistent.calls"),
+            retries: obs.counter("consistent.retries"),
+            timeouts: obs.counter("consistent.timeouts"),
+            expectation_failures: obs.counter("consistent.expectation_failures"),
+            converge_us: obs.histogram("consistent.converge_us", pod_obs::LATENCY_BOUNDS_US),
+        };
         ConsistentApi {
             cloud,
             policy,
             retries_enabled: true,
+            metrics,
         }
     }
 
@@ -159,18 +180,27 @@ impl ConsistentApi {
         expect: impl Fn(&T) -> bool,
     ) -> Result<T, ConsistentError> {
         let start = self.now();
+        self.metrics.calls.incr();
         let mut backoff = self.policy.base_backoff;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
+            if attempts > 1 {
+                self.metrics.retries.incr();
+            }
             let result = call(&self.cloud);
             let elapsed = self.now().duration_since(start);
             if elapsed > self.policy.timeout {
+                self.metrics.timeouts.incr();
                 return Err(ConsistentError::Timeout { elapsed });
             }
             match result {
-                Ok(value) if expect(&value) => return Ok(value),
+                Ok(value) if expect(&value) => {
+                    self.metrics.converge_us.record(elapsed.as_micros());
+                    return Ok(value);
+                }
                 Ok(_) if !self.retries_enabled || attempts > self.policy.max_retries => {
+                    self.metrics.expectation_failures.incr();
                     return Err(ConsistentError::ExpectationNotMet { attempts });
                 }
                 Ok(_) => {}
@@ -189,6 +219,7 @@ impl ConsistentApi {
             backoff = SimDuration::from_secs_f64(backoff.as_secs_f64() * self.policy.multiplier);
             let elapsed = self.now().duration_since(start);
             if elapsed > self.policy.timeout {
+                self.metrics.timeouts.incr();
                 return Err(ConsistentError::Timeout { elapsed });
             }
         }
@@ -235,7 +266,10 @@ mod tests {
         let err = api
             .execute(|c| c.describe_ami(&pod_cloud::AmiId::new("ami-none")))
             .unwrap_err();
-        assert!(matches!(err, ConsistentError::Api(ApiError::NotFound { .. })));
+        assert!(matches!(
+            err,
+            ConsistentError::Api(ApiError::NotFound { .. })
+        ));
         // Only one call's worth of latency consumed (no backoff).
         let dt = api.cloud().clock().now() - t0;
         assert!(dt < SimDuration::from_millis(100), "elapsed {dt}");

@@ -55,9 +55,7 @@
 
 use std::fmt;
 
-use crate::assertion::{
-    AssertionLibrary, BoundAssertion, CloudAssertion, InstanceAssertionKind,
-};
+use crate::assertion::{AssertionLibrary, BoundAssertion, CloudAssertion, InstanceAssertionKind};
 
 /// A parse error, with the offending line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +68,11 @@ pub struct SpecError {
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "assertion spec error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "assertion spec error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -111,15 +113,13 @@ fn parse_assertion_at(spec: &str, line: usize) -> Result<BoundAssertion, SpecErr
     let rest = &w[1..];
     match rest {
         // assert system has COUNT instances with new version
-        ["system", "has", count, "instances", "with", "new", "version"] => {
-            parse_count(count, line)
-        }
+        ["system", "has", count, "instances", "with", "new", "version"] => parse_count(count, line),
         // assert asg has exactly N instances
-        ["asg", "has", "exactly", n, "instances"] => Ok(BoundAssertion::Fixed(
-            CloudAssertion::AsgInstanceCount {
+        ["asg", "has", "exactly", n, "instances"] => {
+            Ok(BoundAssertion::Fixed(CloudAssertion::AsgInstanceCount {
                 count: parse_number(n, line)?,
-            },
-        )),
+            }))
+        }
         // assert asg has at least N active instances
         ["asg", "has", "at", "least", n, "active", "instances"] => Ok(BoundAssertion::Fixed(
             CloudAssertion::AsgActiveCountAtLeast {
@@ -127,11 +127,11 @@ fn parse_assertion_at(spec: &str, line: usize) -> Result<BoundAssertion, SpecErr
             },
         )),
         // assert asg desired capacity is N
-        ["asg", "desired", "capacity", "is", n] => Ok(BoundAssertion::Fixed(
-            CloudAssertion::AsgDesiredCapacity {
+        ["asg", "desired", "capacity", "is", n] => {
+            Ok(BoundAssertion::Fixed(CloudAssertion::AsgDesiredCapacity {
                 count: parse_number(n, line)?,
-            },
-        )),
+            }))
+        }
         // assert asg uses expected launch configuration
         ["asg", "uses", "expected", "launch", "configuration" | "config"] => Ok(
             BoundAssertion::Fixed(CloudAssertion::AsgLaunchConfigCorrect),
@@ -146,7 +146,10 @@ fn parse_assertion_at(spec: &str, line: usize) -> Result<BoundAssertion, SpecErr
                 other => {
                     return Err(err(
                         line,
-                        format!("unknown launch-configuration resource `{}`", other.join(" ")),
+                        format!(
+                            "unknown launch-configuration resource `{}`",
+                            other.join(" ")
+                        ),
                     ))
                 }
             };
@@ -159,12 +162,7 @@ fn parse_assertion_at(spec: &str, line: usize) -> Result<BoundAssertion, SpecErr
                 ["key", "pair"] => CloudAssertion::KeyPairAvailable,
                 ["security", "group"] => CloudAssertion::SecurityGroupAvailable,
                 ["elb"] => CloudAssertion::ElbAvailable,
-                other => {
-                    return Err(err(
-                        line,
-                        format!("unknown resource `{}`", other.join(" ")),
-                    ))
-                }
+                other => return Err(err(line, format!("unknown resource `{}`", other.join(" ")))),
             };
             Ok(BoundAssertion::Fixed(assertion))
         }
@@ -176,9 +174,7 @@ fn parse_assertion_at(spec: &str, line: usize) -> Result<BoundAssertion, SpecErr
                     InstanceAssertionKind::ConfigurationCorrect
                 }
                 ["is", "registered", "with", "elb"] => InstanceAssertionKind::RegisteredWithElb,
-                ["is", "deregistered", "from", "elb"] => {
-                    InstanceAssertionKind::DeregisteredFromElb
-                }
+                ["is", "deregistered", "from", "elb"] => InstanceAssertionKind::DeregisteredFromElb,
                 ["is", "terminated"] => InstanceAssertionKind::Terminated,
                 other => {
                     return Err(err(
@@ -312,7 +308,10 @@ mod tests {
                 "assert launch configuration uses the expected instance type",
                 CloudAssertion::LaunchConfigUsesInstanceType,
             ),
-            ("assert the expected AMI is available", CloudAssertion::AmiAvailable),
+            (
+                "assert the expected AMI is available",
+                CloudAssertion::AmiAvailable,
+            ),
             (
                 "assert the expected key pair is available",
                 CloudAssertion::KeyPairAvailable,
@@ -321,7 +320,10 @@ mod tests {
                 "assert the expected security group is available",
                 CloudAssertion::SecurityGroupAvailable,
             ),
-            ("assert the expected ELB is available", CloudAssertion::ElbAvailable),
+            (
+                "assert the expected ELB is available",
+                CloudAssertion::ElbAvailable,
+            ),
             (
                 "assert account has launch headroom",
                 CloudAssertion::AccountHasLaunchHeadroom,
@@ -357,7 +359,10 @@ mod tests {
     #[test]
     fn parses_instance_checks() {
         let cases = [
-            ("assert the instance uses the expected ami", InstanceAssertionKind::UsesExpectedAmi),
+            (
+                "assert the instance uses the expected ami",
+                InstanceAssertionKind::UsesExpectedAmi,
+            ),
             (
                 "assert the instance matches the expected configuration",
                 InstanceAssertionKind::ConfigurationCorrect,
@@ -370,7 +375,10 @@ mod tests {
                 "assert the instance is deregistered from the elb",
                 InstanceAssertionKind::DeregisteredFromElb,
             ),
-            ("assert the instance is terminated", InstanceAssertionKind::Terminated),
+            (
+                "assert the instance is terminated",
+                InstanceAssertionKind::Terminated,
+            ),
         ];
         for (spec, want) in cases {
             match parse_assertion(spec) {
@@ -385,8 +393,8 @@ mod tests {
     #[test]
     fn rejects_malformed_specs() {
         for bad in [
-            "asg has 4 instances",                    // missing `assert`
-            "assert asg has exactly four instances",  // non-numeric
+            "asg has 4 instances",                                // missing `assert`
+            "assert asg has exactly four instances",              // non-numeric
             "assert system has $ instances with the new version", // empty field
             "assert launch configuration uses the expected kernel",
             "assert the instance explodes",
@@ -458,9 +466,6 @@ on rolling-upgrade-task-completed:
         )
         .unwrap();
         assert_eq!(lib.bindings().len(), 5);
-        assert_eq!(
-            lib.for_activity("rolling-upgrade-task-completed").len(),
-            10
-        );
+        assert_eq!(lib.for_activity("rolling-upgrade-task-completed").len(), 10);
     }
 }

@@ -122,8 +122,18 @@ impl AssertionEvaluator {
         trigger: AssertionTrigger,
         context: Option<&ProcessContext>,
     ) -> AssertionRecord {
+        let span = self.api.cloud().obs().span("assertion.eval");
+        span.attr("trigger", trigger.tag());
         let started_at = self.api.cloud().clock().now();
         let outcome = assertion.evaluate(&self.api, env);
+        span.attr(
+            "outcome",
+            if outcome.is_failure() {
+                "failed"
+            } else {
+                "passed"
+            },
+        );
         let finished = self.api.cloud().clock().now();
         let description = assertion.describe(env);
         let record = AssertionRecord {
@@ -143,9 +153,7 @@ impl AssertionEvaluator {
     fn render(&self, record: &AssertionRecord) -> LogEvent {
         let (verdict, severity) = match &record.outcome {
             AssertionOutcome::Passed => ("holds".to_string(), Severity::Info),
-            AssertionOutcome::Failed { reason } => {
-                (format!("FAILED: {reason}"), Severity::Error)
-            }
+            AssertionOutcome::Failed { reason } => (format!("FAILED: {reason}"), Severity::Error),
         };
         let message = match &record.context {
             Some(ctx) => format!(
@@ -154,7 +162,10 @@ impl AssertionEvaluator {
                 ctx.step_id.as_deref().unwrap_or("-"),
                 record.description,
             ),
-            None => format!("[assertion] Assertion that {} {verdict}", record.description),
+            None => format!(
+                "[assertion] Assertion that {} {verdict}",
+                record.description
+            ),
         };
         let mut event = LogEvent::new(
             record.started_at + record.duration,
@@ -166,13 +177,11 @@ impl AssertionEvaluator {
         .with_severity(severity)
         .with_field("duration_ms", record.duration.as_millis().to_string());
         if let Some(ctx) = &record.context {
-            let ctx = ctx
-                .clone()
-                .with_outcome(if record.is_failure() {
-                    StepOutcome::Failure
-                } else {
-                    StepOutcome::Success
-                });
+            let ctx = ctx.clone().with_outcome(if record.is_failure() {
+                StepOutcome::Failure
+            } else {
+                StepOutcome::Success
+            });
             event = event.with_context(ctx);
         }
         event
@@ -200,7 +209,8 @@ mod tests {
         let sg = cloud.admin_create_security_group("web", &[80]);
         let kp = cloud.admin_create_key_pair("prod");
         let elb = cloud.admin_create_elb("front");
-        let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let lc =
+            cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
         let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
         let env = ExpectedEnv {
             asg,

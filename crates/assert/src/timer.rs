@@ -67,7 +67,6 @@ impl<T> TimerService<T> {
 }
 
 impl<T: Clone> TimerService<T> {
-
     fn fresh_id(&mut self) -> TimerId {
         let id = TimerId(self.next_id);
         self.next_id += 1;
@@ -210,7 +209,11 @@ mod tests {
         t.schedule_once(SimTime::from_secs(3), 3);
         t.schedule_once(SimTime::from_secs(1), 1);
         t.schedule_once(SimTime::from_secs(2), 2);
-        let fired: Vec<i32> = t.due(SimTime::from_secs(5)).into_iter().map(|f| f.2).collect();
+        let fired: Vec<i32> = t
+            .due(SimTime::from_secs(5))
+            .into_iter()
+            .map(|f| f.2)
+            .collect();
         assert_eq!(fired, vec![1, 2, 3]);
     }
 }

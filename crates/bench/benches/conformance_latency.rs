@@ -14,7 +14,12 @@ fn fit_trace(loops: usize) -> Vec<&'static str> {
     use pod_faulttree::steps;
     let mut t = vec![steps::START, steps::UPDATE_LC, steps::SORT];
     for _ in 0..loops {
-        t.extend([steps::DEREGISTER, steps::TERMINATE, steps::WAIT_ASG, steps::READY]);
+        t.extend([
+            steps::DEREGISTER,
+            steps::TERMINATE,
+            steps::WAIT_ASG,
+            steps::READY,
+        ]);
     }
     t.push(steps::COMPLETED);
     t
@@ -60,18 +65,21 @@ fn bench_full_trace(c: &mut Criterion) {
     let model = rolling_upgrade_model();
     for loops in [4usize, 20] {
         let trace = fit_trace(loops);
-        c.bench_function(&format!("conformance/replay_full_trace_{loops}_loops"), |b| {
-            b.iter_batched(
-                || ConformanceChecker::new(&model),
-                |mut ch| {
-                    for act in &trace {
-                        ch.replay("t", act);
-                    }
-                    ch.is_complete("t")
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        c.bench_function(
+            &format!("conformance/replay_full_trace_{loops}_loops"),
+            |b| {
+                b.iter_batched(
+                    || ConformanceChecker::new(&model),
+                    |mut ch| {
+                        for act in &trace {
+                            ch.replay("t", act);
+                        }
+                        ch.is_complete("t")
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
 }
 

@@ -9,9 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use pod_assert::{ConsistentApi, RetryPolicy};
 use pod_bench::bench_cloud;
-use pod_faulttree::{
-    version_count_tree, DiagnosisContext, DiagnosisEngine, TestOrder,
-};
+use pod_faulttree::{version_count_tree, DiagnosisContext, DiagnosisEngine, TestOrder};
 use pod_log::LogStorage;
 use pod_sim::SimTime;
 
@@ -113,17 +111,18 @@ fn bench_ablation_memoisation(c: &mut Criterion) {
 fn bench_ablation_consistent_api(c: &mut Criterion) {
     let tree = version_count_tree(true);
     for retries in [true, false] {
-        let name = if retries { "with_retry_layer" } else { "raw_api" };
+        let name = if retries {
+            "with_retry_layer"
+        } else {
+            "raw_api"
+        };
         c.bench_function(&format!("diagnosis/ablation_{name}"), |b| {
             b.iter_batched(
                 || {
                     let (cloud, env) = bench_cloud(5);
                     let api = ConsistentApi::new(cloud.clone(), RetryPolicy::default());
                     let api = if retries { api } else { api.without_retries() };
-                    (
-                        DiagnosisEngine::new(api, LogStorage::new()),
-                        context(env),
-                    )
+                    (DiagnosisEngine::new(api, LogStorage::new()), context(env))
                 },
                 |(engine, ctx)| engine.diagnose(black_box(&tree), &ctx),
                 BatchSize::SmallInput,

@@ -2,9 +2,7 @@
 //! and trigger stages, plus Logstash-style JSON serialization.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use pod_log::{
-    ImportantLineForwarder, Json, LogEvent, NoiseFilter, Pipeline, ProcessAnnotator,
-};
+use pod_log::{ImportantLineForwarder, Json, LogEvent, NoiseFilter, Pipeline, ProcessAnnotator};
 use pod_orchestrator::process_def;
 use pod_regex::RegexSet;
 use pod_sim::SimTime;

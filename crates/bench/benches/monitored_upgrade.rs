@@ -74,5 +74,10 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_monitored_run, bench_cloud_substrate, bench_campaign);
+criterion_group!(
+    benches,
+    bench_monitored_run,
+    bench_cloud_substrate,
+    bench_campaign
+);
 criterion_main!(benches);

@@ -30,8 +30,12 @@ fn training_log(runs: usize) -> Vec<LogEvent> {
         msgs.push(format!("Rolling upgrade task run-{run} completed"));
         for (i, m) in msgs.into_iter().enumerate() {
             events.push(
-                LogEvent::new(SimTime::from_millis((run * 10_000 + i) as u64), "asgard.log", m)
-                    .with_field("taskid", format!("run-{run}")),
+                LogEvent::new(
+                    SimTime::from_millis((run * 10_000 + i) as u64),
+                    "asgard.log",
+                    m,
+                )
+                .with_field("taskid", format!("run-{run}")),
             );
         }
     }

@@ -49,5 +49,11 @@ fn bench_rulebook(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compile, bench_match, bench_set, bench_rulebook);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_match,
+    bench_set,
+    bench_rulebook
+);
 criterion_main!(benches);

@@ -22,7 +22,8 @@ pub fn bench_cloud(seed: u64) -> (Cloud, pod_assert::ExpectedEnv) {
     let sg = cloud.admin_create_security_group("web", &[80]);
     let kp = cloud.admin_create_key_pair("prod");
     let elb = cloud.admin_create_elb("front");
-    let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+    let lc =
+        cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
     let asg = cloud.admin_create_asg("pm--asg", lc.clone(), 1, 10, 4, Some(elb.clone()));
     let env = pod_assert::ExpectedEnv {
         asg,

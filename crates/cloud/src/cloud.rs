@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use pod_obs::{Counter, Histogram, Obs};
 use pod_sim::{Clock, EventQueue, LatencyModel, SimDuration, SimRng, SimTime};
 
 use crate::error::ApiError;
@@ -166,27 +167,66 @@ struct Inner {
 pub struct Cloud {
     inner: Arc<Mutex<Inner>>,
     clock: Clock,
+    obs: Obs,
+    metrics: CloudMetrics,
+}
+
+/// Cached handles for the cloud-layer metrics, bumped on the API hot path
+/// without touching the registry lock.
+#[derive(Debug, Clone)]
+struct CloudMetrics {
+    calls: Counter,
+    throttled: Counter,
+    errors: Counter,
+    stale_reads: Counter,
+    latency_us: Histogram,
+}
+
+impl CloudMetrics {
+    fn new(obs: &Obs) -> CloudMetrics {
+        CloudMetrics {
+            calls: obs.counter("cloud.api.calls"),
+            throttled: obs.counter("cloud.api.throttled"),
+            errors: obs.counter("cloud.api.errors"),
+            stale_reads: obs.counter("cloud.api.stale_reads"),
+            latency_us: obs.histogram("cloud.api.latency_us", pod_obs::LATENCY_BOUNDS_US),
+        }
+    }
 }
 
 impl Cloud {
     /// Creates a fresh, empty account.
     pub fn new(clock: Clock, rng: SimRng, config: CloudConfig) -> Cloud {
+        let obs = Obs::new(clock.clone());
+        let metrics = CloudMetrics::new(&obs);
         Cloud {
             inner: Arc::new(Mutex::new(Inner {
                 rng,
                 state: CloudState::new(config.instance_limit),
                 events: EventQueue::new(),
-                throttle: TokenBucket::new(config.throttle_capacity, config.throttle_refill_per_sec),
+                throttle: TokenBucket::new(
+                    config.throttle_capacity,
+                    config.throttle_refill_per_sec,
+                ),
                 config,
                 processed_until: SimTime::ZERO,
             })),
             clock,
+            obs,
+            metrics,
         }
     }
 
     /// The shared virtual clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// The shared observability context. Every component holding a cloud
+    /// handle records its metrics and spans here, so one snapshot covers
+    /// the whole pipeline.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Advances the clock by `d` and lets the cloud engine catch up —
@@ -211,16 +251,23 @@ impl Cloud {
         &self,
         f: impl FnOnce(&mut Inner, SimTime) -> Result<T, ApiError>,
     ) -> Result<T, ApiError> {
+        let span = self.obs.span("cloud.api.call");
         let mut inner = self.inner.lock();
         let model = inner.config.api_latency.clone();
         let latency = model.sample(&mut inner.rng);
         let now = self.clock.advance(latency);
         inner.run_until(now);
+        self.metrics.calls.incr();
+        self.metrics.latency_us.record(latency.as_micros());
         if !inner.throttle.try_take(now) {
+            self.metrics.throttled.incr();
+            span.attr("outcome", "throttled");
             return Err(ApiError::Throttling);
         }
         let failure_prob = inner.config.api_failure_prob;
         if failure_prob > 0.0 && inner.rng.chance(failure_prob) {
+            self.metrics.errors.incr();
+            span.attr("outcome", "transient-error");
             return Err(ApiError::Internal("transient service error".into()));
         }
         f(&mut inner, now)
@@ -228,8 +275,9 @@ impl Cloud {
 
     /// The effective time a read resolves against (models eventual
     /// consistency).
-    fn read_time(inner: &mut Inner, now: SimTime) -> SimTime {
+    fn read_time(&self, inner: &mut Inner, now: SimTime) -> SimTime {
         if inner.rng.chance(inner.config.stale_read_prob) {
+            self.metrics.stale_reads.incr();
             let lag = inner.config.consistency_lag.sample(&mut inner.rng);
             SimTime::from_micros(now.as_micros().saturating_sub(lag.as_micros()))
         } else {
@@ -240,7 +288,7 @@ impl Cloud {
     /// Describes an auto-scaling group (possibly stale).
     pub fn describe_asg(&self, name: &AsgName) -> Result<AutoScalingGroup, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             inner
                 .state
                 .asgs
@@ -259,7 +307,7 @@ impl Cloud {
         name: &LaunchConfigName,
     ) -> Result<LaunchConfig, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             inner
                 .state
                 .launch_configs
@@ -275,7 +323,7 @@ impl Cloud {
     /// Describes one instance (possibly stale).
     pub fn describe_instance(&self, id: &InstanceId) -> Result<Instance, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             inner
                 .state
                 .instances
@@ -291,11 +339,15 @@ impl Cloud {
     /// Describes all member instances of an ASG (possibly stale).
     pub fn describe_asg_instances(&self, name: &AsgName) -> Result<Vec<Instance>, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
-            let group = inner.state.asgs.get(name).ok_or_else(|| ApiError::NotFound {
-                kind: "auto-scaling-group",
-                id: name.to_string(),
-            })?;
+            let t = self.read_time(inner, now);
+            let group = inner
+                .state
+                .asgs
+                .get(name)
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "auto-scaling-group",
+                    id: name.to_string(),
+                })?;
             let ids = group.at(t).instances.clone();
             Ok(ids
                 .iter()
@@ -308,7 +360,7 @@ impl Cloud {
     /// Describes a machine image (possibly stale).
     pub fn describe_ami(&self, id: &AmiId) -> Result<Ami, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             inner
                 .state
                 .amis
@@ -324,7 +376,7 @@ impl Cloud {
     /// Describes a key pair (possibly stale).
     pub fn describe_key_pair(&self, name: &KeyPairName) -> Result<KeyPair, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             inner
                 .state
                 .key_pairs
@@ -338,12 +390,9 @@ impl Cloud {
     }
 
     /// Describes a security group (possibly stale).
-    pub fn describe_security_group(
-        &self,
-        id: &SecurityGroupId,
-    ) -> Result<SecurityGroup, ApiError> {
+    pub fn describe_security_group(&self, id: &SecurityGroupId) -> Result<SecurityGroup, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             inner
                 .state
                 .security_groups
@@ -360,7 +409,7 @@ impl Cloud {
     /// [`ApiError::ServiceUnavailable`] while the ELB service is down.
     pub fn describe_elb(&self, name: &ElbName) -> Result<Elb, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             let elb = inner
                 .state
                 .elbs
@@ -382,12 +431,9 @@ impl Cloud {
     /// Health of every instance registered with a load balancer, the way an
     /// Edda-like monitor reports it: an instance is healthy when it is
     /// registered and in service. Fails while the ELB is unavailable.
-    pub fn describe_elb_health(
-        &self,
-        name: &ElbName,
-    ) -> Result<Vec<(InstanceId, bool)>, ApiError> {
+    pub fn describe_elb_health(&self, name: &ElbName) -> Result<Vec<(InstanceId, bool)>, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             let elb = inner
                 .state
                 .elbs
@@ -438,7 +484,7 @@ impl Cloud {
     /// Number of active instances in the account (possibly stale).
     pub fn count_active_instances(&self) -> Result<usize, ApiError> {
         self.call(|inner, now| {
-            let t = Self::read_time(inner, now);
+            let t = self.read_time(inner, now);
             Ok(inner
                 .state
                 .instances
@@ -513,10 +559,14 @@ impl Cloud {
                     });
                 }
             }
-            let group = inner.state.asgs.get_mut(name).ok_or_else(|| ApiError::NotFound {
-                kind: "auto-scaling-group",
-                id: name.to_string(),
-            })?;
+            let group = inner
+                .state
+                .asgs
+                .get_mut(name)
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "auto-scaling-group",
+                    id: name.to_string(),
+                })?;
             let mut g = group.latest().clone();
             if let Some(lc) = update.launch_config {
                 g.launch_config = lc;
@@ -549,10 +599,14 @@ impl Cloud {
         decrement_desired: bool,
     ) -> Result<(), ApiError> {
         self.call(|inner, now| {
-            let record = inner.state.instances.get_mut(id).ok_or_else(|| ApiError::NotFound {
-                kind: "instance",
-                id: id.to_string(),
-            })?;
+            let record = inner
+                .state
+                .instances
+                .get_mut(id)
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "instance",
+                    id: id.to_string(),
+                })?;
             let mut instance = record.latest().clone();
             if !instance.state.is_active() {
                 return Err(ApiError::Validation(format!(
@@ -592,10 +646,14 @@ impl Cloud {
         instance: &InstanceId,
     ) -> Result<(), ApiError> {
         self.call(|inner, now| {
-            let record = inner.state.elbs.get_mut(elb).ok_or_else(|| ApiError::NotFound {
-                kind: "elb",
-                id: elb.to_string(),
-            })?;
+            let record = inner
+                .state
+                .elbs
+                .get_mut(elb)
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "elb",
+                    id: elb.to_string(),
+                })?;
             if !record.latest().available {
                 return Err(ApiError::ServiceUnavailable {
                     service: format!("elb {elb}"),
@@ -614,16 +672,16 @@ impl Cloud {
     }
 
     /// Registers an instance with a load balancer.
-    pub fn register_with_elb(
-        &self,
-        elb: &ElbName,
-        instance: &InstanceId,
-    ) -> Result<(), ApiError> {
+    pub fn register_with_elb(&self, elb: &ElbName, instance: &InstanceId) -> Result<(), ApiError> {
         self.call(|inner, now| {
-            let record = inner.state.elbs.get_mut(elb).ok_or_else(|| ApiError::NotFound {
-                kind: "elb",
-                id: elb.to_string(),
-            })?;
+            let record = inner
+                .state
+                .elbs
+                .get_mut(elb)
+                .ok_or_else(|| ApiError::NotFound {
+                    kind: "elb",
+                    id: elb.to_string(),
+                })?;
             if !record.latest().available {
                 return Err(ApiError::ServiceUnavailable {
                     service: format!("elb {elb}"),
@@ -664,7 +722,10 @@ impl Cloud {
                 version: version.to_string(),
                 available: true,
             };
-            inner.state.amis.insert(id.clone(), Versioned::new(now, ami));
+            inner
+                .state
+                .amis
+                .insert(id.clone(), Versioned::new(now, ami));
             id
         })
     }

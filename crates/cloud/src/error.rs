@@ -62,7 +62,10 @@ impl fmt::Display for ApiError {
                 write!(f, "InvalidResource.NotFound: {kind} `{id}` does not exist")
             }
             ApiError::LimitExceeded { limit } => {
-                write!(f, "InstanceLimitExceeded: account limit of {limit} instances reached")
+                write!(
+                    f,
+                    "InstanceLimitExceeded: account limit of {limit} instances reached"
+                )
             }
             ApiError::ServiceUnavailable { service } => {
                 write!(f, "ServiceUnavailable: {service} is not responding")
@@ -83,15 +86,25 @@ mod tests {
     fn retryability_classification() {
         assert!(ApiError::Throttling.is_retryable());
         assert!(ApiError::Internal("x".into()).is_retryable());
-        assert!(ApiError::ServiceUnavailable { service: "elb".into() }.is_retryable());
-        assert!(!ApiError::NotFound { kind: "ami", id: "ami-1".into() }.is_retryable());
+        assert!(ApiError::ServiceUnavailable {
+            service: "elb".into()
+        }
+        .is_retryable());
+        assert!(!ApiError::NotFound {
+            kind: "ami",
+            id: "ami-1".into()
+        }
+        .is_retryable());
         assert!(!ApiError::LimitExceeded { limit: 20 }.is_retryable());
         assert!(!ApiError::Validation("bad".into()).is_retryable());
     }
 
     #[test]
     fn display_includes_code_and_detail() {
-        let e = ApiError::NotFound { kind: "key-pair", id: "prod-key".into() };
+        let e = ApiError::NotFound {
+            kind: "key-pair",
+            id: "prod-key".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("NotFound") && s.contains("prod-key"));
         assert_eq!(e.code(), "InvalidResource.NotFound");

@@ -166,7 +166,9 @@ mod tests {
         assert!(a.as_str().starts_with("i-"));
         assert_ne!(a, b);
         assert!(AmiId::generate(&mut rng).as_str().starts_with("ami-"));
-        assert!(SecurityGroupId::generate(&mut rng).as_str().starts_with("sg-"));
+        assert!(SecurityGroupId::generate(&mut rng)
+            .as_str()
+            .starts_with("sg-"));
     }
 
     #[test]

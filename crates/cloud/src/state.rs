@@ -134,12 +134,10 @@ mod tests {
             });
         }
         assert_eq!(
-            s.activities_for(&AsgName::new("a"), SimTime::from_secs(2)).len(),
+            s.activities_for(&AsgName::new("a"), SimTime::from_secs(2))
+                .len(),
             1
         );
-        assert_eq!(
-            s.activities_for(&AsgName::new("a"), SimTime::ZERO).len(),
-            2
-        );
+        assert_eq!(s.activities_for(&AsgName::new("a"), SimTime::ZERO).len(), 2);
     }
 }

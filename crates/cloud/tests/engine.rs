@@ -1,9 +1,7 @@
 //! Behavioural tests of the cloud engine: reconciliation, fault injection,
 //! eventual consistency, throttling and limits.
 
-use pod_cloud::{
-    ApiError, AsgUpdate, Cloud, CloudConfig, InstanceState, LaunchConfigUpdate,
-};
+use pod_cloud::{ApiError, AsgUpdate, Cloud, CloudConfig, InstanceState, LaunchConfigUpdate};
 use pod_sim::{Clock, LatencyModel, SimDuration, SimRng};
 
 struct Env {
@@ -22,7 +20,13 @@ fn env_with(config: CloudConfig, desired: u32) -> Env {
     let sg = cloud.admin_create_security_group("web", &[80, 443]);
     let kp = cloud.admin_create_key_pair("prod-key");
     let elb = cloud.admin_create_elb("front");
-    let lc = cloud.admin_create_launch_config("lc-v1", ami_v1.clone(), "m1.small", kp.clone(), sg.clone());
+    let lc = cloud.admin_create_launch_config(
+        "lc-v1",
+        ami_v1.clone(),
+        "m1.small",
+        kp.clone(),
+        sg.clone(),
+    );
     let asg = cloud.admin_create_asg("app-asg", lc.clone(), 1, 30, desired, Some(elb.clone()));
     Env {
         cloud,
@@ -36,7 +40,13 @@ fn env_with(config: CloudConfig, desired: u32) -> Env {
 }
 
 fn env() -> Env {
-    env_with(CloudConfig { stale_read_prob: 0.0, ..CloudConfig::default() }, 4)
+    env_with(
+        CloudConfig {
+            stale_read_prob: 0.0,
+            ..CloudConfig::default()
+        },
+        4,
+    )
 }
 
 #[test]
@@ -59,7 +69,11 @@ fn terminated_instance_is_replaced_by_reconciler() {
     // Wait long enough for terminate + reconcile + boot.
     e.cloud.sleep(SimDuration::from_secs(180));
     let active = e.cloud.admin_asg_active_instances(&e.asg);
-    assert_eq!(active.len(), 4, "ASG should replace the terminated instance");
+    assert_eq!(
+        active.len(),
+        4,
+        "ASG should replace the terminated instance"
+    );
     assert!(active.iter().all(|i| i.id != victim));
     let replacement = active
         .iter()
@@ -149,7 +163,13 @@ fn deleted_key_pair_blocks_launches() {
     e.cloud.admin_set_key_pair_available(&e.kp, false);
     let start = e.cloud.clock().now();
     e.cloud
-        .update_asg(&e.asg, AsgUpdate { desired_capacity: Some(5), ..AsgUpdate::default() })
+        .update_asg(
+            &e.asg,
+            AsgUpdate {
+                desired_capacity: Some(5),
+                ..AsgUpdate::default()
+            },
+        )
         .unwrap();
     e.cloud.sleep(SimDuration::from_secs(60));
     let acts = e.cloud.describe_scaling_activities(&e.asg, start).unwrap();
@@ -164,7 +184,13 @@ fn unavailable_sg_blocks_launches() {
     e.cloud.admin_set_security_group_available(&e.sg, false);
     let start = e.cloud.clock().now();
     e.cloud
-        .update_asg(&e.asg, AsgUpdate { desired_capacity: Some(5), ..AsgUpdate::default() })
+        .update_asg(
+            &e.asg,
+            AsgUpdate {
+                desired_capacity: Some(5),
+                ..AsgUpdate::default()
+            },
+        )
         .unwrap();
     e.cloud.sleep(SimDuration::from_secs(60));
     let acts = e.cloud.describe_scaling_activities(&e.asg, start).unwrap();
@@ -224,7 +250,13 @@ fn instance_limit_blocks_launches_and_is_reported() {
     e.cloud.admin_set_instance_limit(4); // exactly current usage
     let start = e.cloud.clock().now();
     e.cloud
-        .update_asg(&e.asg, AsgUpdate { desired_capacity: Some(5), ..AsgUpdate::default() })
+        .update_asg(
+            &e.asg,
+            AsgUpdate {
+                desired_capacity: Some(5),
+                ..AsgUpdate::default()
+            },
+        )
         .unwrap();
     e.cloud.sleep(SimDuration::from_secs(60));
     assert_eq!(e.cloud.admin_asg_active_instances(&e.asg).len(), 4);
@@ -269,7 +301,10 @@ fn throttling_kicks_in_under_burst() {
             throttled += 1;
         }
     }
-    assert!(throttled >= 10, "expected heavy throttling, got {throttled}");
+    assert!(
+        throttled >= 10,
+        "expected heavy throttling, got {throttled}"
+    );
 }
 
 #[test]
@@ -282,20 +317,33 @@ fn stale_reads_can_observe_old_state() {
     let e = env_with(config, 2);
     // Write a new desired capacity; a guaranteed-stale read still sees 2.
     e.cloud
-        .update_asg(&e.asg, AsgUpdate { desired_capacity: Some(3), ..AsgUpdate::default() })
+        .update_asg(
+            &e.asg,
+            AsgUpdate {
+                desired_capacity: Some(3),
+                ..AsgUpdate::default()
+            },
+        )
         .unwrap();
     let seen = e.cloud.describe_asg(&e.asg).unwrap().desired_capacity;
     assert_eq!(seen, 2, "stale read must observe the pre-write value");
     // Authoritative state has the write.
-    assert_eq!(e.cloud.admin_describe_asg(&e.asg).unwrap().desired_capacity, 3);
+    assert_eq!(
+        e.cloud.admin_describe_asg(&e.asg).unwrap().desired_capacity,
+        3
+    );
 }
 
 #[test]
 fn describe_missing_resources_errors() {
     let e = env();
     assert!(matches!(
-        e.cloud.describe_instance(&pod_cloud::InstanceId::new("i-nope")),
-        Err(ApiError::NotFound { kind: "instance", .. })
+        e.cloud
+            .describe_instance(&pod_cloud::InstanceId::new("i-nope")),
+        Err(ApiError::NotFound {
+            kind: "instance",
+            ..
+        })
     ));
     assert!(matches!(
         e.cloud.describe_ami(&pod_cloud::AmiId::new("ami-nope")),
@@ -308,9 +356,19 @@ fn deregister_and_register_elb_round_trip() {
     let e = env();
     let id = e.cloud.admin_describe_asg(&e.asg).unwrap().instances[0].clone();
     e.cloud.deregister_from_elb(&e.elb, &id).unwrap();
-    assert!(!e.cloud.admin_describe_instance(&id).unwrap().registered_with_elb);
+    assert!(
+        !e.cloud
+            .admin_describe_instance(&id)
+            .unwrap()
+            .registered_with_elb
+    );
     e.cloud.register_with_elb(&e.elb, &id).unwrap();
-    assert!(e.cloud.admin_describe_instance(&id).unwrap().registered_with_elb);
+    assert!(
+        e.cloud
+            .admin_describe_instance(&id)
+            .unwrap()
+            .registered_with_elb
+    );
 }
 
 #[test]
@@ -330,7 +388,13 @@ fn create_launch_config_validates_ami() {
     // And duplicate names are rejected.
     let err = e
         .cloud
-        .create_launch_config("lc-v1", e.ami_v1.clone(), "m1.small", e.kp.clone(), e.sg.clone())
+        .create_launch_config(
+            "lc-v1",
+            e.ami_v1.clone(),
+            "m1.small",
+            e.kp.clone(),
+            e.sg.clone(),
+        )
         .unwrap_err();
     assert!(matches!(err, ApiError::Validation(_)));
 }

@@ -5,17 +5,18 @@
 use std::collections::HashMap;
 
 use pod_assert::{
-    AssertionEvaluator, AssertionLibrary, AssertionTrigger, CloudAssertion, ConsistentApi,
-    TimerId, TimerService,
+    AssertionEvaluator, AssertionLibrary, AssertionTrigger, CloudAssertion, ConsistentApi, TimerId,
+    TimerService,
 };
 use pod_cloud::{Cloud, InstanceId};
 use pod_faulttree::{
-    DiagnosisContext, DiagnosisEngine, DiagnosisReport, FaultTreeRepository,
+    DiagnosisContext, DiagnosisEngine, DiagnosisReport, DiagnosisVerdict, FaultTreeRepository,
 };
 use pod_log::{
     ImportantLineForwarder, LogEvent, LogStorage, NoiseFilter, Pipeline, ProcessAnnotator,
     ProcessContext, Severity, TimerSetter, Trigger,
 };
+use pod_obs::{Counter, Histogram, Obs, LATENCY_BOUNDS_US};
 use pod_process::{Conformance, ConformanceChecker};
 use pod_regex::{Regex, RegexSet};
 use pod_sim::{LatencyModel, SimDuration, SimRng, SimTime};
@@ -26,6 +27,24 @@ use crate::detection::{Detection, DetectionSource, RunSummary};
 /// The assertion key of the master fault tree, used as a fallback for
 /// detections without a more specific tree.
 const MASTER_TREE_KEY: &str = "asg-has-n-instances-with-version";
+
+/// Cached handles for the engine's own metrics.
+#[derive(Debug)]
+struct EngineMetrics {
+    detections: Counter,
+    diagnoses: Counter,
+    replay_latency_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: &Obs) -> EngineMetrics {
+        EngineMetrics {
+            detections: obs.counter("engine.detections"),
+            diagnoses: obs.counter("engine.diagnoses"),
+            replay_latency_us: obs.histogram("conformance.replay_latency_us", LATENCY_BOUNDS_US),
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 enum TimerPayload {
@@ -88,6 +107,7 @@ pub struct PodEngine {
     last_done: u32,
     last_diagnosis_at: HashMap<String, SimTime>,
     summary: RunSummary,
+    metrics: EngineMetrics,
 }
 
 impl PodEngine {
@@ -122,13 +142,17 @@ impl PodEngine {
             trace_id.clone(),
         )));
         pipeline.add_stage(Box::new(ImportantLineForwarder));
+        // All components share the cloud's observability context, so the
+        // whole run lands in one trace and one metrics registry.
+        pipeline.set_obs(cloud.obs());
 
         let api = ConsistentApi::new(cloud.clone(), config.retry_policy.clone());
         let evaluator = AssertionEvaluator::new(api, storage.clone());
         let diag_api = ConsistentApi::new(cloud.clone(), config.diagnosis_retry_policy.clone());
         let diag = DiagnosisEngine::new(diag_api, storage.clone()).with_order(config.test_order);
         Ok(PodEngine {
-            conformance: ConformanceChecker::new(&config.model),
+            metrics: EngineMetrics::new(cloud.obs()),
+            conformance: ConformanceChecker::new(&config.model).with_obs(cloud.obs()),
             known_errors: RegexSet::new(&config.known_error_patterns)?,
             pipeline,
             evaluator,
@@ -216,6 +240,8 @@ impl PodEngine {
     // -----------------------------------------------------------------
 
     fn on_conformance(&mut self, event: LogEvent) {
+        let span = self.cloud.obs().span("conformance.replay");
+        let replay_started = self.cloud.clock().now();
         // The conformance service call costs ≈ 10 ms.
         self.cloud.clock().advance(self.conformance_latency);
         self.summary.conformance_events += 1;
@@ -227,6 +253,17 @@ impl PodEngine {
                 self.conformance.record_error(&self.trace_id, known)
             }
         };
+        if let Some(act) = &activity {
+            span.attr("activity", act);
+        }
+        span.attr("verdict", verdict.tag());
+        self.metrics.replay_latency_us.record(
+            self.cloud
+                .clock()
+                .now()
+                .duration_since(replay_started)
+                .as_micros(),
+        );
         self.log_conformance(&event, &verdict);
         if verdict.is_error() {
             self.summary.conformance_errors += 1;
@@ -236,9 +273,11 @@ impl PodEngine {
                 _ => DetectionSource::ConformanceUnclassified,
             };
             let instance = extract_instance(&event);
-            let step = activity
-                .clone()
-                .or_else(|| self.conformance.last_activity(&self.trace_id).map(str::to_string));
+            let step = activity.clone().or_else(|| {
+                self.conformance
+                    .last_activity(&self.trace_id)
+                    .map(str::to_string)
+            });
             let description = format!("{} [{}]", event.message, verdict.tag());
             self.detect(source, None, description, step, instance);
         }
@@ -300,10 +339,9 @@ impl PodEngine {
             let Some(assertion) = binding.resolve(Some(&event), env.expected_count) else {
                 continue;
             };
-            let ctx = event
-                .context
-                .clone()
-                .unwrap_or_else(|| ProcessContext::new(self.process_id.clone(), self.trace_id.clone()));
+            let ctx = event.context.clone().unwrap_or_else(|| {
+                ProcessContext::new(self.process_id.clone(), self.trace_id.clone())
+            });
             let record =
                 self.evaluator
                     .evaluate(&assertion, &env, AssertionTrigger::Log, Some(&ctx));
@@ -472,6 +510,7 @@ impl PodEngine {
         instance: Option<InstanceId>,
     ) {
         let at = self.cloud.clock().now();
+        self.metrics.detections.incr();
         // Assertion failures select the tree for the failed assertion;
         // conformance detections use the master tree.
         let key = assertion_key.unwrap_or(MASTER_TREE_KEY).to_string();
@@ -520,6 +559,9 @@ impl PodEngine {
             instance,
             operation_started: self.op_started.unwrap_or(SimTime::ZERO),
         };
+        let span = self.cloud.obs().span("engine.diagnosis");
+        span.attr("tree", key);
+        self.metrics.diagnoses.incr();
         // Service overhead: tree selection, instantiation, pruning, log
         // context collection.
         let overhead = self.diagnosis_overhead.sample(&mut self.rng);
@@ -528,6 +570,14 @@ impl PodEngine {
         let mut report = self.diag.diagnose(tree, &ctx);
         report.started_at = started;
         report.duration += overhead;
+        span.attr(
+            "verdict",
+            match report.verdict() {
+                DiagnosisVerdict::RootCauseIdentified => "root-cause-identified",
+                DiagnosisVerdict::ErrorConfirmedCauseUnknown => "cause-unknown",
+                DiagnosisVerdict::NoRootCauseIdentified => "no-root-cause",
+            },
+        );
         self.last_diagnosis_at
             .insert(key.to_string(), self.cloud.clock().now());
         report

@@ -166,8 +166,11 @@ fn wrong_ami_fault_is_detected_and_diagnosed() {
     // Inject fault type 1 shortly after the upgrade starts (after the LC
     // has been created).
     let inject_at = world.cloud.clock().now() + SimDuration::from_secs(120);
-    let (summary, _report) =
-        run_upgrade_with(&world, engine, Some((inject_at, FaultType::AmiChangedDuringUpgrade)));
+    let (summary, _report) = run_upgrade_with(
+        &world,
+        engine,
+        Some((inject_at, FaultType::AmiChangedDuringUpgrade)),
+    );
     assert!(
         !summary.detections.is_empty(),
         "the wrong-AMI fault must be detected"
@@ -228,8 +231,11 @@ fn diagnosis_times_are_seconds_scale() {
     let world = build_world(104, 4);
     let engine = engine_for(&world);
     let inject_at = world.cloud.clock().now() + SimDuration::from_secs(120);
-    let (summary, _) =
-        run_upgrade_with(&world, engine, Some((inject_at, FaultType::KeyPairManagementFault)));
+    let (summary, _) = run_upgrade_with(
+        &world,
+        engine,
+        Some((inject_at, FaultType::KeyPairManagementFault)),
+    );
     let durations: Vec<f64> = summary
         .detections
         .iter()

@@ -17,7 +17,11 @@ struct World {
 }
 
 fn build_world(seed: u64) -> World {
-    let cloud = Cloud::new(Clock::new(), SimRng::seed_from(seed), CloudConfig::default());
+    let cloud = Cloud::new(
+        Clock::new(),
+        SimRng::seed_from(seed),
+        CloudConfig::default(),
+    );
     let ami_v1 = cloud.admin_create_ami("app", "1.0");
     let ami_v2 = cloud.admin_create_ami("app", "2.0");
     let sg = cloud.admin_create_security_group("web", &[80]);

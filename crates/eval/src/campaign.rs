@@ -98,6 +98,9 @@ pub struct RunRecord {
     pub outcome: RunOutcome,
     /// Whether the orchestrator finished the upgrade.
     pub upgrade_completed: bool,
+    /// The run's pod-obs metric snapshot (cloud API traffic, retries,
+    /// conformance verdicts, fault-tree work, pipeline drops).
+    pub obs: pod_obs::Snapshot,
 }
 
 /// Conformance-checking statistics across the campaign (§V.D).
@@ -131,6 +134,8 @@ pub struct CampaignReport {
     pub timing: TimingStats,
     /// Conformance statistics (§V.D).
     pub conformance: ConformanceStats,
+    /// pod-obs metrics aggregated (merged) across all runs.
+    pub obs_totals: pod_obs::Snapshot,
 }
 
 /// The campaign runner.
@@ -159,7 +164,7 @@ impl Campaign {
 
     fn plan_one(&self, fault: FaultType, index: usize, rng: &mut SimRng) -> RunPlan {
         let large = self.config.large_cluster_every > 0
-            && (index + 1) % self.config.large_cluster_every == 0;
+            && (index + 1).is_multiple_of(self.config.large_cluster_every);
         let (cluster_size, batch_size) = if large { (20, 4) } else { (4, 1) };
         let scenario = ScenarioConfig {
             cluster_size,
@@ -219,8 +224,10 @@ fn summarise(records: Vec<RunRecord>) -> CampaignReport {
         .collect();
     let mut times = Vec::new();
     let mut conformance = ConformanceStats::default();
+    let mut obs_totals = pod_obs::Snapshot::default();
     for r in &records {
         overall.add(&r.outcome);
+        obs_totals.merge(&r.obs);
         if let Some((_, set)) = per_fault.iter_mut().find(|(f, _)| *f == r.plan.fault) {
             set.add(&r.outcome);
         }
@@ -253,6 +260,7 @@ fn summarise(records: Vec<RunRecord>) -> CampaignReport {
         per_fault,
         timing: TimingStats::new(times),
         conformance,
+        obs_totals,
     }
 }
 
@@ -275,6 +283,14 @@ pub fn execute_run(plan: &RunPlan) -> RunRecord {
 
 fn execute_run_once(plan: &RunPlan) -> RunRecord {
     let scenario = build_scenario(&plan.scenario);
+    // One trace per run; the baseline diff keeps scenario-setup admin
+    // traffic out of the run's metric snapshot.
+    scenario
+        .cloud
+        .obs()
+        .tracer()
+        .begin_trace(&scenario.trace_id);
+    let obs_baseline = scenario.cloud.obs().snapshot();
     let engine = build_engine(&scenario, &plan.scenario);
     let mut observer = CampaignObserver::new(engine, &scenario, plan);
     let mut upgrade = RollingUpgrade::new(
@@ -284,6 +300,7 @@ fn execute_run_once(plan: &RunPlan) -> RunRecord {
     );
     let report = upgrade.run(&mut observer);
     let summary = observer.engine.finish();
+    let obs = scenario.cloud.obs().snapshot().diff(&obs_baseline);
     let truth = GroundTruth {
         fault: plan.fault,
         injected_at: observer
@@ -299,6 +316,7 @@ fn execute_run_once(plan: &RunPlan) -> RunRecord {
         truth,
         outcome,
         upgrade_completed: matches!(report.outcome, UpgradeOutcome::Completed),
+        obs,
     }
 }
 
@@ -443,8 +461,10 @@ impl<'s> CampaignObserver<'s> {
         }
         // Operator acknowledgements of legitimate scaling.
         let acks: Vec<(SimTime, i64)> = {
-            let (fire, keep): (Vec<_>, Vec<_>) =
-                self.pending_env_acks.drain(..).partition(|(at, _)| now >= *at);
+            let (fire, keep): (Vec<_>, Vec<_>) = self
+                .pending_env_acks
+                .drain(..)
+                .partition(|(at, _)| now >= *at);
             self.pending_env_acks = keep;
             fire
         };
@@ -517,6 +537,42 @@ mod tests {
         assert_eq!(record.plan.fault, FaultType::AmiChangedDuringUpgrade);
         assert!(record.outcome.fault_detected, "{record:#?}");
         assert!(record.outcome.fault_diagnosed_correctly, "{record:#?}");
+    }
+
+    #[test]
+    fn run_snapshot_covers_the_whole_pipeline() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        });
+        let record = execute_run(&c.plans()[0]);
+        let obs = &record.obs;
+        // Cloud API traffic and latency.
+        assert!(obs.counter("cloud.api.calls") > 0);
+        assert!(obs
+            .histogram("cloud.api.latency_us")
+            .is_some_and(|h| h.count > 0));
+        assert!(obs.counters.contains_key("cloud.api.throttled"));
+        // Consistent-layer retries.
+        assert!(obs.counter("consistent.calls") > 0);
+        assert!(obs.counters.contains_key("consistent.retries"));
+        // Conformance classifications and replay latency.
+        assert!(obs.counter("conformance.replays") > 0);
+        assert!(obs.counter("conformance.fit") > 0);
+        assert!(obs
+            .histogram("conformance.replay_latency_us")
+            .is_some_and(|h| h.count > 0));
+        // Fault-tree work: tests executed vs memoised.
+        assert!(obs.counter("faulttree.tests_run") > 0);
+        assert!(obs.counters.contains_key("faulttree.memo_hits"));
+        // Detections and per-stage pipeline throughput.
+        assert!(obs.counter("engine.detections") > 0);
+        assert!(obs.counter("pipeline.pushed") > 0);
+        assert!(obs.counter("pipeline.noise-filter.processed") > 0);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! The JSON-lines run journal: pod-obs snapshots, spans and Table-I
+//! metrics as machine-readable records.
+//!
+//! `pod-obs` sits *below* `pod-log` in the dependency order (the log
+//! pipeline itself is instrumented), so the JSON encoding of observability
+//! data cannot live in `pod-obs` — it lives here, reusing [`pod_log::Json`].
+//! One record per line; every record carries a `record` discriminator and
+//! the `run` id it belongs to.
+
+use pod_log::Json;
+use pod_obs::{Snapshot, SpanRecord};
+
+use crate::metrics::MetricSet;
+
+fn num(n: u64) -> Json {
+    Json::Number(n as f64)
+}
+
+/// One record per counter, gauge and histogram in `snapshot`.
+pub fn snapshot_lines(run: &str, snapshot: &Snapshot) -> Vec<Json> {
+    let mut out = Vec::new();
+    for (name, value) in &snapshot.counters {
+        let mut o = Json::object();
+        o.set("record", Json::str("counter"));
+        o.set("run", Json::str(run));
+        o.set("name", Json::str(name.clone()));
+        o.set("value", num(*value));
+        out.push(o);
+    }
+    for (name, value) in &snapshot.gauges {
+        let mut o = Json::object();
+        o.set("record", Json::str("gauge"));
+        o.set("run", Json::str(run));
+        o.set("name", Json::str(name.clone()));
+        o.set("value", Json::Number(*value as f64));
+        out.push(o);
+    }
+    for (name, h) in &snapshot.histograms {
+        let mut o = Json::object();
+        o.set("record", Json::str("histogram"));
+        o.set("run", Json::str(run));
+        o.set("name", Json::str(name.clone()));
+        o.set("count", num(h.count));
+        o.set("sum", num(h.sum));
+        if h.count > 0 {
+            o.set("min", num(h.min));
+            o.set("max", num(h.max));
+            o.set("mean", Json::Number(h.mean()));
+            if let Some(p50) = h.quantile(0.5) {
+                o.set("p50", num(p50));
+            }
+            if let Some(p95) = h.quantile(0.95) {
+                o.set("p95", num(p95));
+            }
+        }
+        out.push(o);
+    }
+    out
+}
+
+/// One record per finished span.
+pub fn span_lines(run: &str, spans: &[SpanRecord]) -> Vec<Json> {
+    spans
+        .iter()
+        .map(|s| {
+            let mut o = Json::object();
+            o.set("record", Json::str("span"));
+            o.set("run", Json::str(run));
+            o.set("id", num(s.id));
+            if let Some(parent) = s.parent {
+                o.set("parent", num(parent));
+            }
+            o.set("name", Json::str(s.name.clone()));
+            o.set("start_us", num(s.start.as_micros()));
+            o.set("end_us", num(s.end.as_micros()));
+            if !s.attrs.is_empty() {
+                let mut attrs = Json::object();
+                for (k, v) in &s.attrs {
+                    attrs.set(k.clone(), Json::str(v.clone()));
+                }
+                o.set("attrs", attrs);
+            }
+            o
+        })
+        .collect()
+}
+
+/// The Table-I metrics of one metric set as a single record.
+pub fn metrics_line(label: &str, m: &MetricSet) -> Json {
+    let mut o = Json::object();
+    o.set("record", Json::str("metrics"));
+    o.set("label", Json::str(label));
+    o.set("runs", num(m.runs as u64));
+    o.set("faults_detected", num(m.faults_detected as u64));
+    o.set("faults_missed", num(m.faults_missed as u64));
+    o.set("false_positives", num(m.false_positives as u64));
+    o.set(
+        "interference_detections",
+        num(m.interference_detections as u64),
+    );
+    o.set("precision", Json::Number(m.detection_precision()));
+    o.set("recall", Json::Number(m.detection_recall()));
+    o.set(
+        "diagnosis_accuracy",
+        Json::Number(m.diagnosis_accuracy_over_detected()),
+    );
+    o.set("accuracy_rate", Json::Number(m.accuracy_rate()));
+    o
+}
+
+/// Renders records as a JSON-lines document (one record per line, trailing
+/// newline).
+pub fn render_journal(lines: &[Json]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_obs::Obs;
+    use pod_sim::SimTime;
+
+    #[test]
+    fn journal_lines_are_valid_json() {
+        let obs = Obs::detached();
+        obs.tracer().begin_trace("run-7");
+        obs.counter("cloud.api.calls").add(3);
+        obs.histogram("cloud.api.latency_us", &[100, 1000])
+            .record(250);
+        {
+            let span = obs.span("upgrade.step");
+            span.attr("step", "start");
+            obs.clock().advance(pod_sim::SimDuration::from_millis(5));
+        }
+        let mut lines = snapshot_lines("run-7", &obs.snapshot());
+        lines.extend(span_lines("run-7", &obs.tracer().finished()));
+        let text = render_journal(&lines);
+        assert!(lines.len() >= 3);
+        for line in text.lines() {
+            let v = Json::parse(line).expect(line);
+            assert!(v.get("record").is_some());
+        }
+    }
+
+    #[test]
+    fn counter_and_span_records_round_trip() {
+        let obs = Obs::detached();
+        obs.counter("consistent.retries").incr();
+        let snap_lines = snapshot_lines("r", &obs.snapshot());
+        let parsed = Json::parse(&snap_lines[0].to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("counter"));
+        assert_eq!(
+            parsed.get("name").unwrap().as_str(),
+            Some("consistent.retries")
+        );
+        assert_eq!(parsed.get("value").unwrap().as_f64(), Some(1.0));
+
+        let spans = [SpanRecord {
+            id: 1,
+            parent: None,
+            name: "x".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(2),
+            attrs: vec![("k".into(), "v".into())],
+        }];
+        let line = &span_lines("r", &spans)[0];
+        let parsed = Json::parse(&line.to_string()).unwrap();
+        assert_eq!(parsed.get("end_us").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(
+            parsed.get("attrs").unwrap().get("k").unwrap().as_str(),
+            Some("v")
+        );
+    }
+
+    #[test]
+    fn metrics_line_carries_table_one() {
+        let m = MetricSet {
+            runs: 4,
+            faults_detected: 3,
+            faults_missed: 1,
+            ..MetricSet::default()
+        };
+        let parsed = Json::parse(&metrics_line("overall", &m).to_string()).unwrap();
+        assert_eq!(parsed.get("runs").unwrap().as_f64(), Some(4.0));
+        assert_eq!(parsed.get("recall").unwrap().as_f64(), Some(0.75));
+    }
+}

@@ -10,12 +10,15 @@
 //!   to ground truth and the Table-I formulas (precision, recall, accuracy
 //!   rate);
 //! - [`TimingStats`] — the Figure-6 diagnosis-time distribution;
-//! - [`render_report`] — plain-text rendering of every table and figure.
+//! - [`render_report`] — plain-text rendering of every table and figure;
+//! - [`snapshot_lines`] / [`span_lines`] / [`render_journal`] — the
+//!   JSON-lines run journal of pod-obs metrics and spans.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod journal;
 mod metrics;
 mod report;
 mod scenario;
@@ -24,6 +27,7 @@ mod timing;
 pub use campaign::{
     execute_run, Campaign, CampaignConfig, CampaignReport, ConformanceStats, RunPlan, RunRecord,
 };
+pub use journal::{metrics_line, render_journal, snapshot_lines, span_lines};
 pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
 pub use report::{render_metrics_line, render_report};
 pub use scenario::{build_engine, build_scenario, pod_config, Scenario, ScenarioConfig};

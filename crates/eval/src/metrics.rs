@@ -116,7 +116,9 @@ pub fn classify_run(truth: &GroundTruth, detections: &[Detection]) -> RunOutcome
             .map(|c| c.node_id.as_str())
             .collect();
         let fault_active = d.at >= truth.injected_at
-            && truth.reverted_at.is_none_or(|r| d.at < r + SimDuration::from_secs(90));
+            && truth
+                .reverted_at
+                .is_none_or(|r| d.at < r + SimDuration::from_secs(90));
 
         let stopped: Vec<&str> = report
             .stopped_at
@@ -311,9 +313,8 @@ impl MetricSet {
         if denom == 0.0 {
             return 1.0;
         }
-        let correct = self.correct_fault_diagnoses
-            + self.interference_correct
-            + self.fp_diagnosed_as_none;
+        let correct =
+            self.correct_fault_diagnoses + self.interference_correct + self.fp_diagnosed_as_none;
         correct as f64 / denom
     }
 }
@@ -405,7 +406,10 @@ mod tests {
         let o = classify_run(&t, &d);
         assert!(!o.fault_detected);
         assert_eq!(o.false_positives, 1);
-        assert_eq!(o.fp_diagnosed_as_none, 1, "no-root-cause FP is handled correctly");
+        assert_eq!(
+            o.fp_diagnosed_as_none, 1,
+            "no-root-cause FP is handled correctly"
+        );
     }
 
     #[test]

@@ -36,8 +36,16 @@ pub fn render_report(report: &CampaignReport) -> String {
     );
     let _ = writeln!(out);
     let _ = writeln!(out, "-- Table I metrics (overall) --");
-    let _ = writeln!(out, "precision of detection : {}", pct(m.detection_precision()));
-    let _ = writeln!(out, "recall of detection    : {}", pct(m.detection_recall()));
+    let _ = writeln!(
+        out,
+        "precision of detection : {}",
+        pct(m.detection_precision())
+    );
+    let _ = writeln!(
+        out,
+        "recall of detection    : {}",
+        pct(m.detection_recall())
+    );
     let _ = writeln!(
         out,
         "diagnosis accuracy (of detected faults) : {}",
@@ -109,6 +117,9 @@ pub fn render_report(report: &CampaignReport) -> String {
          (before assertions: {}; paper: 20 of 80)",
         c.resource_runs, c.resource_runs_flagged, c.resource_runs_flagged_first
     );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- Observability: pod-obs metrics (all runs) --");
+    out.push_str(&pod_obs::render_summary(&report.obs_totals));
     out
 }
 
@@ -145,6 +156,8 @@ mod tests {
         assert!(text.contains("Figure 7"));
         assert!(text.contains("conformance"));
         assert!(text.contains("precision of detection"));
+        assert!(text.contains("Observability"));
+        assert!(text.contains("cloud.api.calls"));
         for fault in pod_orchestrator::FaultType::all() {
             assert!(text.contains(&fault.to_string()), "missing {fault}");
         }

@@ -70,7 +70,8 @@ pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
     let sg = cloud.admin_create_security_group("web", &[80, 443]);
     let kp = cloud.admin_create_key_pair("prod-key");
     let elb = cloud.admin_create_elb("front");
-    let lc_v1 = cloud.admin_create_launch_config("lc-v1", ami_v1, "m1.small", kp.clone(), sg.clone());
+    let lc_v1 =
+        cloud.admin_create_launch_config("lc-v1", ami_v1, "m1.small", kp.clone(), sg.clone());
     let asg = cloud.admin_create_asg(
         "pm--asg",
         lc_v1,

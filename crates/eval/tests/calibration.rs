@@ -30,11 +30,9 @@ fn training_logs(n: u64) -> Vec<pod_log::LogEvent> {
 #[test]
 fn step_timeout_is_consistent_with_the_mined_timing_profile() {
     let events = training_logs(25);
-    let timings = ActivityTimings::measure(
-        &events,
-        &process_def::rolling_upgrade_rules(),
-        |e| e.field("taskid").map(str::to_string),
-    );
+    let timings = ActivityTimings::measure(&events, &process_def::rolling_upgrade_rules(), |e| {
+        e.field("taskid").map(str::to_string)
+    });
     // The step the timer guards is the replacement wait, completed by READY.
     let ready = pod_faulttree::steps::READY;
     assert!(timings.sample_count(ready) >= 80, "enough training samples");
@@ -55,15 +53,18 @@ fn step_timeout_is_consistent_with_the_mined_timing_profile() {
 #[test]
 fn timing_profile_orders_steps_sensibly() {
     let events = training_logs(10);
-    let timings = ActivityTimings::measure(
-        &events,
-        &process_def::rolling_upgrade_rules(),
-        |e| e.field("taskid").map(str::to_string),
-    );
+    let timings = ActivityTimings::measure(&events, &process_def::rolling_upgrade_rules(), |e| {
+        e.field("taskid").map(str::to_string)
+    });
     use pod_faulttree::steps;
     // The replacement wait dominates every other step by far.
     let ready_mean = timings.mean(steps::READY).unwrap();
-    for quick in [steps::UPDATE_LC, steps::SORT, steps::DEREGISTER, steps::TERMINATE] {
+    for quick in [
+        steps::UPDATE_LC,
+        steps::SORT,
+        steps::DEREGISTER,
+        steps::TERMINATE,
+    ] {
         let m = timings.mean(quick).unwrap();
         assert!(
             ready_mean.as_secs_f64() > 5.0 * m.as_secs_f64(),

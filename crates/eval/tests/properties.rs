@@ -12,19 +12,21 @@ fn arb_outcome() -> impl Strategy<Value = RunOutcome> {
         0usize..4,
         0usize..4,
     )
-        .prop_map(|(detected, correct, interference, fps, fp_none)| RunOutcome {
-            fault_detected: detected,
-            fault_diagnosed_correctly: detected && correct,
-            interference_detections: interference,
-            interference_diagnosed_correctly: interference, // all correct here
-            false_positives: fps.max(fp_none),
-            fp_diagnosed_as_none: fp_none.min(fps.max(fp_none)),
-            raw_detections: 0,
-            conformance_first: false,
-            conformance_any: false,
-            diagnosis_times: Vec::new(),
-            first_cause_latencies: Vec::new(),
-        })
+        .prop_map(
+            |(detected, correct, interference, fps, fp_none)| RunOutcome {
+                fault_detected: detected,
+                fault_diagnosed_correctly: detected && correct,
+                interference_detections: interference,
+                interference_diagnosed_correctly: interference, // all correct here
+                false_positives: fps.max(fp_none),
+                fp_diagnosed_as_none: fp_none.min(fps.max(fp_none)),
+                raw_detections: 0,
+                conformance_first: false,
+                conformance_any: false,
+                diagnosis_times: Vec::new(),
+                first_cause_latencies: Vec::new(),
+            },
+        )
 }
 
 proptest! {

@@ -85,7 +85,10 @@ fn unamended_trees_miss_the_limit_cause() {
     };
     let unamended = run(false);
     let amended = run(true);
-    assert!(unamended.outcome.interference_detections >= 1, "{unamended:#?}");
+    assert!(
+        unamended.outcome.interference_detections >= 1,
+        "{unamended:#?}"
+    );
     assert!(amended.outcome.interference_detections >= 1, "{amended:#?}");
     // Only the amended trees credit the limit with a *correct* diagnosis.
     assert!(amended.outcome.interference_diagnosed_correctly >= 1);

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use pod_assert::ConsistentApi;
 use pod_log::{LogEvent, LogStorage, Severity};
+use pod_obs::{Counter, Histogram, Obs, LATENCY_BOUNDS_US};
 use pod_sim::{SimDuration, SimTime};
 
 use crate::test::{DiagnosisContext, TestResult};
@@ -78,6 +79,33 @@ impl DiagnosisReport {
     }
 }
 
+/// Bucket bounds for the fault-tree walk depth histogram (tree levels).
+const DEPTH_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16];
+
+/// Cached handles for the engine's metrics so the walk never touches the
+/// registry lock.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    walks: Counter,
+    tests_run: Counter,
+    memo_hits: Counter,
+    walk_depth: Histogram,
+    time_to_first_cause_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: &Obs) -> EngineMetrics {
+        EngineMetrics {
+            walks: obs.counter("faulttree.walks"),
+            tests_run: obs.counter("faulttree.tests_run"),
+            memo_hits: obs.counter("faulttree.memo_hits"),
+            walk_depth: obs.histogram("faulttree.walk_depth", DEPTH_BOUNDS),
+            time_to_first_cause_us: obs
+                .histogram("faulttree.time_to_first_cause_us", LATENCY_BOUNDS_US),
+        }
+    }
+}
+
 /// The diagnosis engine. One engine serves many diagnoses; each call gets a
 /// fresh test-result cache (results are reused across the single traversal,
 /// including when a node is reachable from several ancestors).
@@ -87,16 +115,19 @@ pub struct DiagnosisEngine {
     storage: LogStorage,
     order: TestOrder,
     memoise: bool,
+    metrics: EngineMetrics,
 }
 
 impl DiagnosisEngine {
     /// Creates an engine logging its transcript to `storage`.
     pub fn new(api: ConsistentApi, storage: LogStorage) -> DiagnosisEngine {
+        let metrics = EngineMetrics::new(api.cloud().obs());
         DiagnosisEngine {
             api,
             storage,
             order: TestOrder::ByProbability,
             memoise: true,
+            metrics,
         }
     }
 
@@ -116,6 +147,9 @@ impl DiagnosisEngine {
     /// and walks it top-down, running diagnostic tests until root causes
     /// are confirmed or excluded.
     pub fn diagnose(&self, tree: &FaultTree, ctx: &DiagnosisContext) -> DiagnosisReport {
+        let span = self.api.cloud().obs().span("faulttree.walk");
+        span.attr("tree", &tree.assertion_key);
+        self.metrics.walks.incr();
         let started_at = self.api.cloud().clock().now();
         let variables = ctx.env.variables();
         let step = ctx.step.as_deref();
@@ -135,6 +169,8 @@ impl DiagnosisEngine {
             ctx,
             variables: &variables,
             cache: HashMap::new(),
+            depth: 0,
+            max_depth: 0,
             report: DiagnosisReport {
                 root_causes: Vec::new(),
                 stopped_at: Vec::new(),
@@ -147,8 +183,24 @@ impl DiagnosisEngine {
             },
         };
         walk.visit_children(&tree.root);
+        let max_depth = walk.max_depth;
         let mut report = walk.report;
         report.duration = self.api.cloud().clock().now().duration_since(started_at);
+        self.metrics.walk_depth.record(max_depth as u64);
+        if let Some(first) = report.first_cause_after {
+            self.metrics
+                .time_to_first_cause_us
+                .record(first.as_micros());
+        }
+        span.attr("tests_run", report.tests_run);
+        span.attr(
+            "verdict",
+            match report.verdict() {
+                DiagnosisVerdict::RootCauseIdentified => "root-cause-identified",
+                DiagnosisVerdict::ErrorConfirmedCauseUnknown => "cause-unknown",
+                DiagnosisVerdict::NoRootCauseIdentified => "no-root-cause",
+            },
+        );
         let now = self.api.cloud().clock().now();
         match report.verdict() {
             DiagnosisVerdict::RootCauseIdentified => self.log(
@@ -180,9 +232,12 @@ impl DiagnosisEngine {
                         .join("; ")
                 ),
             ),
-            DiagnosisVerdict::NoRootCauseIdentified => {
-                self.log(now, ctx, Severity::Info, "No root cause identified".to_string())
-            }
+            DiagnosisVerdict::NoRootCauseIdentified => self.log(
+                now,
+                ctx,
+                Severity::Info,
+                "No root cause identified".to_string(),
+            ),
         }
         report
     }
@@ -206,6 +261,8 @@ struct Walk<'a> {
     ctx: &'a DiagnosisContext,
     variables: &'a [(String, String)],
     cache: HashMap<String, TestResult>,
+    depth: usize,
+    max_depth: usize,
     report: DiagnosisReport,
 }
 
@@ -240,6 +297,8 @@ impl Walk<'_> {
     }
 
     fn visit(&mut self, node: &FaultNode) {
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
         let description = node.instantiate(self.variables);
         match &node.test {
             None => {
@@ -278,9 +337,8 @@ impl Walk<'_> {
                         );
                         if node.is_root_cause && node.children.is_empty() {
                             if self.report.first_cause_after.is_none() {
-                                self.report.first_cause_after = Some(
-                                    now.duration_since(self.report.started_at),
-                                );
+                                self.report.first_cause_after =
+                                    Some(now.duration_since(self.report.started_at));
                             }
                             self.report.root_causes.push(DiagnosedCause {
                                 node_id: node.id.clone(),
@@ -311,16 +369,29 @@ impl Walk<'_> {
                 }
             }
         }
+        self.depth -= 1;
     }
 
     fn run_cached(&mut self, id: &str, test: &crate::test::DiagnosticTest) -> TestResult {
         if self.engine.memoise {
             if let Some(hit) = self.cache.get(id) {
+                self.engine.metrics.memo_hits.incr();
                 return hit.clone();
             }
         }
+        let span = self.engine.api.cloud().obs().span("faulttree.test");
+        span.attr("node", id);
         let result = test.run(&self.engine.api, self.ctx);
+        span.attr(
+            "result",
+            match &result {
+                TestResult::Absent => "absent",
+                TestResult::Present => "present",
+                TestResult::Inconclusive { .. } => "inconclusive",
+            },
+        );
         self.report.tests_run += 1;
+        self.engine.metrics.tests_run.incr();
         if self.engine.memoise {
             self.cache.insert(id.to_string(), result.clone());
         }
@@ -350,7 +421,8 @@ mod tests {
         let sg = cloud.admin_create_security_group("web", &[80]);
         let kp = cloud.admin_create_key_pair("prod");
         let elb = cloud.admin_create_elb("front");
-        let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let lc =
+            cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
         let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
         let env = ExpectedEnv {
             asg,
@@ -549,20 +621,26 @@ mod tests {
         let tree = FaultTree::new(
             "k",
             FaultNode::branch("root", "top").child(
-                FaultNode::branch("asg-lc", "ASG {ASG} uses an unexpected launch configuration")
-                    .with_test(DiagnosticTest::AssertionFails(
-                        CloudAssertion::AsgLaunchConfigCorrect,
-                    ))
-                    .child(FaultNode::root_cause(
-                        "ami",
-                        "wrong AMI",
-                        DiagnosticTest::AssertionFails(CloudAssertion::LaunchConfigUsesAmi),
-                        0.5,
-                    )),
+                FaultNode::branch(
+                    "asg-lc",
+                    "ASG {ASG} uses an unexpected launch configuration",
+                )
+                .with_test(DiagnosticTest::AssertionFails(
+                    CloudAssertion::AsgLaunchConfigCorrect,
+                ))
+                .child(FaultNode::root_cause(
+                    "ami",
+                    "wrong AMI",
+                    DiagnosticTest::AssertionFails(CloudAssertion::LaunchConfigUsesAmi),
+                    0.5,
+                )),
             ),
         );
         let report = engine.diagnose(&tree, &ctx);
-        assert_eq!(report.verdict(), DiagnosisVerdict::ErrorConfirmedCauseUnknown);
+        assert_eq!(
+            report.verdict(),
+            DiagnosisVerdict::ErrorConfirmedCauseUnknown
+        );
         assert_eq!(report.stopped_at.len(), 1);
         assert!(report.stopped_at[0].description.contains("g uses"));
     }
@@ -589,7 +667,10 @@ mod tests {
                 )),
         );
         storage.clear();
-        engine.clone().with_order(TestOrder::ByCost).diagnose(&tree, &ctx);
+        engine
+            .clone()
+            .with_order(TestOrder::ByCost)
+            .diagnose(&tree, &ctx);
         let first_verify = storage
             .snapshot()
             .into_iter()
@@ -597,7 +678,9 @@ mod tests {
             .unwrap();
         assert!(first_verify.message.contains("cheap"));
         storage.clear();
-        engine.with_order(TestOrder::ByProbability).diagnose(&tree, &ctx);
+        engine
+            .with_order(TestOrder::ByProbability)
+            .diagnose(&tree, &ctx);
         let first_verify = storage
             .snapshot()
             .into_iter()

@@ -26,9 +26,7 @@ mod library;
 mod test;
 mod tree;
 
-pub use engine::{
-    DiagnosedCause, DiagnosisEngine, DiagnosisReport, DiagnosisVerdict, TestOrder,
-};
+pub use engine::{DiagnosedCause, DiagnosisEngine, DiagnosisReport, DiagnosisVerdict, TestOrder};
 pub use library::{rolling_upgrade_repository, steps, version_count_tree};
 pub use test::{DiagnosisContext, DiagnosticTest, InstanceCheck, TestResult};
 pub use tree::{FaultNode, FaultTree, FaultTreeRepository, Gate};

@@ -120,8 +120,11 @@ pub fn rolling_upgrade_repository(amended: bool) -> FaultTreeRepository {
 fn single_cause_tree(key: &str, cause: FaultNode) -> FaultTree {
     FaultTree::new(
         key,
-        FaultNode::branch(format!("{key}-failed"), "the step post-condition does not hold")
-            .child(cause),
+        FaultNode::branch(
+            format!("{key}-failed"),
+            "the step post-condition does not hold",
+        )
+        .child(cause),
     )
 }
 
@@ -321,14 +324,11 @@ pub fn version_count_tree(amended: bool) -> FaultTree {
 
 /// Tree for a failed "launch configuration correct" step assertion.
 fn lc_tree() -> FaultTree {
-    let root = FaultNode::branch(
-        "lc-incorrect",
-        "the launch configuration {LC} is incorrect",
-    )
-    .child(wrong_ami_cause(0.5))
-    .child(wrong_key_pair_cause(0.3))
-    .child(wrong_sg_cause(0.3))
-    .child(wrong_instance_type_cause(0.2));
+    let root = FaultNode::branch("lc-incorrect", "the launch configuration {LC} is incorrect")
+        .child(wrong_ami_cause(0.5))
+        .child(wrong_key_pair_cause(0.3))
+        .child(wrong_sg_cause(0.3))
+        .child(wrong_instance_type_cause(0.2));
     FaultTree::new("asg-launch-config-correct", root)
 }
 
@@ -349,16 +349,14 @@ fn deregister_tree() -> FaultTree {
 
 /// Tree for a failed termination assertion.
 fn terminate_tree() -> FaultTree {
-    let root = FaultNode::branch(
-        "terminate-failed",
-        "the old instance did not terminate",
-    )
-    .child(FaultNode::root_cause(
-        "instance-still-running",
-        "the instance is still in service (terminate call lost or throttled)",
-        DiagnosticTest::InstanceAssertionFails(InstanceCheck::InService),
-        0.5,
-    ));
+    let root = FaultNode::branch("terminate-failed", "the old instance did not terminate").child(
+        FaultNode::root_cause(
+            "instance-still-running",
+            "the instance is still in service (terminate call lost or throttled)",
+            DiagnosticTest::InstanceAssertionFails(InstanceCheck::InService),
+            0.5,
+        ),
+    );
     FaultTree::new("instance-terminated", root)
 }
 
@@ -458,15 +456,15 @@ mod tests {
         let tree = version_count_tree(true);
         let ids = tree.root.ids();
         for id in [
-            "lc-wrong-ami",          // fault 1
-            "lc-wrong-key-pair",     // fault 2
-            "lc-wrong-sg",           // fault 3
-            "lc-wrong-instance-type",// fault 4
-            "ami-unavailable",       // fault 5
-            "key-pair-unavailable",  // fault 6
-            "sg-unavailable",        // fault 7
-            "elb-unavailable",       // fault 8
-            "concurrent-scale-in",   // interference
+            "lc-wrong-ami",           // fault 1
+            "lc-wrong-key-pair",      // fault 2
+            "lc-wrong-sg",            // fault 3
+            "lc-wrong-instance-type", // fault 4
+            "ami-unavailable",        // fault 5
+            "key-pair-unavailable",   // fault 6
+            "sg-unavailable",         // fault 7
+            "elb-unavailable",        // fault 8
+            "concurrent-scale-in",    // interference
         ] {
             assert!(ids.contains(&id), "missing node {id}");
         }

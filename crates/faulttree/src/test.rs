@@ -101,12 +101,10 @@ impl DiagnosticTest {
     /// Runs the test.
     pub fn run(&self, api: &ConsistentApi, ctx: &DiagnosisContext) -> TestResult {
         match self {
-            DiagnosticTest::AssertionFails(assertion) => {
-                match assertion.evaluate(api, &ctx.env) {
-                    AssertionOutcome::Passed => TestResult::Absent,
-                    AssertionOutcome::Failed { .. } => TestResult::Present,
-                }
-            }
+            DiagnosticTest::AssertionFails(assertion) => match assertion.evaluate(api, &ctx.env) {
+                AssertionOutcome::Passed => TestResult::Absent,
+                AssertionOutcome::Failed { .. } => TestResult::Present,
+            },
             DiagnosticTest::InstanceAssertionFails(check) => {
                 let Some(instance) = &ctx.instance else {
                     return TestResult::Inconclusive {
@@ -117,11 +115,9 @@ impl DiagnosticTest {
                     InstanceCheck::UsesExpectedAmi => CloudAssertion::InstanceUsesAmi {
                         instance: instance.clone(),
                     },
-                    InstanceCheck::RegisteredWithElb => {
-                        CloudAssertion::InstanceRegisteredWithElb {
-                            instance: instance.clone(),
-                        }
-                    }
+                    InstanceCheck::RegisteredWithElb => CloudAssertion::InstanceRegisteredWithElb {
+                        instance: instance.clone(),
+                    },
                     InstanceCheck::InService => CloudAssertion::InstanceInService {
                         instance: instance.clone(),
                     },
@@ -159,13 +155,12 @@ impl DiagnosticTest {
     /// Looks for a completed termination with no matching termination
     /// request in the activity feed.
     fn unexpected_termination(&self, api: &ConsistentApi, ctx: &DiagnosisContext) -> TestResult {
-        let requested = Regex::new(r"Terminating EC2 instance.*: (?P<id>i-[0-9a-f]+)")
-            .expect("static pattern");
-        let completed = Regex::new(r"Terminated EC2 instance: (?P<id>i-[0-9a-f]+)")
-            .expect("static pattern");
-        let activities = api.execute(|c| {
-            c.describe_scaling_activities(&ctx.env.asg, ctx.operation_started)
-        });
+        let requested =
+            Regex::new(r"Terminating EC2 instance.*: (?P<id>i-[0-9a-f]+)").expect("static pattern");
+        let completed =
+            Regex::new(r"Terminated EC2 instance: (?P<id>i-[0-9a-f]+)").expect("static pattern");
+        let activities =
+            api.execute(|c| c.describe_scaling_activities(&ctx.env.asg, ctx.operation_started));
         match activities {
             Ok(acts) => {
                 let mut asked: Vec<String> = Vec::new();
@@ -204,9 +199,8 @@ impl DiagnosticTest {
                 }
             }
         };
-        let activities = api.execute(|c| {
-            c.describe_scaling_activities(&ctx.env.asg, ctx.operation_started)
-        });
+        let activities =
+            api.execute(|c| c.describe_scaling_activities(&ctx.env.asg, ctx.operation_started));
         match activities {
             Ok(acts) => {
                 let hit = acts.iter().any(|a| {
@@ -246,7 +240,8 @@ mod tests {
         let sg = cloud.admin_create_security_group("web", &[80]);
         let kp = cloud.admin_create_key_pair("prod");
         let elb = cloud.admin_create_elb("front");
-        let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let lc =
+            cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
         let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
         let env = ExpectedEnv {
             asg,
@@ -329,9 +324,8 @@ mod tests {
 
     #[test]
     fn cost_estimates_rank_high_level_higher() {
-        let high = DiagnosticTest::AssertionFails(CloudAssertion::AsgHasInstancesWithVersion {
-            count: 4,
-        });
+        let high =
+            DiagnosticTest::AssertionFails(CloudAssertion::AsgHasInstancesWithVersion { count: 4 });
         let low = DiagnosticTest::AssertionFails(CloudAssertion::LaunchConfigUsesAmi);
         assert!(high.cost_estimate() > low.cost_estimate());
     }

@@ -128,10 +128,7 @@ impl FaultNode {
         if self.children.is_empty() {
             usize::from(self.test.is_some())
         } else {
-            self.children
-                .iter()
-                .map(|c| c.potential_faults(step))
-                .sum()
+            self.children.iter().map(|c| c.potential_faults(step)).sum()
         }
     }
 

@@ -104,7 +104,11 @@ proptest! {
 #[test]
 fn rolling_upgrade_repository_trees_have_unique_keys() {
     let repo = pod_faulttree::rolling_upgrade_repository(true);
-    let mut keys: Vec<&str> = repo.trees().iter().map(|t| t.assertion_key.as_str()).collect();
+    let mut keys: Vec<&str> = repo
+        .trees()
+        .iter()
+        .map(|t| t.assertion_key.as_str())
+        .collect();
     let n = keys.len();
     keys.sort_unstable();
     keys.dedup();

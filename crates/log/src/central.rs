@@ -79,7 +79,13 @@ impl CentralLogProcessor {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
         let handle = std::thread::spawn(move || {
-            run_loop(&storage, &failure_patterns, poll_interval, &sender, &stop_flag);
+            run_loop(
+                &storage,
+                &failure_patterns,
+                poll_interval,
+                &sender,
+                &stop_flag,
+            );
         });
         CentralLogProcessor {
             receiver,
@@ -128,10 +134,15 @@ fn run_loop(
     while !stop.load(Ordering::SeqCst) {
         for event in storage.events_since(&mut cursor) {
             let matched_pattern = patterns.first_match(&event.message);
-            if matched_pattern.is_some() || event.severity == Severity::Error {
-                if sender.send(FailureNotice { event, matched_pattern }).is_err() {
-                    return; // receiver gone
-                }
+            if (matched_pattern.is_some() || event.severity == Severity::Error)
+                && sender
+                    .send(FailureNotice {
+                        event,
+                        matched_pattern,
+                    })
+                    .is_err()
+            {
+                return; // receiver gone
             }
         }
         std::thread::sleep(poll_interval);
@@ -157,9 +168,8 @@ mod tests {
         let p = processor(&storage);
         storage.append(LogEvent::new(SimTime::ZERO, "a", "all good here"));
         storage.append(LogEvent::new(SimTime::ZERO, "a", "assertion FAILED: x"));
-        storage.append(
-            LogEvent::new(SimTime::ZERO, "a", "implicit").with_severity(Severity::Error),
-        );
+        storage
+            .append(LogEvent::new(SimTime::ZERO, "a", "implicit").with_severity(Severity::Error));
         let first = p.notices().recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(first.matched_pattern, Some(0));
         let second = p.notices().recv_timeout(Duration::from_secs(5)).unwrap();

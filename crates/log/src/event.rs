@@ -255,11 +255,7 @@ impl LogEvent {
 
 impl fmt::Display for LogEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}] [{}] {}",
-            self.timestamp, self.source, self.message
-        )
+        write!(f, "[{}] [{}] {}", self.timestamp, self.source, self.message)
     }
 }
 

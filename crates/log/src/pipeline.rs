@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use pod_obs::{Counter, Obs};
 use pod_regex::RegexSet;
 
 use crate::event::{LogEvent, ProcessContext};
@@ -68,6 +69,12 @@ impl StageOutput {
 pub trait Stage: fmt::Debug {
     /// Processes one event.
     fn process(&mut self, event: LogEvent) -> StageOutput;
+
+    /// A short stable name used for per-stage pipeline metrics
+    /// (`pipeline.<name>.processed` / `pipeline.<name>.dropped`).
+    fn name(&self) -> &'static str {
+        "stage"
+    }
 }
 
 /// The result of pushing one raw line through the whole pipeline.
@@ -97,19 +104,75 @@ pub struct PipelineOutput {
 /// let out = p.push(LogEvent::new(SimTime::ZERO, "op.log", "heartbeat tick"));
 /// assert!(out.forwarded.is_empty());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Pipeline {
+    obs: Obs,
     stages: Vec<Box<dyn Stage>>,
+    stage_metrics: Vec<StageMetrics>,
+    pushed: Counter,
+    forwarded: Counter,
+}
+
+/// Per-stage throughput/drop counters, cached so `push` stays lock-free.
+#[derive(Debug)]
+struct StageMetrics {
+    processed: Counter,
+    dropped: Counter,
+}
+
+impl StageMetrics {
+    fn new(obs: &Obs, stage: &str) -> StageMetrics {
+        StageMetrics {
+            processed: obs.counter(&format!("pipeline.{stage}.processed")),
+            dropped: obs.counter(&format!("pipeline.{stage}.dropped")),
+        }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline::new()
+    }
 }
 
 impl Pipeline {
-    /// Creates an empty pipeline (passes everything through).
+    /// Creates an empty pipeline (passes everything through) recording its
+    /// metrics into a detached observability context; attach a shared one
+    /// with [`Pipeline::with_obs`].
     pub fn new() -> Pipeline {
-        Pipeline { stages: Vec::new() }
+        let obs = Obs::detached();
+        Pipeline {
+            pushed: obs.counter("pipeline.pushed"),
+            forwarded: obs.counter("pipeline.forwarded"),
+            obs,
+            stages: Vec::new(),
+            stage_metrics: Vec::new(),
+        }
+    }
+
+    /// Rebinds the pipeline's metrics to a shared observability context.
+    pub fn with_obs(mut self, obs: &Obs) -> Pipeline {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Rebinds the pipeline's metrics (including those of already-added
+    /// stages) to a shared observability context.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.pushed = obs.counter("pipeline.pushed");
+        self.forwarded = obs.counter("pipeline.forwarded");
+        self.stage_metrics = self
+            .stages
+            .iter()
+            .map(|s| StageMetrics::new(obs, s.name()))
+            .collect();
     }
 
     /// Appends a stage to the end of the chain.
     pub fn add_stage(&mut self, stage: Box<dyn Stage>) {
+        self.stage_metrics
+            .push(StageMetrics::new(&self.obs, stage.name()));
         self.stages.push(stage);
     }
 
@@ -125,16 +188,22 @@ impl Pipeline {
 
     /// Pushes one event through every stage in order.
     pub fn push(&mut self, event: LogEvent) -> PipelineOutput {
+        self.pushed.incr();
         let mut out = PipelineOutput::default();
         let mut current = Some(event);
-        for stage in &mut self.stages {
+        for (stage, metrics) in self.stages.iter_mut().zip(&self.stage_metrics) {
             let Some(event) = current.take() else { break };
+            metrics.processed.incr();
             let result = stage.process(event);
             out.triggers.extend(result.triggers);
             current = result.event;
+            if current.is_none() {
+                metrics.dropped.incr();
+            }
         }
         if let Some(event) = current {
             out.forwarded.push(event);
+            self.forwarded.incr();
         }
         out
     }
@@ -171,6 +240,10 @@ impl Stage for NoiseFilter {
         } else {
             StageOutput::drop_event()
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "noise-filter"
     }
 }
 
@@ -256,6 +329,10 @@ impl Stage for ProcessAnnotator {
             triggers,
         }
     }
+
+    fn name(&self) -> &'static str {
+        "process-annotator"
+    }
 }
 
 /// Starts the periodic timer on the operation-start line and stops it on the
@@ -297,6 +374,10 @@ impl Stage for TimerSetter {
         }
         out
     }
+
+    fn name(&self) -> &'static str {
+        "timer-setter"
+    }
 }
 
 /// Forwards only "important" lines — those tagged with an activity — to the
@@ -311,6 +392,10 @@ impl Stage for ImportantLineForwarder {
         } else {
             StageOutput::drop_event()
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "important-line-forwarder"
     }
 }
 
@@ -328,12 +413,7 @@ mod tests {
     fn rules() -> RuleBook {
         let mut b = RuleBook::new();
         b.push(
-            LineRule::new(
-                "start-task",
-                Boundary::Start,
-                &[r"Started rolling upgrade"],
-            )
-            .unwrap(),
+            LineRule::new("start-task", Boundary::Start, &[r"Started rolling upgrade"]).unwrap(),
         );
         b.push(
             LineRule::new(
@@ -422,6 +502,35 @@ mod tests {
         let out = p.push(event("upgrade hit unexpected state"));
         assert!(out.forwarded.is_empty());
         assert_eq!(out.triggers.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_records_per_stage_metrics() {
+        let obs = Obs::detached();
+        let mut p = Pipeline::new();
+        p.add_stage(Box::new(NoiseFilter::keep(
+            RegexSet::new(&["Instance", "upgrade"]).unwrap(),
+        )));
+        p.add_stage(Box::new(ProcessAnnotator::new(
+            rules(),
+            "rolling-upgrade",
+            "run-1",
+        )));
+        p.add_stage(Box::new(ImportantLineForwarder));
+        // Rebinding after stages were added re-registers their counters.
+        p.set_obs(&obs);
+
+        p.push(event("jvm gc pause 12ms"));
+        p.push(event("Instance i-aa is ready for use"));
+        p.push(event("upgrade hit unexpected state"));
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("pipeline.pushed"), 3);
+        assert_eq!(snap.counter("pipeline.noise-filter.processed"), 3);
+        assert_eq!(snap.counter("pipeline.noise-filter.dropped"), 1);
+        assert_eq!(snap.counter("pipeline.process-annotator.processed"), 2);
+        assert_eq!(snap.counter("pipeline.important-line-forwarder.dropped"), 1);
+        assert_eq!(snap.counter("pipeline.forwarded"), 1);
     }
 
     #[test]

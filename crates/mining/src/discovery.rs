@@ -164,18 +164,51 @@ mod tests {
         // Mirrors the rolling-upgrade shape: setup, then a per-instance loop,
         // then completion.
         let t = traces(&[
-            &["update-lc", "sort", "remove", "terminate", "wait", "ready", "remove",
-              "terminate", "wait", "ready", "completed"],
-            &["update-lc", "sort", "remove", "terminate", "wait", "ready", "completed"],
+            &[
+                "update-lc",
+                "sort",
+                "remove",
+                "terminate",
+                "wait",
+                "ready",
+                "remove",
+                "terminate",
+                "wait",
+                "ready",
+                "completed",
+            ],
+            &[
+                "update-lc",
+                "sort",
+                "remove",
+                "terminate",
+                "wait",
+                "ready",
+                "completed",
+            ],
         ]);
         let dfg = Dfg::from_traces(&t);
         assert_eq!(dfg.edge_frequency("ready", "remove"), 1, "loop back-edge");
         let model = discover_model("upgrade", &dfg).unwrap();
         assert_eq!(replay_fitness(&model, &t).fitness(), 1.0);
         // Longer loops still replay.
-        let long = traces(&[&["update-lc", "sort", "remove", "terminate", "wait", "ready",
-                              "remove", "terminate", "wait", "ready", "remove", "terminate",
-                              "wait", "ready", "completed"]]);
+        let long = traces(&[&[
+            "update-lc",
+            "sort",
+            "remove",
+            "terminate",
+            "wait",
+            "ready",
+            "remove",
+            "terminate",
+            "wait",
+            "ready",
+            "remove",
+            "terminate",
+            "wait",
+            "ready",
+            "completed",
+        ]]);
         assert_eq!(replay_fitness(&model, &long).fitness(), 1.0);
     }
 

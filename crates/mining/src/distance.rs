@@ -72,10 +72,7 @@ mod tests {
 
     #[test]
     fn token_distance_counts_tokens() {
-        assert_eq!(
-            token_levenshtein(&["a", "b", "c"], &["a", "x", "c"]),
-            1
-        );
+        assert_eq!(token_levenshtein(&["a", "b", "c"], &["a", "x", "c"]), 1);
         assert_eq!(token_levenshtein(&["a"], &["a", "b", "c"]), 2);
     }
 

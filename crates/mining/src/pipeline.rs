@@ -130,8 +130,7 @@ pub fn mine_process(
         }
         let pattern = template.to_pattern();
         rules.push(
-            LineRule::new(name.clone(), Boundary::End, &[pattern])
-                .map_err(MiningError::Pattern)?,
+            LineRule::new(name.clone(), Boundary::End, &[pattern]).map_err(MiningError::Pattern)?,
         );
         names.push(name);
         for m in &cluster.members {
@@ -144,7 +143,9 @@ pub fn mine_process(
     let mut traces: Vec<Vec<String>> = Vec::new();
     for (i, event) in events.iter().enumerate() {
         let Some(tid) = trace_of(event) else { continue };
-        let Some(cluster_idx) = activity_of_line[i] else { continue };
+        let Some(cluster_idx) = activity_of_line[i] else {
+            continue;
+        };
         let pos = match trace_ids.iter().position(|t| *t == tid) {
             Some(p) => p,
             None => {
@@ -179,7 +180,9 @@ mod tests {
             "Sorting 4 instances by launch time".to_string(),
         ];
         for i in 0..loops {
-            msgs.push(format!("Deregistered instance i-{i:08x} from load balancer"));
+            msgs.push(format!(
+                "Deregistered instance i-{i:08x} from load balancer"
+            ));
             msgs.push(format!("Terminating EC2 instance: i-{i:08x}"));
             msgs.push("Waiting for ASG to start new instance".to_string());
             msgs.push(format!("Instance i-{:08x} is ready for use", i + 100));
@@ -244,7 +247,10 @@ mod tests {
             .rules
             .match_line("Terminating EC2 instance: i-deadbeef")
             .unwrap();
-        assert!(m.fields.iter().any(|(k, v)| k == "instanceid" && v == "i-deadbeef"));
+        assert!(m
+            .fields
+            .iter()
+            .any(|(k, v)| k == "instanceid" && v == "i-deadbeef"));
     }
 
     #[test]

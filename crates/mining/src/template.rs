@@ -57,9 +57,9 @@ impl VariableKind {
     /// Classifies a single token.
     pub fn classify(token: &str) -> Option<VariableKind> {
         fn hex_suffix(token: &str, prefix: &str) -> bool {
-            token.strip_prefix(prefix).is_some_and(|rest| {
-                !rest.is_empty() && rest.chars().all(|c| c.is_ascii_hexdigit())
-            })
+            token
+                .strip_prefix(prefix)
+                .is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_hexdigit()))
         }
         let bare = token.trim_matches(|c: char| ",.;:()[]".contains(c));
         if bare.is_empty() {
@@ -253,8 +253,14 @@ mod tests {
             VariableKind::classify("ami-750c9e4f"),
             Some(VariableKind::AmiId)
         );
-        assert_eq!(VariableKind::classify("sg-abc123"), Some(VariableKind::SecurityGroupId));
-        assert_eq!(VariableKind::classify("lc-v2"), Some(VariableKind::LaunchConfigName));
+        assert_eq!(
+            VariableKind::classify("sg-abc123"),
+            Some(VariableKind::SecurityGroupId)
+        );
+        assert_eq!(
+            VariableKind::classify("lc-v2"),
+            Some(VariableKind::LaunchConfigName)
+        );
         assert_eq!(VariableKind::classify("42"), Some(VariableKind::Number));
         assert_eq!(
             VariableKind::classify("11:41:48,312"),

@@ -33,7 +33,9 @@ impl ActivityTimings {
         let mut last_seen: BTreeMap<String, SimTime> = BTreeMap::new();
         let mut timings = ActivityTimings::default();
         for event in events {
-            let Some(trace) = trace_of(event) else { continue };
+            let Some(trace) = trace_of(event) else {
+                continue;
+            };
             let Some(m) = rules.match_line(&event.message) else {
                 continue;
             };
@@ -120,9 +122,7 @@ mod tests {
             event("y", 305, "did B"),
             event("x", 150, "did A"), // next loop of trace x
         ];
-        let t = ActivityTimings::measure(&events, &rules(), |e| {
-            e.field("t").map(str::to_string)
-        });
+        let t = ActivityTimings::measure(&events, &rules(), |e| e.field("t").map(str::to_string));
         assert_eq!(t.activities(), vec!["a", "b"]);
         // b: 100ms (trace x) and 300ms (trace y).
         assert_eq!(t.sample_count("b"), 2);
@@ -134,13 +134,8 @@ mod tests {
 
     #[test]
     fn recommended_timeout_adds_slack() {
-        let events = vec![
-            event("x", 0, "did A"),
-            event("x", 1000, "did B"),
-        ];
-        let t = ActivityTimings::measure(&events, &rules(), |e| {
-            e.field("t").map(str::to_string)
-        });
+        let events = vec![event("x", 0, "did A"), event("x", 1000, "did B")];
+        let t = ActivityTimings::measure(&events, &rules(), |e| e.field("t").map(str::to_string));
         assert_eq!(
             t.recommended_timeout("b"),
             Some(SimDuration::from_millis(1100))

@@ -108,7 +108,7 @@ proptest! {
     #[test]
     fn dfg_counts_adjacencies(trace in prop::collection::vec(0u8..4, 2..40)) {
         let named: Vec<String> = trace.iter().map(|a| format!("a{a}")).collect();
-        let dfg = Dfg::from_traces(&[named.clone()]);
+        let dfg = Dfg::from_traces(std::slice::from_ref(&named));
         for x in 0..4u8 {
             for y in 0..4u8 {
                 let expected = named

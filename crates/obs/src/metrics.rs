@@ -1,0 +1,479 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! point-in-time snapshots with diff/merge support.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default histogram bounds for virtual-time latencies, in microseconds:
+/// roughly exponential from 100 µs to 60 s. The paper's interesting
+/// latencies (≈10 ms conformance calls, 70–90 ms API calls, 1.29–10.44 s
+/// diagnoses) all land in distinct buckets.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+/// A monotonically increasing counter. Cloning shares the underlying cell,
+/// so handles can be cached on hot paths and bumped lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, open spans, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds of the first `bounds.len()` buckets; one
+    /// implicit overflow bucket follows.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (microseconds, depths,
+/// attempt counts...). Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let h = &self.0;
+        let idx = h.bounds.partition_point(|&b| b < value);
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.min.fetch_min(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let h = &self.0;
+        HistogramSnapshot {
+            bounds: h.bounds.clone(),
+            buckets: h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            min: h.min.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the leading buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries; the last
+    /// is the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the buckets.
+    ///
+    /// The estimate is the upper bound of the bucket containing the target
+    /// rank, clamped to the observed `[min, max]` — so it is monotone in
+    /// `q` and always bounded by real observations. Returns `None` when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        let mut estimate = self.max;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                estimate = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                break;
+            }
+        }
+        Some(estimate.clamp(self.min, self.max))
+    }
+
+    /// The counts-since `earlier`: buckets, count and sum subtract
+    /// (saturating); min/max are kept from `self` since decomposing
+    /// extremes is not possible.
+    fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Merges another snapshot with identical bounds into this one
+    /// (campaign aggregation across runs).
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Point-in-time copy of every metric in a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.is_empty()
+            && self.histograms.values().all(|h| h.count == 0)
+    }
+
+    /// The change from `earlier` to `self`: counters and histogram
+    /// tallies subtract (saturating); gauges keep their current value.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| match earlier.histograms.get(k) {
+                Some(e) => (k.clone(), h.diff(e)),
+                None => (k.clone(), h.clone()),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Accumulates `other` into this snapshot (campaign aggregation):
+    /// counters and histograms add; gauges keep the latest value.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => mine.merge(h),
+                _ => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The shared metrics registry. Cloning shares the same metric set;
+/// handles returned from the accessors stay live after the registry is
+/// dropped.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`, created on first use with
+    /// `bounds` (ascending inclusive upper bounds). Later callers get the
+    /// existing histogram regardless of the bounds they pass.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Copies every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        c.incr();
+        c.add(4);
+        assert_eq!(reg.counter("x").get(), 5, "handles share the cell");
+        let g = reg.gauge("depth");
+        g.set(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_histograms() {
+        let reg = Registry::new();
+        let c = reg.counter("calls");
+        let h = reg.histogram("lat", &[10, 100]);
+        c.add(2);
+        h.record(5);
+        let before = reg.snapshot();
+        c.add(3);
+        h.record(50);
+        h.record(500);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.counter("calls"), 3);
+        let hs = delta.histogram("lat").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.buckets, vec![0, 1, 1]);
+        assert_eq!(hs.sum, 550);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let a_reg = Registry::new();
+        a_reg.counter("calls").add(2);
+        a_reg.histogram("lat", &[10]).record(4);
+        let b_reg = Registry::new();
+        b_reg.counter("calls").add(5);
+        b_reg.histogram("lat", &[10]).record(40);
+        let mut total = a_reg.snapshot();
+        total.merge(&b_reg.snapshot());
+        assert_eq!(total.counter("calls"), 7);
+        let h = total.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!((h.min, h.max), (4, 40));
+    }
+
+    #[test]
+    fn quantiles_track_bucket_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [1, 2, 3, 50, 60, 70, 800, 900, 5000, 6000] {
+            h.record(v);
+        }
+        let s = reg.snapshot();
+        let hs = s.histogram("lat").unwrap();
+        assert_eq!(hs.quantile(0.0), Some(1), "q=0 clamps to min");
+        assert_eq!(hs.quantile(1.0), Some(6000), "q=1 clamps to max");
+        assert_eq!(hs.quantile(0.25), Some(10));
+        assert_eq!(hs.quantile(0.5), Some(100));
+        assert!(hs.quantile(0.9).unwrap() >= hs.quantile(0.5).unwrap());
+        assert!(reg.snapshot().histogram("missing").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let reg = Registry::new();
+        reg.histogram("lat", &[10]);
+        assert_eq!(reg.snapshot().histogram("lat").unwrap().quantile(0.5), None);
+    }
+
+    #[test]
+    fn concurrent_counter_hammering_loses_nothing() {
+        let reg = Registry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = reg.counter("hammered");
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("hammered").get(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_recording_is_consistent() {
+        let reg = Registry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = reg.histogram("lat", &[100, 1000]);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 250 + i % 7);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = reg.snapshot();
+        let hs = s.histogram("lat").unwrap();
+        assert_eq!(hs.count, 4000);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,113 @@
+//! The [`Obs`] handle bundling clock, metrics registry and tracer.
+
+use pod_sim::Clock;
+
+use crate::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use crate::span::{SpanGuard, Tracer};
+
+/// One observability context: a metrics [`Registry`] plus a [`Tracer`],
+/// both timestamped from the same virtual [`Clock`]. Cloning is cheap and
+/// shares all state, so a single `Obs` created next to the `Cloud` can be
+/// handed to every layer of the pipeline.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    clock: Clock,
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// Creates an observability context on `clock`.
+    pub fn new(clock: Clock) -> Obs {
+        Obs {
+            tracer: Tracer::new(clock.clone()),
+            registry: Registry::new(),
+            clock,
+        }
+    }
+
+    /// A self-contained context on a fresh clock — the default for
+    /// components constructed without a `Cloud` (conformance checker, log
+    /// pipeline) until the engine hands them the shared context.
+    pub fn detached() -> Obs {
+        Obs::new(Clock::new())
+    }
+
+    /// The clock all timestamps come from.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Counter accessor (see [`Registry::counter`]).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Gauge accessor (see [`Registry::gauge`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Histogram accessor (see [`Registry::histogram`]).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.registry.histogram(name, bounds)
+    }
+
+    /// Opens a span (see [`Tracer::span`]).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.tracer.span(name)
+    }
+
+    /// Snapshots every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::detached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_sim::SimDuration;
+
+    #[test]
+    fn clones_share_registry_and_tracer() {
+        let obs = Obs::detached();
+        let copy = obs.clone();
+        copy.counter("x").incr();
+        obs.tracer().begin_trace("t");
+        drop(copy.span("s"));
+        assert_eq!(obs.snapshot().counter("x"), 1);
+        assert_eq!(obs.tracer().finished().len(), 1);
+    }
+
+    #[test]
+    fn spans_use_the_shared_clock() {
+        let clock = Clock::new();
+        let obs = Obs::new(clock.clone());
+        obs.tracer().begin_trace("t");
+        {
+            let _s = obs.span("s");
+            clock.advance(SimDuration::from_millis(7));
+        }
+        assert_eq!(
+            obs.tracer().finished()[0].duration(),
+            SimDuration::from_millis(7)
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! The span/trace layer: nested spans on the virtual clock, one trace per
+//! run, with ASCII tree and flame-style rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pod_sim::{Clock, SimDuration, SimTime};
+
+/// Upper bound on retained finished spans per trace; beyond it spans are
+/// counted in [`Tracer::dropped`] instead of stored.
+const SPAN_CAP: usize = 4096;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the trace (ascending in start order).
+    pub id: u64,
+    /// The enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `faulttree.walk` or `cloud.api.call`.
+    pub name: String,
+    /// Virtual-clock start.
+    pub start: SimTime,
+    /// Virtual-clock end.
+    pub end: SimTime,
+    /// Key/value attributes in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// The span's virtual duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: SimTime,
+    attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    trace_id: String,
+    next_id: u64,
+    stack: Vec<u64>,
+    open: Vec<OpenSpan>,
+    finished: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+/// Records nested spans against a virtual clock. Cloning shares the trace.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    clock: Clock,
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates a tracer reading timestamps from `clock`.
+    pub fn new(clock: Clock) -> Tracer {
+        Tracer {
+            clock,
+            inner: Arc::new(Mutex::new(TracerInner::default())),
+        }
+    }
+
+    /// Starts a fresh trace identified by `trace_id` (normally the run
+    /// id), discarding all spans of the previous trace.
+    pub fn begin_trace(&self, trace_id: &str) {
+        let mut inner = self.inner.lock();
+        *inner = TracerInner {
+            trace_id: trace_id.to_string(),
+            ..TracerInner::default()
+        };
+    }
+
+    /// The current trace id (empty before the first [`begin_trace`]).
+    ///
+    /// [`begin_trace`]: Tracer::begin_trace
+    pub fn trace_id(&self) -> String {
+        self.inner.lock().trace_id.clone()
+    }
+
+    /// Opens a span nested under the innermost open span. The span closes
+    /// when the returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let start = self.clock.now();
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let parent = inner.stack.last().copied();
+        inner.open.push(OpenSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            start,
+            attrs: Vec::new(),
+        });
+        inner.stack.push(id);
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+        }
+    }
+
+    fn set_attr(&self, id: u64, key: &str, value: String) {
+        let mut inner = self.inner.lock();
+        if let Some(open) = inner.open.iter_mut().find(|s| s.id == id) {
+            open.attrs.push((key.to_string(), value));
+        }
+    }
+
+    fn finish(&self, id: u64) {
+        let end = self.clock.now();
+        let mut inner = self.inner.lock();
+        let Some(pos) = inner.open.iter().position(|s| s.id == id) else {
+            return;
+        };
+        let open = inner.open.remove(pos);
+        inner.stack.retain(|&s| s != id);
+        if inner.finished.len() >= SPAN_CAP {
+            inner.dropped += 1;
+            return;
+        }
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start: open.start,
+            end,
+            attrs: open.attrs,
+        };
+        inner.finished.push(record);
+    }
+
+    /// All finished spans, in completion order.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.inner.lock().finished.clone()
+    }
+
+    /// Spans discarded after the retention cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// The number of spans currently open.
+    pub fn open_count(&self) -> usize {
+        self.inner.lock().open.len()
+    }
+
+    /// Renders the finished spans as an indented tree in start order.
+    pub fn render_tree(&self) -> String {
+        let inner = self.inner.lock();
+        let mut spans = inner.finished.clone();
+        spans.sort_by_key(|s| (s.start, s.id));
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        let mut children: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+        for span in &spans {
+            // Spans whose parent was evicted render as roots.
+            let parent = span.parent.filter(|p| ids.contains(p));
+            children.entry(parent).or_default().push(span);
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {} ({} spans{})",
+            if inner.trace_id.is_empty() {
+                "<unnamed>"
+            } else {
+                &inner.trace_id
+            },
+            spans.len(),
+            if inner.dropped > 0 {
+                format!(", {} dropped", inner.dropped)
+            } else {
+                String::new()
+            }
+        );
+        fn walk(
+            out: &mut String,
+            children: &BTreeMap<Option<u64>, Vec<&SpanRecord>>,
+            parent: Option<u64>,
+            depth: usize,
+        ) {
+            let Some(list) = children.get(&parent) else {
+                return;
+            };
+            for span in list {
+                let attrs = if span.attrs.is_empty() {
+                    String::new()
+                } else {
+                    let parts: Vec<String> =
+                        span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("  {}", parts.join(" "))
+                };
+                let _ = writeln!(
+                    out,
+                    "{}{} [{} +{}]{}",
+                    "  ".repeat(depth + 1),
+                    span.name,
+                    span.start,
+                    span.duration(),
+                    attrs,
+                );
+                walk(out, children, Some(span.id), depth + 1);
+            }
+        }
+        walk(&mut out, &children, None, 0);
+        out
+    }
+
+    /// Renders a flame-style aggregation: per span name, call count, total
+    /// and self virtual time, with bars scaled to the hottest name.
+    pub fn render_flame(&self) -> String {
+        let spans = self.finished();
+        if spans.is_empty() {
+            return "flame: no spans recorded\n".to_string();
+        }
+        let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+        for span in &spans {
+            if let Some(parent) = span.parent {
+                *child_time.entry(parent).or_insert(0) += span.duration().as_micros();
+            }
+        }
+        struct Agg {
+            count: u64,
+            total_us: u64,
+            self_us: u64,
+        }
+        let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+        for span in &spans {
+            let total = span.duration().as_micros();
+            let own = total.saturating_sub(child_time.get(&span.id).copied().unwrap_or(0));
+            let agg = by_name.entry(&span.name).or_insert(Agg {
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+            });
+            agg.count += 1;
+            agg.total_us += total;
+            agg.self_us += own;
+        }
+        let mut rows: Vec<(&str, Agg)> = by_name.into_iter().collect();
+        rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+        let peak = rows.first().map(|(_, a)| a.total_us).unwrap_or(1).max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<34} {:>6} {:>12} {:>12}  flame",
+            "span", "count", "total", "self"
+        );
+        for (name, agg) in rows {
+            let width = ((agg.total_us as f64 / peak as f64) * 24.0).round() as usize;
+            let _ = writeln!(
+                out,
+                "{:<34} {:>6} {:>12} {:>12}  {}",
+                name,
+                agg.count,
+                SimDuration::from_micros(agg.total_us).to_string(),
+                SimDuration::from_micros(agg.self_us).to_string(),
+                "#".repeat(width.max(1)),
+            );
+        }
+        out
+    }
+}
+
+/// RAII guard for an open span; dropping it closes the span at the
+/// clock's current virtual time.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value attribute to the span.
+    pub fn attr(&self, key: &str, value: impl std::fmt::Display) {
+        self.tracer.set_attr(self.id, key, value.to_string());
+    }
+
+    /// The span's id within the trace.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.finish(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advance(clock: &Clock, ms: u64) {
+        clock.advance(SimDuration::from_millis(ms));
+    }
+
+    #[test]
+    fn spans_nest_under_the_innermost_open_span() {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.begin_trace("run-1");
+        {
+            let outer = tracer.span("outer");
+            advance(&clock, 10);
+            {
+                let inner = tracer.span("inner");
+                inner.attr("k", 3);
+                advance(&clock, 5);
+            }
+            outer.attr("steps", "2");
+            advance(&clock, 1);
+        }
+        let spans = tracer.finished();
+        assert_eq!(spans.len(), 2);
+        // Completion order: inner finishes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[0].duration(), SimDuration::from_millis(5));
+        assert_eq!(spans[1].duration(), SimDuration::from_millis(16));
+        assert_eq!(spans[0].attrs, vec![("k".to_string(), "3".to_string())]);
+        assert_eq!(tracer.open_count(), 0);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.begin_trace("run-2");
+        let root = tracer.span("walk");
+        for _ in 0..3 {
+            let t = tracer.span("test");
+            advance(&clock, 2);
+            drop(t);
+        }
+        drop(root);
+        let spans = tracer.finished();
+        let root_id = spans.iter().find(|s| s.name == "walk").unwrap().id;
+        assert_eq!(
+            spans.iter().filter(|s| s.parent == Some(root_id)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn begin_trace_resets_state() {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.begin_trace("run-a");
+        drop(tracer.span("x"));
+        assert_eq!(tracer.finished().len(), 1);
+        tracer.begin_trace("run-b");
+        assert_eq!(tracer.finished().len(), 0);
+        assert_eq!(tracer.trace_id(), "run-b");
+    }
+
+    #[test]
+    fn tree_rendering_indents_children() {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.begin_trace("run-3");
+        {
+            let _outer = tracer.span("upgrade.step");
+            advance(&clock, 3);
+            let api = tracer.span("cloud.api.call");
+            api.attr("op", "DescribeAsg");
+            advance(&clock, 80);
+        }
+        let tree = tracer.render_tree();
+        assert!(tree.contains("trace run-3 (2 spans)"), "got:\n{tree}");
+        assert!(tree.contains("  upgrade.step ["), "got:\n{tree}");
+        assert!(tree.contains("    cloud.api.call ["), "got:\n{tree}");
+        assert!(tree.contains("op=DescribeAsg"), "got:\n{tree}");
+    }
+
+    #[test]
+    fn flame_rendering_aggregates_by_name() {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.begin_trace("run-4");
+        {
+            let _w = tracer.span("walk");
+            for _ in 0..2 {
+                let _t = tracer.span("test");
+                advance(&clock, 10);
+            }
+        }
+        let flame = tracer.render_flame();
+        assert!(flame.contains("walk"), "got:\n{flame}");
+        let test_line = flame.lines().find(|l| l.starts_with("test")).unwrap();
+        assert!(test_line.contains("2"), "count column: {test_line}");
+    }
+
+    #[test]
+    fn span_cap_counts_dropped_spans() {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.begin_trace("run-5");
+        for _ in 0..(SPAN_CAP + 10) {
+            drop(tracer.span("s"));
+        }
+        assert_eq!(tracer.finished().len(), SPAN_CAP);
+        assert_eq!(tracer.dropped(), 10);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the pod-obs metrics layer.
+
+use pod_obs::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentile estimates are monotone in q and always bounded by the
+    /// observed min/max, whatever the data and bucket layout.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..5_000_000, 1..200),
+        qs in prop::collection::vec(0.0..1.0f64, 2..20),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("h", pod_obs::LATENCY_BOUNDS_US);
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram("h").unwrap();
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(|a, b| a.total_cmp(b));
+        let estimates: Vec<u64> =
+            sorted_qs.iter().map(|&q| hist.quantile(q).unwrap()).collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "not monotone: {estimates:?}");
+        }
+        for &e in &estimates {
+            prop_assert!(e >= lo && e <= hi, "estimate {e} outside [{lo}, {hi}]");
+        }
+        prop_assert_eq!(hist.quantile(0.0).unwrap(), lo);
+        prop_assert_eq!(hist.quantile(1.0).unwrap(), hi);
+    }
+
+    /// diff followed by merge round-trips counter totals.
+    #[test]
+    fn snapshot_diff_then_merge_roundtrips(
+        first in prop::collection::vec(0u64..100, 1..8),
+        second in prop::collection::vec(0u64..100, 1..8),
+    ) {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        for &n in &first {
+            c.add(n);
+        }
+        let mid = reg.snapshot();
+        for &n in &second {
+            c.add(n);
+        }
+        let end = reg.snapshot();
+        let delta = end.diff(&mid);
+        prop_assert_eq!(delta.counter("c"), second.iter().sum::<u64>());
+        let mut rebuilt = mid.clone();
+        rebuilt.merge(&delta);
+        prop_assert_eq!(rebuilt.counter("c"), end.counter("c"));
+    }
+}

@@ -105,11 +105,11 @@ pub struct FaultInjector {
 
 #[derive(Debug)]
 enum UndoAction {
-    RestoreLaunchConfig(LaunchConfigUpdate),
-    RestoreAmi(AmiId),
-    RestoreKeyPair(KeyPairName),
-    RestoreSecurityGroup(SecurityGroupId),
-    RestoreElb(pod_cloud::ElbName),
+    LaunchConfig(LaunchConfigUpdate),
+    Ami(AmiId),
+    KeyPair(KeyPairName),
+    SecurityGroup(SecurityGroupId),
+    Elb(pod_cloud::ElbName),
 }
 
 impl FaultInjector {
@@ -127,12 +127,19 @@ impl FaultInjector {
     /// launch-configuration faults target the LC the upgrade created
     /// (`lc_name`), simulating a concurrent team's push or a
     /// misconfiguration landing mid-upgrade.
-    pub fn inject(&mut self, cloud: &Cloud, config: &UpgradeConfig, lc_name: &str, rng: &mut SimRng) {
+    pub fn inject(
+        &mut self,
+        cloud: &Cloud,
+        config: &UpgradeConfig,
+        lc_name: &str,
+        rng: &mut SimRng,
+    ) {
         let lc = pod_cloud::LaunchConfigName::new(lc_name);
         match self.fault {
             FaultType::AmiChangedDuringUpgrade => {
-                let rogue = cloud.admin_create_ami("rogue-push", &format!("9.{}.0", rng.uniform_u64(0, 100)));
-                self.undo = Some(UndoAction::RestoreLaunchConfig(LaunchConfigUpdate {
+                let rogue = cloud
+                    .admin_create_ami("rogue-push", &format!("9.{}.0", rng.uniform_u64(0, 100)));
+                self.undo = Some(UndoAction::LaunchConfig(LaunchConfigUpdate {
                     ami: Some(config.new_ami.clone()),
                     ..LaunchConfigUpdate::default()
                 }));
@@ -145,9 +152,10 @@ impl FaultInjector {
                 );
             }
             FaultType::KeyPairManagementFault => {
-                let rogue = cloud.admin_create_key_pair(&format!("stray-key-{}", rng.uniform_u64(0, 1000)));
+                let rogue =
+                    cloud.admin_create_key_pair(&format!("stray-key-{}", rng.uniform_u64(0, 1000)));
                 let current = cloud.admin_describe_launch_config(&lc);
-                self.undo = Some(UndoAction::RestoreLaunchConfig(LaunchConfigUpdate {
+                self.undo = Some(UndoAction::LaunchConfig(LaunchConfigUpdate {
                     key_pair: current.map(|c| c.key_pair),
                     ..LaunchConfigUpdate::default()
                 }));
@@ -162,7 +170,7 @@ impl FaultInjector {
             FaultType::SecurityGroupConfigurationFault => {
                 let rogue = cloud.admin_create_security_group("misconfigured", &[22]);
                 let current = cloud.admin_describe_launch_config(&lc);
-                self.undo = Some(UndoAction::RestoreLaunchConfig(LaunchConfigUpdate {
+                self.undo = Some(UndoAction::LaunchConfig(LaunchConfigUpdate {
                     security_group: current.map(|c| c.security_group),
                     ..LaunchConfigUpdate::default()
                 }));
@@ -176,7 +184,7 @@ impl FaultInjector {
             }
             FaultType::InstanceTypeChangedDuringUpgrade => {
                 let current = cloud.admin_describe_launch_config(&lc);
-                self.undo = Some(UndoAction::RestoreLaunchConfig(LaunchConfigUpdate {
+                self.undo = Some(UndoAction::LaunchConfig(LaunchConfigUpdate {
                     instance_type: current.map(|c| c.instance_type),
                     ..LaunchConfigUpdate::default()
                 }));
@@ -190,15 +198,12 @@ impl FaultInjector {
             }
             FaultType::AmiUnavailable => {
                 cloud.admin_set_ami_available(&config.new_ami, false);
-                self.undo = Some(UndoAction::RestoreAmi(config.new_ami.clone()));
+                self.undo = Some(UndoAction::Ami(config.new_ami.clone()));
             }
             FaultType::KeyPairUnavailable => {
-                if let Some(current) = cloud
-                    .admin_describe_launch_config(&lc)
-                    .map(|c| c.key_pair)
-                {
+                if let Some(current) = cloud.admin_describe_launch_config(&lc).map(|c| c.key_pair) {
                     cloud.admin_set_key_pair_available(&current, false);
-                    self.undo = Some(UndoAction::RestoreKeyPair(current));
+                    self.undo = Some(UndoAction::KeyPair(current));
                 }
             }
             FaultType::SecurityGroupUnavailable => {
@@ -207,12 +212,12 @@ impl FaultInjector {
                     .map(|c| c.security_group)
                 {
                     cloud.admin_set_security_group_available(&current, false);
-                    self.undo = Some(UndoAction::RestoreSecurityGroup(current));
+                    self.undo = Some(UndoAction::SecurityGroup(current));
                 }
             }
             FaultType::ElbUnavailable => {
                 cloud.admin_set_elb_available(&config.elb, false);
-                self.undo = Some(UndoAction::RestoreElb(config.elb.clone()));
+                self.undo = Some(UndoAction::Elb(config.elb.clone()));
             }
         }
     }
@@ -222,23 +227,23 @@ impl FaultInjector {
     pub fn revert(&mut self, cloud: &Cloud, lc_name: &str) -> bool {
         let lc = pod_cloud::LaunchConfigName::new(lc_name);
         match self.undo.take() {
-            Some(UndoAction::RestoreLaunchConfig(update)) => {
+            Some(UndoAction::LaunchConfig(update)) => {
                 cloud.admin_update_launch_config(&lc, update);
                 true
             }
-            Some(UndoAction::RestoreAmi(ami)) => {
+            Some(UndoAction::Ami(ami)) => {
                 cloud.admin_set_ami_available(&ami, true);
                 true
             }
-            Some(UndoAction::RestoreKeyPair(kp)) => {
+            Some(UndoAction::KeyPair(kp)) => {
                 cloud.admin_set_key_pair_available(&kp, true);
                 true
             }
-            Some(UndoAction::RestoreSecurityGroup(sg)) => {
+            Some(UndoAction::SecurityGroup(sg)) => {
                 cloud.admin_set_security_group_available(&sg, true);
                 true
             }
-            Some(UndoAction::RestoreElb(elb)) => {
+            Some(UndoAction::Elb(elb)) => {
                 cloud.admin_set_elb_available(&elb, true);
                 true
             }
@@ -264,12 +269,7 @@ pub enum Interference {
 impl Interference {
     /// Applies the interference. Returns the standalone instances launched
     /// by capacity pressure (so the harness can release them later).
-    pub fn apply(
-        self,
-        cloud: &Cloud,
-        config: &UpgradeConfig,
-        rng: &mut SimRng,
-    ) -> Vec<InstanceId> {
+    pub fn apply(self, cloud: &Cloud, config: &UpgradeConfig, rng: &mut SimRng) -> Vec<InstanceId> {
         match self {
             Interference::ScaleIn | Interference::ScaleOut => {
                 if let Some(group) = cloud.admin_describe_asg(&config.asg) {
@@ -384,7 +384,10 @@ mod tests {
         Interference::ScaleIn.apply(&cloud, &config, &mut rng);
         cloud.sleep(SimDuration::from_secs(1));
         assert_eq!(
-            cloud.admin_describe_asg(&config.asg).unwrap().desired_capacity,
+            cloud
+                .admin_describe_asg(&config.asg)
+                .unwrap()
+                .desired_capacity,
             3
         );
     }

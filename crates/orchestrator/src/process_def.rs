@@ -7,9 +7,7 @@
 //! the model from logs (experiment E1), while this module provides the
 //! curated versions the online engine runs with.
 
-use pod_assert::{
-    AssertionLibrary, BoundAssertion, CloudAssertion, InstanceAssertionKind,
-};
+use pod_assert::{AssertionLibrary, BoundAssertion, CloudAssertion, InstanceAssertionKind};
 use pod_faulttree::steps;
 use pod_log::{Boundary, LineRule, RuleBook};
 use pod_process::{ProcessModel, ProcessModelBuilder};
@@ -61,12 +59,16 @@ pub fn rolling_upgrade_rules() -> RuleBook {
     rule(
         steps::START,
         Boundary::Start,
-        &[r"Started rolling upgrade task (?P<taskid>[\w-]+) pushing (?P<amiid>ami-[0-9a-f]+) into group (?P<asgid>[\w-]+)"],
+        &[
+            r"Started rolling upgrade task (?P<taskid>[\w-]+) pushing (?P<amiid>ami-[0-9a-f]+) into group (?P<asgid>[\w-]+)",
+        ],
     );
     rule(
         steps::UPDATE_LC,
         Boundary::End,
-        &[r"Created launch configuration (?P<lc>[\w-]+) with image (?P<amiid>ami-[0-9a-f]+) and updated group"],
+        &[
+            r"Created launch configuration (?P<lc>[\w-]+) with image (?P<amiid>ami-[0-9a-f]+) and updated group",
+        ],
     );
     rule(
         steps::SORT,
@@ -91,7 +93,9 @@ pub fn rolling_upgrade_rules() -> RuleBook {
     rule(
         steps::READY,
         Boundary::End,
-        &[r"Instance \w+ on (?P<instanceid>i-[0-9a-f]+) is ready for use. (?P<done>\d+) of (?P<total>\d+) instance relaunches done"],
+        &[
+            r"Instance \w+ on (?P<instanceid>i-[0-9a-f]+) is ready for use. (?P<done>\d+) of (?P<total>\d+) instance relaunches done",
+        ],
     );
     rule(
         steps::COMPLETED,
@@ -233,7 +237,12 @@ mod tests {
     fn model_rejects_skipping_termination() {
         let model = rolling_upgrade_model();
         let mut checker = ConformanceChecker::new(&model);
-        for act in [steps::START, steps::UPDATE_LC, steps::SORT, steps::DEREGISTER] {
+        for act in [
+            steps::START,
+            steps::UPDATE_LC,
+            steps::SORT,
+            steps::DEREGISTER,
+        ] {
             checker.replay("t", act);
         }
         // Jumping straight to READY skips TERMINATE and WAIT.
@@ -294,7 +303,9 @@ mod tests {
     fn ready_rule_extracts_progress_fields() {
         let rules = rolling_upgrade_rules();
         let m = rules
-            .match_line("Instance pm on i-99887766 is ready for use. 3 of 20 instance relaunches done.")
+            .match_line(
+                "Instance pm on i-99887766 is ready for use. 3 of 20 instance relaunches done.",
+            )
             .unwrap();
         let get = |k: &str| {
             m.fields
@@ -319,7 +330,9 @@ mod tests {
     fn error_patterns_compile_and_match() {
         let set = pod_regex::RegexSet::new(&known_error_patterns()).unwrap();
         assert!(set
-            .first_match("ERROR: cloud reported: Failed to launch instance: AMI ami-1 is unavailable")
+            .first_match(
+                "ERROR: cloud reported: Failed to launch instance: AMI ami-1 is unavailable"
+            )
             .is_some());
         assert!(set.first_match("all fine here").is_none());
         let op_end = pod_regex::Regex::new(operation_end_pattern()).unwrap();

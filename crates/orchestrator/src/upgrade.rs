@@ -148,49 +148,68 @@ impl RollingUpgrade {
         _started_at: SimTime,
     ) -> UpgradeOutcome {
         let cfg = self.config.clone();
+        let run_span = self.cloud.obs().span("upgrade.run");
+        run_span.attr("task", &self.task_id);
         // Step 1: start.
-        self.log(
-            observer,
-            Severity::Info,
-            format!(
-                "Started rolling upgrade task {} pushing {} into group {} for app {}",
-                self.task_id, cfg.new_ami, cfg.asg, cfg.app_name
-            ),
-        );
+        {
+            let step = self.cloud.obs().span("upgrade.step");
+            step.attr("step", "start");
+            self.log(
+                observer,
+                Severity::Info,
+                format!(
+                    "Started rolling upgrade task {} pushing {} into group {} for app {}",
+                    self.task_id, cfg.new_ami, cfg.asg, cfg.app_name
+                ),
+            );
+        }
         self.tick(observer);
 
         // Step 2: update launch configuration.
-        let lc_name = match self.update_launch_configuration(observer) {
-            Ok(name) => name,
-            Err(e) => return self.fail(observer, e),
+        let lc_name = {
+            let step = self.cloud.obs().span("upgrade.step");
+            step.attr("step", "update-launch-config");
+            match self.update_launch_configuration(observer) {
+                Ok(name) => name,
+                Err(e) => return self.fail(observer, e),
+            }
         };
         self.tick(observer);
 
         // Step 3: sort instances (oldest first, like Asgard).
-        let mut old: Vec<_> = match self.cloud.describe_asg_instances(&cfg.asg) {
-            Ok(instances) => instances
-                .into_iter()
-                .filter(|i| i.state.is_active())
-                .collect(),
-            Err(e) => return self.fail(observer, e),
+        let old = {
+            let step = self.cloud.obs().span("upgrade.step");
+            step.attr("step", "sort-instances");
+            let mut old: Vec<_> = match self.cloud.describe_asg_instances(&cfg.asg) {
+                Ok(instances) => instances
+                    .into_iter()
+                    .filter(|i| i.state.is_active())
+                    .collect(),
+                Err(e) => return self.fail(observer, e),
+            };
+            old.sort_by(|a, b| a.launched_at.cmp(&b.launched_at).then(a.id.cmp(&b.id)));
+            self.log(
+                observer,
+                Severity::Info,
+                format!(
+                    "Sorted {} instances of group {} for replacement",
+                    old.len(),
+                    cfg.asg
+                ),
+            );
+            old
         };
-        old.sort_by(|a, b| a.launched_at.cmp(&b.launched_at).then(a.id.cmp(&b.id)));
-        let total = old.len();
-        self.log(
-            observer,
-            Severity::Info,
-            format!(
-                "Sorted {total} instances of group {} for replacement",
-                cfg.asg
-            ),
-        );
         self.tick(observer);
 
         // Step 4: the replacement loop, k at a time.
+        let total = old.len();
         let mut replaced = 0usize;
         let mut activity_cursor = self.cloud.clock().now();
         for batch in old.chunks(cfg.batch_size.max(1)) {
             for instance in batch {
+                let span = self.cloud.obs().span("upgrade.step");
+                span.attr("step", "replace-instance");
+                span.attr("victim", &instance.id);
                 if let Err(e) = self.replace_one(observer, &lc_name, &instance.id) {
                     return e;
                 }
@@ -214,11 +233,15 @@ impl RollingUpgrade {
         }
 
         // Step 5: completed.
-        self.log(
-            observer,
-            Severity::Info,
-            format!("Rolling upgrade task {} completed", self.task_id),
-        );
+        {
+            let step = self.cloud.obs().span("upgrade.step");
+            step.attr("step", "completed");
+            self.log(
+                observer,
+                Severity::Info,
+                format!("Rolling upgrade task {} completed", self.task_id),
+            );
+        }
         self.tick(observer);
         UpgradeOutcome::Completed
     }
@@ -379,7 +402,10 @@ impl RollingUpgrade {
         self.log(
             observer,
             Severity::Error,
-            format!("ERROR: rolling upgrade task {} aborted: {error}", self.task_id),
+            format!(
+                "ERROR: rolling upgrade task {} aborted: {error}",
+                self.task_id
+            ),
         );
         UpgradeOutcome::ApiFailure { error }
     }
@@ -428,11 +454,15 @@ mod tests {
         assert!(msgs[0].contains("Started rolling upgrade"));
         assert!(msgs.last().unwrap().contains("completed"));
         assert_eq!(
-            msgs.iter().filter(|m| m.contains("is ready for use")).count(),
+            msgs.iter()
+                .filter(|m| m.contains("is ready for use"))
+                .count(),
             4
         );
         assert_eq!(
-            msgs.iter().filter(|m| m.contains("Terminated old instance")).count(),
+            msgs.iter()
+                .filter(|m| m.contains("Terminated old instance"))
+                .count(),
             4
         );
     }

@@ -8,7 +8,11 @@ use pod_orchestrator::{
 use pod_sim::{Clock, SimRng, SimTime};
 
 fn build(seed: u64, n: u32) -> (Cloud, UpgradeConfig) {
-    let cloud = Cloud::new(Clock::new(), SimRng::seed_from(seed), CloudConfig::default());
+    let cloud = Cloud::new(
+        Clock::new(),
+        SimRng::seed_from(seed),
+        CloudConfig::default(),
+    );
     let ami_v1 = cloud.admin_create_ami("app", "1.0");
     let ami_v2 = cloud.admin_create_ami("app", "2.0");
     let sg = cloud.admin_create_security_group("web", &[80]);
@@ -16,7 +20,10 @@ fn build(seed: u64, n: u32) -> (Cloud, UpgradeConfig) {
     let elb = cloud.admin_create_elb("front");
     let lc = cloud.admin_create_launch_config("lc-v1", ami_v1, "m1.small", kp, sg);
     let asg = cloud.admin_create_asg("pm--asg", lc, 1, 40, n, Some(elb.clone()));
-    (cloud.clone(), UpgradeConfig::new("pm", asg, elb, ami_v2, "2.0"))
+    (
+        cloud.clone(),
+        UpgradeConfig::new("pm", asg, elb, ami_v2, "2.0"),
+    )
 }
 
 fn run_log(seed: u64, n: u32) -> Vec<String> {
@@ -103,7 +110,10 @@ fn injection_mid_run_changes_later_instances_only() {
     // At least one instance was replaced before the injection (correct AMI)
     // and at least one after (rogue AMI).
     assert!(wrong >= 1, "some instance must carry the rogue AMI");
-    assert!(wrong < 4, "the pre-injection replacements keep the right AMI");
+    assert!(
+        wrong < 4,
+        "the pre-injection replacements keep the right AMI"
+    );
 }
 
 #[test]

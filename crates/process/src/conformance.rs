@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 
+use pod_obs::{Counter, Obs};
+
 use crate::model::ProcessModel;
 use crate::petri::{Marking, PetriNet};
 
@@ -100,16 +102,51 @@ pub struct ConformanceChecker {
     net: PetriNet,
     model_name: String,
     instances: HashMap<String, InstanceState>,
+    metrics: ConformanceMetrics,
+}
+
+/// Cached classification counters. The replay hot path must stay well
+/// under the paper's ≈10 ms envelope, so instrumentation here is counter
+/// bumps only — replay *latency* is recorded by the engine from virtual
+/// time, off this path.
+#[derive(Debug, Clone)]
+struct ConformanceMetrics {
+    replays: Counter,
+    fit: Counter,
+    unfit: Counter,
+    error: Counter,
+    unclassified: Counter,
+}
+
+impl ConformanceMetrics {
+    fn new(obs: &Obs) -> ConformanceMetrics {
+        ConformanceMetrics {
+            replays: obs.counter("conformance.replays"),
+            fit: obs.counter("conformance.fit"),
+            unfit: obs.counter("conformance.unfit"),
+            error: obs.counter("conformance.error"),
+            unclassified: obs.counter("conformance.unclassified"),
+        }
+    }
 }
 
 impl ConformanceChecker {
-    /// Creates a checker for one process model.
+    /// Creates a checker for one process model with a detached
+    /// observability context (see [`ConformanceChecker::with_obs`]).
     pub fn new(model: &ProcessModel) -> ConformanceChecker {
         ConformanceChecker {
             net: PetriNet::compile(model),
             model_name: model.name().to_string(),
             instances: HashMap::new(),
+            metrics: ConformanceMetrics::new(&Obs::detached()),
         }
+    }
+
+    /// Rebinds the checker's classification counters to a shared
+    /// observability context (the engine passes the cloud-wide one).
+    pub fn with_obs(mut self, obs: &Obs) -> ConformanceChecker {
+        self.metrics = ConformanceMetrics::new(obs);
+        self
     }
 
     /// The model this checker validates against.
@@ -134,17 +171,20 @@ impl ConformanceChecker {
     /// token replay on unfit events).
     pub fn replay(&mut self, trace_id: &str, activity: &str) -> Conformance {
         let net = self.net.clone();
+        self.metrics.replays.incr();
         let inst = self.instance(trace_id);
         match net.replay(&inst.marking, activity) {
             Some(next) => {
                 inst.marking = next;
                 inst.history.push(activity.to_string());
+                self.metrics.fit.incr();
                 Conformance::Fit
             }
             None => {
                 inst.nonconforming_events += 1;
                 let expected = net.enabled_labels(&inst.marking);
                 let skipped = Self::hypothesise_skips(&net, &inst.marking, activity, &expected);
+                self.metrics.unfit.incr();
                 Conformance::Unfit { expected, skipped }
             }
         }
@@ -191,11 +231,14 @@ impl ConformanceChecker {
     /// Marks a non-replay error (known-error line or unclassified line)
     /// against the trace's counters and returns the matching verdict.
     pub fn record_error(&mut self, trace_id: &str, known_error: bool) -> Conformance {
+        self.metrics.replays.incr();
         let inst = self.instance(trace_id);
         inst.nonconforming_events += 1;
         if known_error {
+            self.metrics.error.incr();
             Conformance::Error
         } else {
+            self.metrics.unclassified.incr();
             Conformance::Unclassified
         }
     }
@@ -349,7 +392,11 @@ mod tests {
         assert_eq!(Conformance::Error.tag(), "conformance:error");
         assert_eq!(Conformance::Unclassified.tag(), "conformance:unclassified");
         assert_eq!(
-            (Conformance::Unfit { expected: vec![], skipped: vec![] }).tag(),
+            (Conformance::Unfit {
+                expected: vec![],
+                skipped: vec![]
+            })
+            .tag(),
             "conformance:unfit"
         );
         assert!(!Conformance::Fit.is_error());

@@ -64,7 +64,7 @@ proptest! {
             trace.push("check".to_string());
         }
         trace.push("done".to_string());
-        let counts = replay_fitness(&model, &[trace.clone()]);
+        let counts = replay_fitness(&model, std::slice::from_ref(&trace));
         prop_assert_eq!(counts.fitness(), 1.0);
         let mut ch = ConformanceChecker::new(&model);
         for act in &trace {
@@ -84,7 +84,7 @@ proptest! {
             .filter(|i| *i != skip)
             .map(|i| format!("t{i}"))
             .collect();
-        let counts = replay_fitness(&model, &[trace.clone()]);
+        let counts = replay_fitness(&model, std::slice::from_ref(&trace));
         prop_assert!(counts.fitness() < 1.0);
         let mut ch = ConformanceChecker::new(&model);
         let any_error = trace.iter().any(|act| ch.replay("t", act).is_error());

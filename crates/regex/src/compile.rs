@@ -206,7 +206,11 @@ mod tests {
     #[test]
     fn bounded_repeat_expands() {
         let p = prog("a{3}");
-        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
         assert_eq!(chars, 3);
         assert_eq!(p.n_regs, 0);
     }

@@ -79,7 +79,8 @@ impl Regex {
 
     /// Finds the leftmost match in `text`.
     pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
-        self.captures(text).map(|c| c.get(0).expect("group 0 always set"))
+        self.captures(text)
+            .map(|c| c.get(0).expect("group 0 always set"))
     }
 
     /// Finds the leftmost match and returns all capture groups.
@@ -431,7 +432,8 @@ mod tests {
             r"Pushing (?P<ami>ami-[0-9a-f]+) into group (?P<asg>[\w-]+) for app (?P<app>\w+)",
         )
         .unwrap();
-        let line = "[2013-10-24 11:41:48,312] [Task:Pushing ami-750c9e4f into group pm--asg for app pm]";
+        let line =
+            "[2013-10-24 11:41:48,312] [Task:Pushing ami-750c9e4f into group pm--asg for app pm]";
         let caps = re.captures(line).unwrap();
         assert_eq!(caps.name("ami").unwrap().as_str(), "ami-750c9e4f");
         assert_eq!(caps.name("asg").unwrap().as_str(), "pm--asg");
@@ -440,7 +442,9 @@ mod tests {
     #[test]
     fn timestamp_pattern() {
         let re = Regex::new(r"^\[(?P<ts>\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3})\]").unwrap();
-        let caps = re.captures("[2013-11-19 11:48:01,100] [diagnosis] ...").unwrap();
+        let caps = re
+            .captures("[2013-11-19 11:48:01,100] [diagnosis] ...")
+            .unwrap();
         assert_eq!(caps.name("ts").unwrap().as_str(), "2013-11-19 11:48:01,100");
     }
 

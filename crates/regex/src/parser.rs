@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -150,10 +154,7 @@ impl<'a> Parser<'a> {
             }
             _ => return Ok(atom),
         };
-        if matches!(
-            atom,
-            Ast::StartAnchor | Ast::EndAnchor | Ast::Empty
-        ) {
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor | Ast::Empty) {
             return Err(self.error("repetition operator applied to an anchor or empty expression"));
         }
         let greedy = !self.eat('?');
@@ -414,7 +415,11 @@ mod tests {
         let p = parse("abc").unwrap();
         assert_eq!(
             p.ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
         );
     }
 
@@ -462,7 +467,11 @@ mod tests {
         let p = parse("a{b").unwrap();
         assert_eq!(
             p.ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('b')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('b')
+            ])
         );
     }
 
@@ -488,10 +497,7 @@ mod tests {
     fn leading_bracket_in_class_is_literal() {
         let p = parse(r"[]a]").unwrap();
         match p.ast {
-            Ast::Class(c) => assert_eq!(
-                c.items,
-                vec![ClassItem::Char(']'), ClassItem::Char('a')]
-            ),
+            Ast::Class(c) => assert_eq!(c.items, vec![ClassItem::Char(']'), ClassItem::Char('a')]),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -81,7 +81,7 @@ proptest! {
     /// (for fully-anchored input).
     #[test]
     fn bounded_repeat_counts(n in 0usize..12) {
-        let hay: String = std::iter::repeat('a').take(n).collect();
+        let hay: String = "a".repeat(n);
         let re = Regex::new("^a{2,5}$").unwrap();
         prop_assert_eq!(re.is_match(&hay), (2..=5).contains(&n));
     }

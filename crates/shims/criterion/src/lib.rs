@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness subset the workspace's benches use
+//! (`bench_function`, `iter`, `iter_batched`, `benchmark_group`,
+//! `criterion_group!` / `criterion_main!`, `black_box`) with a simple
+//! calibrated timer: each bench is warmed up, the per-sample iteration
+//! count is chosen so a sample takes ~2 ms, and the minimum / median /
+//! maximum of the per-iteration times across samples are printed in a
+//! criterion-like `time: [lo mid hi]` line. No statistics files are
+//! written; results are for relative, same-machine comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; accepted for API
+/// compatibility (the shim times each routine call individually, so the
+/// variants behave identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Target wall-clock budget for one sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(2);
+/// Hard cap on the measured samples per bench.
+const MAX_SAMPLES: usize = 60;
+
+/// The bench harness handle passed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benches with a shared name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group (upstream flushes reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration time of each sample, in nanoseconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size: sample_size.clamp(2, MAX_SAMPLES),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` back to back.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + calibration: how many iterations fit the budget?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = calibrate_iters(once);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = calibrate_iters(once);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                let mut total = Duration::ZERO;
+                for input in inputs {
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                total.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no measurement)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let lo = sorted[0];
+        let mid = sorted[sorted.len() / 2];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(mid),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn calibrate_iters(once: Duration) -> u64 {
+    (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -85,9 +85,7 @@ impl LatencyModel {
                 if high <= low {
                     *low
                 } else {
-                    SimDuration::from_micros(
-                        rng.uniform_u64(low.as_micros(), high.as_micros()),
-                    )
+                    SimDuration::from_micros(rng.uniform_u64(low.as_micros(), high.as_micros()))
                 }
             }
             LatencyModel::LogNormal { mu, sigma } => {

@@ -230,7 +230,10 @@ mod tests {
         let t = SimTime::from_millis(100);
         let d = SimDuration::from_millis(50);
         assert_eq!((t + d) - t, d);
-        assert_eq!(t.duration_since(SimTime::ZERO), SimDuration::from_millis(100));
+        assert_eq!(
+            t.duration_since(SimTime::ZERO),
+            SimDuration::from_millis(100)
+        );
     }
 
     #[test]
@@ -251,8 +254,14 @@ mod tests {
     #[test]
     fn from_secs_f64_clamps_and_rounds() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
-        assert_eq!(SimDuration::from_secs_f64(2.3), SimDuration::from_millis(2300));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0000015),
+            SimDuration::from_micros(2)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(2.3),
+            SimDuration::from_millis(2300)
+        );
     }
 
     #[test]
@@ -261,7 +270,10 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_millis(300));
         assert_eq!(d / 4, SimDuration::from_millis(25));
         assert_eq!(d.checked_sub(SimDuration::from_millis(200)), None);
-        assert_eq!(d.saturating_sub(SimDuration::from_millis(200)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_millis(200)),
+            SimDuration::ZERO
+        );
         let total: SimDuration = vec![d, d, d].into_iter().sum();
         assert_eq!(total, SimDuration::from_millis(300));
     }

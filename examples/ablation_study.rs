@@ -29,7 +29,10 @@ fn main() {
     println!("   (the walk always runs every relevant test; ordering changes how fast the");
     println!("    first root cause is confirmed)");
     for (label, order) in [
-        ("by fault probability (paper default)", TestOrder::ByProbability),
+        (
+            "by fault probability (paper default)",
+            TestOrder::ByProbability,
+        ),
         ("by expected test cost", TestOrder::ByCost),
     ] {
         let report = campaign(|c| c.test_order = order);
@@ -50,7 +53,10 @@ fn main() {
 
     println!();
     println!("== Ablation 2: fault-tree amendment (instance-limit root cause) ==");
-    for (label, amended) in [("un-amended (as evaluated in the paper)", false), ("amended", true)] {
+    for (label, amended) in [
+        ("un-amended (as evaluated in the paper)", false),
+        ("amended", true),
+    ] {
         let report = campaign(|c| {
             c.amended_trees = amended;
             // Force capacity-pressure interference so the limit case occurs.
@@ -72,8 +78,14 @@ fn main() {
         .iter()
         .filter(|r| !r.plan.fault.is_configuration_fault())
         .collect();
-    let conf_first = resource_runs.iter().filter(|r| r.outcome.conformance_first).count();
-    let conf_any = resource_runs.iter().filter(|r| r.outcome.conformance_any).count();
+    let conf_first = resource_runs
+        .iter()
+        .filter(|r| r.outcome.conformance_first)
+        .count();
+    let conf_any = resource_runs
+        .iter()
+        .filter(|r| r.outcome.conformance_any)
+        .count();
     println!(
         "  resource-fault runs: {} — conformance flagged first in {}, at all in {}",
         resource_runs.len(),
@@ -85,7 +97,10 @@ fn main() {
         .iter()
         .filter(|r| r.plan.fault.is_configuration_fault())
         .collect();
-    let config_conf = config_runs.iter().filter(|r| r.outcome.conformance_any).count();
+    let config_conf = config_runs
+        .iter()
+        .filter(|r| r.outcome.conformance_any)
+        .count();
     println!(
         "  configuration-fault runs: {} — conformance flagged {} (paper: these are invisible \
          to conformance)",
@@ -138,7 +153,10 @@ fn main() {
 }
 
 /// A small standalone cluster for ablation 4.
-fn pod_bench_cloud() -> (pod_diagnosis::cloud::Cloud, pod_diagnosis::assert::ExpectedEnv) {
+fn pod_bench_cloud() -> (
+    pod_diagnosis::cloud::Cloud,
+    pod_diagnosis::assert::ExpectedEnv,
+) {
     use pod_diagnosis::cloud::{Cloud, CloudConfig};
     use pod_diagnosis::sim::{Clock, SimRng};
     let cloud = Cloud::new(
@@ -153,7 +171,8 @@ fn pod_bench_cloud() -> (pod_diagnosis::cloud::Cloud, pod_diagnosis::assert::Exp
     let sg = cloud.admin_create_security_group("web", &[80]);
     let kp = cloud.admin_create_key_pair("prod");
     let elb = cloud.admin_create_elb("front");
-    let lc = cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+    let lc =
+        cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
     let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 4, Some(elb.clone()));
     let env = pod_diagnosis::assert::ExpectedEnv {
         asg,

@@ -5,14 +5,17 @@
 //!
 //! Run with `cargo run --release --example fault_injection_campaign`.
 //! Pass a number to change runs-per-fault (e.g. `-- 5` for a quick pass).
+//! Pass `--json` to also write `BENCH_campaign.json`: the Table-I metrics
+//! plus the aggregated pod-obs snapshot as JSON-lines records.
 
-use pod_diagnosis::eval::{render_report, Campaign, CampaignConfig};
+use pod_diagnosis::eval::{
+    metrics_line, render_journal, render_report, snapshot_lines, Campaign, CampaignConfig,
+};
 
 fn main() {
-    let runs_per_fault: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let runs_per_fault: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(20);
     let config = CampaignConfig {
         runs_per_fault,
         seed: 2014, // the year of the paper
@@ -38,6 +41,16 @@ fn main() {
         println!("{k:<28} {v}");
     }
 
+    if json {
+        let mut lines = vec![metrics_line("overall", &report.overall)];
+        for (fault, set) in &report.per_fault {
+            lines.push(metrics_line(&fault.to_string(), set));
+        }
+        lines.extend(snapshot_lines("campaign", &report.obs_totals));
+        let path = format!("BENCH_campaign_{}x8.json", runs_per_fault);
+        std::fs::write(&path, render_journal(&lines)).expect("write journal");
+        eprintln!("wrote {} journal records to {path}", lines.len());
+    }
 
     println!("-- paper targets --");
     println!("precision 91.95%, recall 100%, accuracy (of detected) 96.55%, AR 97.13%");

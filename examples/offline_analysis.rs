@@ -68,7 +68,10 @@ fn main() {
         stored.extend(run_and_collect(seed, None));
     }
     stored.extend(run_and_collect(45, Some(FaultType::AmiUnavailable)));
-    println!("central storage holds {} operation-log lines\n", stored.len());
+    println!(
+        "central storage holds {} operation-log lines\n",
+        stored.len()
+    );
 
     // Offline use 1: conformance analysis of every stored trace.
     let report = analyse(

@@ -41,7 +41,10 @@ fn main() {
     for (i, cluster) in [(1u64, 4u32), (2, 4), (3, 8), (4, 4), (5, 8)] {
         events.extend(record_run(i, cluster));
     }
-    println!("training log: {} lines from 5 successful upgrades", events.len());
+    println!(
+        "training log: {} lines from 5 successful upgrades",
+        events.len()
+    );
 
     let mined = mine_process(
         &events,

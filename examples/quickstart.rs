@@ -9,9 +9,7 @@
 use pod_diagnosis::cloud::Cloud;
 use pod_diagnosis::eval::{build_engine, build_scenario, ScenarioConfig};
 use pod_diagnosis::log::LogEvent;
-use pod_diagnosis::orchestrator::{
-    FaultInjector, FaultType, RollingUpgrade, UpgradeObserver,
-};
+use pod_diagnosis::orchestrator::{FaultInjector, FaultType, RollingUpgrade, UpgradeObserver};
 use pod_diagnosis::sim::{SimRng, SimTime};
 
 /// Wires orchestrator output into the POD engine and injects an optional

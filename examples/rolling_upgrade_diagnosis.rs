@@ -8,9 +8,7 @@
 use pod_diagnosis::cloud::Cloud;
 use pod_diagnosis::eval::{build_engine, build_scenario, ScenarioConfig};
 use pod_diagnosis::log::{LogEvent, LogQuery};
-use pod_diagnosis::orchestrator::{
-    FaultInjector, FaultType, RollingUpgrade, UpgradeObserver,
-};
+use pod_diagnosis::orchestrator::{FaultInjector, FaultType, RollingUpgrade, UpgradeObserver};
 use pod_diagnosis::sim::{SimRng, SimTime};
 
 struct Monitor<'s> {
@@ -47,6 +45,11 @@ fn main() {
         ..ScenarioConfig::default()
     };
     let scenario = build_scenario(&config);
+    scenario
+        .cloud
+        .obs()
+        .tracer()
+        .begin_trace(&scenario.trace_id);
     let engine = build_engine(&scenario, &config);
     let mut monitor = Monitor {
         engine,
@@ -66,7 +69,10 @@ fn main() {
     let summary = monitor.engine.finish();
 
     println!("== operation log (tagged lines forwarded to central storage) ==");
-    for e in scenario.storage.query(&LogQuery::new().with_source("asgard.log")) {
+    for e in scenario
+        .storage
+        .query(&LogQuery::new().with_source("asgard.log"))
+    {
         println!("{e}");
     }
 
@@ -83,7 +89,10 @@ fn main() {
 
     println!();
     println!("== diagnosis transcript (compare with Section III.B.4 of the paper) ==");
-    for e in scenario.storage.query(&LogQuery::new().with_type("diagnosis")) {
+    for e in scenario
+        .storage
+        .query(&LogQuery::new().with_type("diagnosis"))
+    {
         println!("{e}");
     }
 
@@ -108,4 +117,15 @@ fn main() {
             }
         }
     }
+
+    let obs = scenario.cloud.obs();
+    println!();
+    println!("== span tree (virtual time) ==");
+    print!("{}", obs.tracer().render_tree());
+    println!();
+    println!("== span flame summary ==");
+    print!("{}", obs.tracer().render_flame());
+    println!();
+    println!("== metrics summary ==");
+    print!("{}", pod_diagnosis::obs::render_summary(&obs.snapshot()));
 }

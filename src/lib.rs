@@ -32,6 +32,7 @@ pub use pod_eval as eval;
 pub use pod_faulttree as faulttree;
 pub use pod_log as log;
 pub use pod_mining as mining;
+pub use pod_obs as obs;
 pub use pod_orchestrator as orchestrator;
 pub use pod_process as process;
 pub use pod_regex as regex;

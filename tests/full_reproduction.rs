@@ -75,7 +75,10 @@ fn full_campaign_matches_paper_bands() {
     );
     // Figure 6 bands.
     let mean = report.timing.mean().as_secs_f64();
-    assert!((1.5..=3.5).contains(&mean), "paper mean 2.30s; measured {mean}");
+    assert!(
+        (1.5..=3.5).contains(&mean),
+        "paper mean 2.30s; measured {mean}"
+    );
     let p95 = report.timing.percentile(0.95).as_secs_f64();
     assert!(p95 <= 5.0, "paper p95 3.83s; measured {p95}");
     assert!(report.timing.min().as_secs_f64() >= 0.5);
