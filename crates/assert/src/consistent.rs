@@ -192,23 +192,30 @@ impl ConsistentApi {
             let elapsed = self.now().duration_since(start);
             if elapsed > self.policy.timeout {
                 self.metrics.timeouts.incr();
+                self.emit_retry("timeout", attempts, elapsed);
                 return Err(ConsistentError::Timeout { elapsed });
             }
             match result {
                 Ok(value) if expect(&value) => {
                     self.metrics.converge_us.record(elapsed.as_micros());
+                    if attempts > 1 {
+                        self.emit_retry("converged", attempts, elapsed);
+                    }
                     return Ok(value);
                 }
                 Ok(_) if !self.retries_enabled || attempts > self.policy.max_retries => {
                     self.metrics.expectation_failures.incr();
+                    self.emit_retry("expectation-not-met", attempts, elapsed);
                     return Err(ConsistentError::ExpectationNotMet { attempts });
                 }
                 Ok(_) => {}
                 Err(e) if !self.retries_enabled || !e.is_retryable() => {
+                    self.emit_retry("api-error", attempts, elapsed);
                     return Err(ConsistentError::Api(e));
                 }
                 Err(e) => {
                     if attempts > self.policy.max_retries {
+                        self.emit_retry("api-error", attempts, elapsed);
                         return Err(ConsistentError::Api(e));
                     }
                 }
@@ -220,9 +227,19 @@ impl ConsistentApi {
             let elapsed = self.now().duration_since(start);
             if elapsed > self.policy.timeout {
                 self.metrics.timeouts.incr();
+                self.emit_retry("timeout", attempts, elapsed);
                 return Err(ConsistentError::Timeout { elapsed });
             }
         }
+    }
+
+    /// Emits the `consistent.retry` causal event summarising a call that
+    /// needed the retry machinery (or failed). First-attempt successes stay
+    /// silent so the event ring records hand-offs, not every API call.
+    fn emit_retry(&self, outcome: &str, attempts: u32, elapsed: SimDuration) {
+        let emitted = self.cloud.obs().event("consistent.retry", outcome);
+        emitted.attr("attempts", attempts);
+        emitted.attr("elapsed_ms", elapsed.as_millis());
     }
 
     fn now(&self) -> SimTime {

@@ -52,6 +52,9 @@ pub struct AssertionRecord {
     pub duration: SimDuration,
     /// The process context the evaluation ran under, if any.
     pub context: Option<ProcessContext>,
+    /// The `assertion.result` causal event emitted for this evaluation, so
+    /// the engine can parent a detection on it.
+    pub event: Option<pod_obs::EventId>,
 }
 
 impl AssertionRecord {
@@ -122,19 +125,33 @@ impl AssertionEvaluator {
         trigger: AssertionTrigger,
         context: Option<&ProcessContext>,
     ) -> AssertionRecord {
-        let span = self.api.cloud().obs().span("assertion.eval");
+        let obs = self.api.cloud().obs().clone();
+        let span = obs.span("assertion.eval");
         span.attr("trigger", trigger.tag());
+        // Emitted before evaluation so consistent-layer retries made while
+        // evaluating chain under this event (the ambient cause).
+        let emitted = obs.event("assertion.result", assertion.key());
+        emitted.attr("trigger", trigger.tag());
+        if let Some(step) = context.and_then(|c| c.step_id.as_deref()) {
+            emitted.attr("step", step);
+        }
         let started_at = self.api.cloud().clock().now();
-        let outcome = assertion.evaluate(&self.api, env);
-        span.attr(
-            "outcome",
-            if outcome.is_failure() {
-                "failed"
-            } else {
-                "passed"
-            },
-        );
+        let outcome = {
+            let _scope = obs.events().scope(Some(emitted.id()));
+            assertion.evaluate(&self.api, env)
+        };
+        let verdict = if outcome.is_failure() {
+            "failed"
+        } else {
+            "passed"
+        };
+        span.attr("outcome", verdict);
+        emitted.attr("outcome", verdict);
         let finished = self.api.cloud().clock().now();
+        emitted.attr(
+            "duration_ms",
+            finished.duration_since(started_at).as_millis(),
+        );
         let description = assertion.describe(env);
         let record = AssertionRecord {
             assertion: assertion.clone(),
@@ -144,6 +161,7 @@ impl AssertionEvaluator {
             started_at,
             duration: finished.duration_since(started_at),
             context: context.cloned(),
+            event: Some(emitted.id()),
         };
         self.storage.append(self.render(&record));
         record

@@ -32,6 +32,18 @@ impl DetectionSource {
                 | DetectionSource::ConformanceUnclassified
         )
     }
+
+    /// The stable tag used for causal events and journal records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DetectionSource::ConformanceUnfit => "conformance-unfit",
+            DetectionSource::ConformanceKnownError => "conformance-known-error",
+            DetectionSource::ConformanceUnclassified => "conformance-unclassified",
+            DetectionSource::AssertionLog => "assertion-log",
+            DetectionSource::AssertionOneOffTimer => "assertion-oneoff-timer",
+            DetectionSource::AssertionPeriodicTimer => "assertion-periodic-timer",
+        }
+    }
 }
 
 /// One detected error, with its (possibly skipped) diagnosis.
@@ -50,6 +62,9 @@ pub struct Detection {
     /// The diagnosis report; `None` when diagnosis was suppressed by the
     /// per-key cooldown (an identical diagnosis just ran).
     pub diagnosis: Option<DiagnosisReport>,
+    /// The `detection` causal event recorded for this error, anchoring the
+    /// incident timeline (see `pod_obs::incidents`).
+    pub event: Option<pod_obs::EventId>,
 }
 
 /// Summary statistics of one monitored operation run.

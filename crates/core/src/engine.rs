@@ -52,9 +52,15 @@ enum TimerPayload {
     StepCompletion {
         /// Expected number of completed relaunches by now.
         expected_done: u32,
+        /// The log line that armed the timer, so timer-triggered work still
+        /// chains back to concrete log evidence.
+        cause: Option<pod_obs::EventId>,
     },
     /// The operation-wide periodic health check.
-    Periodic,
+    Periodic {
+        /// The operation-start log line that started the timer.
+        cause: Option<pod_obs::EventId>,
+    },
     /// A dispatched diagnosis for an earlier detection.
     Diagnose {
         /// Index of the detection in the summary.
@@ -65,6 +71,8 @@ enum TimerPayload {
         step: Option<String>,
         /// Implicated instance.
         instance: Option<InstanceId>,
+        /// The detection event the diagnosis answers.
+        cause: Option<pod_obs::EventId>,
     },
 }
 
@@ -200,12 +208,19 @@ impl PodEngine {
     pub fn ingest(&mut self, event: LogEvent) {
         let out = self.pipeline.push(event);
         self.storage.extend(out.forwarded);
-        for trigger in out.triggers {
-            match trigger {
-                Trigger::Conformance(e) => self.on_conformance(e),
-                Trigger::Assertion { activity, event } => self.on_assertion(activity, event),
-                Trigger::PeriodicStart { .. } => self.on_operation_start(),
-                Trigger::PeriodicStop { .. } => self.on_operation_end(),
+        {
+            // Everything triggered by this line — conformance verdicts,
+            // assertion results, timer arming — chains under its `log.line`
+            // causal event.
+            let events = self.cloud.obs().events().clone();
+            let _scope = events.scope(out.cause);
+            for trigger in out.triggers {
+                match trigger {
+                    Trigger::Conformance(e) => self.on_conformance(e),
+                    Trigger::Assertion { activity, event } => self.on_assertion(activity, event),
+                    Trigger::PeriodicStart { .. } => self.on_operation_start(),
+                    Trigger::PeriodicStop { .. } => self.on_operation_end(),
+                }
             }
         }
         self.fire_due_timers();
@@ -279,7 +294,8 @@ impl PodEngine {
                     .map(str::to_string)
             });
             let description = format!("{} [{}]", event.message, verdict.tag());
-            self.detect(source, None, description, step, instance);
+            let cause = self.conformance.last_verdict_event();
+            self.detect(source, None, description, step, instance, cause);
         }
         // Step-timer management from process context.
         if let Some(act) = &activity {
@@ -354,6 +370,7 @@ impl PodEngine {
                     format!("assertion failed: {}", record.description),
                     Some(activity.clone()),
                     instance,
+                    record.event,
                 );
             }
         }
@@ -366,10 +383,12 @@ impl PodEngine {
     fn on_operation_start(&mut self) {
         let now = self.cloud.clock().now();
         self.op_started = Some(now);
+        // Periodic checks chain back to the operation-start log line.
+        let cause = self.cloud.obs().events().current_cause();
         let id = self.timers.schedule_periodic(
             now + self.periodic_interval,
             self.periodic_interval,
-            TimerPayload::Periodic,
+            TimerPayload::Periodic { cause },
         );
         self.periodic_timer = Some(id);
     }
@@ -388,10 +407,14 @@ impl PodEngine {
             self.timers.cancel(id);
         }
         let at = self.cloud.clock().now() + self.step_timeout;
+        // A timeout firing later still chains to the wait-activity line
+        // that armed it.
+        let cause = self.cloud.obs().events().current_cause();
         let id = self.timers.schedule_once(
             at,
             TimerPayload::StepCompletion {
                 expected_done: self.last_done + self.batch_size,
+                cause,
             },
         );
         self.step_timer = Some(id);
@@ -402,18 +425,32 @@ impl PodEngine {
         let due = self.timers.due(now);
         for (_id, _at, payload) in due {
             match payload {
-                TimerPayload::StepCompletion { expected_done } => {
+                TimerPayload::StepCompletion {
+                    expected_done,
+                    cause,
+                } => {
                     self.step_timer = None;
-                    self.on_step_timeout(expected_done);
+                    self.on_step_timeout(expected_done, cause);
                 }
-                TimerPayload::Periodic => self.on_periodic_check(),
+                TimerPayload::Periodic { cause } => self.on_periodic_check(cause),
                 TimerPayload::Diagnose {
                     detection_index,
                     key,
                     step,
                     instance,
+                    cause,
                 } => {
-                    let report = self.run_diagnosis(&key, step, instance);
+                    let obs = self.cloud.obs().clone();
+                    let dispatch = match cause {
+                        Some(c) => obs.event_under(c, "diagnosis.dispatch", &key),
+                        None => obs.event("diagnosis.dispatch", &key),
+                    };
+                    // Fault-tree tests, causes and the verdict chain under
+                    // the dispatch event.
+                    let report = {
+                        let _scope = obs.events().scope(Some(dispatch.id()));
+                        self.run_diagnosis(&key, step, instance)
+                    };
                     if let Some(d) = self.summary.detections.get_mut(detection_index) {
                         d.diagnosis = Some(report);
                     }
@@ -425,7 +462,7 @@ impl PodEngine {
     /// A silent step exceeded its 95th-percentile duration: evaluate the
     /// post-step assertion anyway. Late-but-successful runs make this the
     /// paper's first false-positive class.
-    fn on_step_timeout(&mut self, expected_done: u32) {
+    fn on_step_timeout(&mut self, expected_done: u32, cause: Option<pod_obs::EventId>) {
         let env = self.env.snapshot();
         let assertion = CloudAssertion::AsgHasInstancesWithVersion {
             count: expected_done,
@@ -438,9 +475,12 @@ impl PodEngine {
             }
             c
         };
-        let record =
+        let record = {
+            let events = self.cloud.obs().events().clone();
+            let _scope = events.scope(cause);
             self.evaluator
-                .evaluate(&assertion, &env, AssertionTrigger::OneOffTimer, Some(&ctx));
+                .evaluate(&assertion, &env, AssertionTrigger::OneOffTimer, Some(&ctx))
+        };
         self.summary.assertions_evaluated += 1;
         if record.is_failure() {
             // Timer-based: no instance id in the context (limited
@@ -451,6 +491,7 @@ impl PodEngine {
                 format!("step timeout: {}", record.description),
                 step,
                 None,
+                record.event,
             );
         }
     }
@@ -458,7 +499,7 @@ impl PodEngine {
     /// The periodic, process-aware health check: desired capacity must
     /// match the expectation and the active count may only dip by the
     /// in-flight replacement batch.
-    fn on_periodic_check(&mut self) {
+    fn on_periodic_check(&mut self, cause: Option<pod_obs::EventId>) {
         let env = self.env.snapshot();
         let in_flight = self
             .conformance
@@ -478,12 +519,16 @@ impl PodEngine {
         checks.extend(self.periodic_assertions.iter().cloned());
         let ctx = ProcessContext::new(self.process_id.clone(), self.trace_id.clone());
         for assertion in checks {
-            let record = self.evaluator.evaluate(
-                &assertion,
-                &env,
-                AssertionTrigger::PeriodicTimer,
-                Some(&ctx),
-            );
+            let record = {
+                let events = self.cloud.obs().events().clone();
+                let _scope = events.scope(cause);
+                self.evaluator.evaluate(
+                    &assertion,
+                    &env,
+                    AssertionTrigger::PeriodicTimer,
+                    Some(&ctx),
+                )
+            };
             self.summary.assertions_evaluated += 1;
             if record.is_failure() {
                 self.detect(
@@ -492,6 +537,7 @@ impl PodEngine {
                     format!("periodic check failed: {}", record.description),
                     None,
                     None,
+                    record.event,
                 );
             }
         }
@@ -508,9 +554,22 @@ impl PodEngine {
         description: String,
         step: Option<String>,
         instance: Option<InstanceId>,
+        cause: Option<pod_obs::EventId>,
     ) {
         let at = self.cloud.clock().now();
         self.metrics.detections.incr();
+        let obs = self.cloud.obs();
+        let emitted = match cause {
+            Some(c) => obs.event_under(c, "detection", source.tag()),
+            None => obs.event("detection", source.tag()),
+        };
+        emitted.attr("description", &description);
+        if let Some(step) = &step {
+            emitted.attr("step", step);
+        }
+        if let Some(instance) = &instance {
+            emitted.attr("instance", instance);
+        }
         // Assertion failures select the tree for the failed assertion;
         // conformance detections use the master tree.
         let key = assertion_key.unwrap_or(MASTER_TREE_KEY).to_string();
@@ -522,6 +581,7 @@ impl PodEngine {
             step: step.clone(),
             instance: instance.clone(),
             diagnosis: None,
+            event: Some(emitted.id()),
         });
         // Respect the per-key cooldown, then dispatch the diagnosis with the
         // central-processor delay.
@@ -538,6 +598,7 @@ impl PodEngine {
                 key,
                 step,
                 instance,
+                cause: Some(emitted.id()),
             },
         );
     }

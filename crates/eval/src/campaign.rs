@@ -1,16 +1,20 @@
 //! The fault-injection campaign: 8 fault types × N runs, with confounding
 //! simultaneous operations — the experiment of Section V of the paper.
 
+use std::collections::BTreeMap;
+
 use pod_cloud::{Cloud, InstanceId};
 use pod_core::PodEngine;
 use pod_faulttree::TestOrder;
 use pod_log::LogEvent;
+use pod_obs::{EventRecord, SpanRecord};
 use pod_orchestrator::{
     FaultInjector, FaultType, Interference, RollingUpgrade, UpgradeObserver, UpgradeOutcome,
 };
 use pod_sim::{SimDuration, SimRng, SimTime};
 
 use crate::metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
+use crate::profile::{stage_self_times, LatencyProfile};
 use crate::scenario::{build_engine, build_scenario, Scenario, ScenarioConfig};
 use crate::timing::TimingStats;
 
@@ -85,6 +89,37 @@ pub struct RunPlan {
     pub interferences: Vec<(SimTime, Interference)>,
 }
 
+/// A compact summary of one reconstructed incident chain (see
+/// [`pod_obs::incidents`]), kept per run so the campaign can score causal
+/// coverage without retaining every event.
+#[derive(Debug, Clone)]
+pub struct IncidentSummary {
+    /// The detection event's name (the [`pod_core::DetectionSource`] tag).
+    pub detection: String,
+    /// Hops in the chain, evidence and explanation included.
+    pub hops: usize,
+    /// Whether the chain starts at a `log.line` event.
+    pub anchored: bool,
+    /// Whether the chain reaches a `diagnosis.verdict` event.
+    pub diagnosed: bool,
+    /// `anchored && diagnosed` — an unbroken chain.
+    pub complete: bool,
+    /// Virtual time from first evidence to verdict (µs).
+    pub elapsed_us: u64,
+}
+
+/// The raw spans and causal events of one run, retained for trace export
+/// (Chrome trace-event and OTLP JSON).
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// The run's trace id.
+    pub trace_id: String,
+    /// Every finished span of the run.
+    pub spans: Vec<SpanRecord>,
+    /// Every causal event of the run.
+    pub events: Vec<EventRecord>,
+}
+
 /// The record of one executed run.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
@@ -101,6 +136,14 @@ pub struct RunRecord {
     /// The run's pod-obs metric snapshot (cloud API traffic, retries,
     /// conformance verdicts, fault-tree work, pipeline drops).
     pub obs: pod_obs::Snapshot,
+    /// The run's latency budget: span name → self virtual time (µs).
+    pub stage_self_us: BTreeMap<String, u64>,
+    /// One summary per reconstructed incident chain.
+    pub incidents: Vec<IncidentSummary>,
+    /// Spans discarded at the retention cap during this run.
+    pub spans_dropped: u64,
+    /// Causal events evicted from the ring during this run.
+    pub events_dropped: u64,
 }
 
 /// Conformance-checking statistics across the campaign (§V.D).
@@ -136,6 +179,18 @@ pub struct CampaignReport {
     pub conformance: ConformanceStats,
     /// pod-obs metrics aggregated (merged) across all runs.
     pub obs_totals: pod_obs::Snapshot,
+    /// Per-fault-type latency budgets (p50/p95/p99 per pipeline stage).
+    pub latency: LatencyProfile,
+    /// The full trace of the last executed run, for export.
+    pub last_trace: Option<TraceDump>,
+    /// Spans dropped at the retention cap, summed over all runs.
+    pub spans_dropped: u64,
+    /// Causal events evicted from the ring, summed over all runs.
+    pub events_dropped: u64,
+    /// Incident chains reconstructed across all runs.
+    pub incidents_total: usize,
+    /// …of which were unbroken (log-line anchor through to verdict).
+    pub incidents_complete: usize,
 }
 
 /// The campaign runner.
@@ -209,14 +264,17 @@ impl Campaign {
     /// Executes the whole campaign.
     pub fn run(&self) -> CampaignReport {
         let mut records = Vec::new();
+        let mut last_trace = None;
         for plan in self.plans() {
-            records.push(execute_run(&plan));
+            let (record, dump) = execute_run_traced(&plan);
+            records.push(record);
+            last_trace = Some(dump);
         }
-        summarise(records)
+        summarise(records, last_trace)
     }
 }
 
-fn summarise(records: Vec<RunRecord>) -> CampaignReport {
+fn summarise(records: Vec<RunRecord>, last_trace: Option<TraceDump>) -> CampaignReport {
     let mut overall = MetricSet::default();
     let mut per_fault: Vec<(FaultType, MetricSet)> = FaultType::all()
         .into_iter()
@@ -225,9 +283,19 @@ fn summarise(records: Vec<RunRecord>) -> CampaignReport {
     let mut times = Vec::new();
     let mut conformance = ConformanceStats::default();
     let mut obs_totals = pod_obs::Snapshot::default();
+    let mut latency = LatencyProfile::new();
+    let mut spans_dropped = 0;
+    let mut events_dropped = 0;
+    let mut incidents_total = 0;
+    let mut incidents_complete = 0;
     for r in &records {
         overall.add(&r.outcome);
         obs_totals.merge(&r.obs);
+        latency.record(r.plan.fault, &r.stage_self_us);
+        spans_dropped += r.spans_dropped;
+        events_dropped += r.events_dropped;
+        incidents_total += r.incidents.len();
+        incidents_complete += r.incidents.iter().filter(|i| i.complete).count();
         if let Some((_, set)) = per_fault.iter_mut().find(|(f, _)| *f == r.plan.fault) {
             set.add(&r.outcome);
         }
@@ -261,6 +329,12 @@ fn summarise(records: Vec<RunRecord>) -> CampaignReport {
         timing: TimingStats::new(times),
         conformance,
         obs_totals,
+        latency,
+        last_trace,
+        spans_dropped,
+        events_dropped,
+        incidents_total,
+        incidents_complete,
     }
 }
 
@@ -269,27 +343,30 @@ fn summarise(records: Vec<RunRecord>) -> CampaignReport {
 /// faster than estimated), the run is retried with an earlier injection so
 /// every run really carries its fault, like the paper's campaign.
 pub fn execute_run(plan: &RunPlan) -> RunRecord {
+    execute_run_traced(plan).0
+}
+
+/// Like [`execute_run`], additionally returning the run's full trace
+/// (spans and causal events) for export.
+pub fn execute_run_traced(plan: &RunPlan) -> (RunRecord, TraceDump) {
     let mut plan = plan.clone();
     loop {
-        let record = execute_run_once(&plan);
+        let (record, dump) = execute_run_once(&plan);
         if record.truth.injected_at < SimTime::from_micros(u64::MAX)
             || plan.inject_at < SimTime::from_secs(10)
         {
-            return record;
+            return (record, dump);
         }
         plan.inject_at = SimTime::from_micros(plan.inject_at.as_micros() / 2);
     }
 }
 
-fn execute_run_once(plan: &RunPlan) -> RunRecord {
+fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
     let scenario = build_scenario(&plan.scenario);
     // One trace per run; the baseline diff keeps scenario-setup admin
-    // traffic out of the run's metric snapshot.
-    scenario
-        .cloud
-        .obs()
-        .tracer()
-        .begin_trace(&scenario.trace_id);
+    // traffic out of the run's metric snapshot. `begin_run` resets the
+    // span trace and the causal-event ring together.
+    scenario.cloud.obs().begin_run(&scenario.trace_id);
     let obs_baseline = scenario.cloud.obs().snapshot();
     let engine = build_engine(&scenario, &plan.scenario);
     let mut observer = CampaignObserver::new(engine, &scenario, plan);
@@ -300,7 +377,25 @@ fn execute_run_once(plan: &RunPlan) -> RunRecord {
     );
     let report = upgrade.run(&mut observer);
     let summary = observer.engine.finish();
-    let obs = scenario.cloud.obs().snapshot().diff(&obs_baseline);
+    let run_obs = scenario.cloud.obs();
+    let obs = run_obs.snapshot().diff(&obs_baseline);
+    let dump = TraceDump {
+        trace_id: scenario.trace_id.clone(),
+        spans: run_obs.tracer().finished(),
+        events: run_obs.events().records(),
+    };
+    let stage_self_us = stage_self_times(&dump.spans);
+    let incidents = pod_obs::incidents(&dump.events)
+        .iter()
+        .map(|c| IncidentSummary {
+            detection: c.detection.name.clone(),
+            hops: c.hops.len(),
+            anchored: c.anchored,
+            diagnosed: c.diagnosed,
+            complete: c.complete(),
+            elapsed_us: c.elapsed().as_micros(),
+        })
+        .collect();
     let truth = GroundTruth {
         fault: plan.fault,
         injected_at: observer
@@ -310,14 +405,19 @@ fn execute_run_once(plan: &RunPlan) -> RunRecord {
         interferences: observer.applied_interferences.clone(),
     };
     let outcome = classify_run(&truth, &summary.detections);
-    RunRecord {
+    let record = RunRecord {
         detection_sources: summary.detections.iter().map(|d| d.source).collect(),
         plan: plan.clone(),
         truth,
         outcome,
         upgrade_completed: matches!(report.outcome, UpgradeOutcome::Completed),
         obs,
-    }
+        stage_self_us,
+        incidents,
+        spans_dropped: run_obs.tracer().dropped(),
+        events_dropped: run_obs.events().dropped(),
+    };
+    (record, dump)
 }
 
 /// The observer that feeds the engine and executes the injection /
@@ -576,6 +676,50 @@ mod tests {
     }
 
     #[test]
+    fn every_detected_fault_has_an_unbroken_causal_chain() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        });
+        for plan in c.plans() {
+            let (record, dump) = execute_run_traced(&plan);
+            if !record.outcome.fault_detected {
+                continue;
+            }
+            assert!(
+                record.incidents.iter().any(|i| i.complete),
+                "fault {:?}: no unbroken chain in {:#?}\ntimelines:\n{}",
+                plan.fault,
+                record.incidents,
+                pod_obs::render_timelines(&dump.events),
+            );
+        }
+    }
+
+    #[test]
+    fn run_trace_captures_stages_and_events() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        });
+        let (record, dump) = execute_run_traced(&c.plans()[0]);
+        assert!(!dump.spans.is_empty());
+        assert!(!dump.events.is_empty());
+        assert!(dump.trace_id.starts_with("run-"));
+        assert!(record.stage_self_us.contains_key("cloud.api.call"));
+        assert!(!record.incidents.is_empty());
+        assert_eq!(record.events_dropped, 0);
+    }
+
+    #[test]
     fn mini_campaign_has_high_recall() {
         let c = Campaign::new(CampaignConfig {
             runs_per_fault: 2,
@@ -584,6 +728,12 @@ mod tests {
         });
         let report = c.run();
         assert_eq!(report.records.len(), 16);
+        assert_eq!(report.latency.faults().len(), 8);
+        assert!(report.incidents_total > 0);
+        assert!(report
+            .last_trace
+            .as_ref()
+            .is_some_and(|t| !t.events.is_empty()));
         assert!(
             report.overall.detection_recall() >= 0.9,
             "recall {} (missed: {:?})",

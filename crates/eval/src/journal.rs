@@ -8,7 +8,7 @@
 //! the `run` id it belongs to.
 
 use pod_log::Json;
-use pod_obs::{Snapshot, SpanRecord};
+use pod_obs::{EventRecord, IncidentChain, Snapshot, SpanRecord};
 
 use crate::metrics::MetricSet;
 
@@ -52,6 +52,9 @@ pub fn snapshot_lines(run: &str, snapshot: &Snapshot) -> Vec<Json> {
             if let Some(p95) = h.quantile(0.95) {
                 o.set("p95", num(p95));
             }
+            if let Some(p99) = h.quantile(0.99) {
+                o.set("p99", num(p99));
+            }
         }
         out.push(o);
     }
@@ -79,6 +82,71 @@ pub fn span_lines(run: &str, spans: &[SpanRecord]) -> Vec<Json> {
                     attrs.set(k.clone(), Json::str(v.clone()));
                 }
                 o.set("attrs", attrs);
+            }
+            o
+        })
+        .collect()
+}
+
+/// One record per causal event.
+pub fn event_lines(run: &str, events: &[EventRecord]) -> Vec<Json> {
+    events
+        .iter()
+        .map(|e| {
+            let mut o = Json::object();
+            o.set("record", Json::str("event"));
+            o.set("run", Json::str(run));
+            o.set("id", num(e.id));
+            if let Some(parent) = e.parent {
+                o.set("cause", num(parent));
+            }
+            if let Some(span) = e.span {
+                o.set("span", num(span));
+            }
+            o.set("kind", Json::str(e.kind.clone()));
+            o.set("name", Json::str(e.name.clone()));
+            o.set("at_us", num(e.at.as_micros()));
+            if !e.attrs.is_empty() {
+                let mut attrs = Json::object();
+                for (k, v) in &e.attrs {
+                    attrs.set(k.clone(), Json::str(v.clone()));
+                }
+                o.set("attrs", attrs);
+            }
+            o
+        })
+        .collect()
+}
+
+/// One record per reconstructed incident chain: the ordered hop kinds,
+/// whether the chain is unbroken, and first-evidence-to-verdict latency.
+pub fn incident_lines(run: &str, chains: &[IncidentChain]) -> Vec<Json> {
+    chains
+        .iter()
+        .map(|c| {
+            let mut o = Json::object();
+            o.set("record", Json::str("incident"));
+            o.set("run", Json::str(run));
+            o.set("detection", Json::str(c.detection.name.clone()));
+            o.set("detection_event", num(c.detection.id));
+            o.set(
+                "hops",
+                Json::Array(c.hops.iter().map(|h| Json::str(h.kind.clone())).collect()),
+            );
+            o.set("anchored", Json::Bool(c.anchored));
+            o.set("diagnosed", Json::Bool(c.diagnosed));
+            o.set("complete", Json::Bool(c.complete()));
+            o.set("elapsed_us", num(c.elapsed().as_micros()));
+            if !c.root_causes.is_empty() {
+                o.set(
+                    "root_causes",
+                    Json::Array(
+                        c.root_causes
+                            .iter()
+                            .map(|r| Json::str(r.name.clone()))
+                            .collect(),
+                    ),
+                );
             }
             o
         })
@@ -175,6 +243,57 @@ mod tests {
             parsed.get("attrs").unwrap().get("k").unwrap().as_str(),
             Some("v")
         );
+    }
+
+    #[test]
+    fn histogram_records_carry_p50_p95_p99() {
+        let obs = Obs::detached();
+        let h = obs.histogram("lat_us", &[10, 100, 1000, 10_000]);
+        for _ in 0..95 {
+            h.record(50);
+        }
+        for _ in 0..5 {
+            h.record(5_000);
+        }
+        let lines = snapshot_lines("r", &obs.snapshot());
+        let hist = lines
+            .iter()
+            .find(|l| l.get("record").and_then(|r| r.as_str()) == Some("histogram"))
+            .unwrap();
+        let parsed = Json::parse(&hist.to_string()).unwrap();
+        for key in ["p50", "p95", "p99"] {
+            assert!(parsed.get(key).is_some(), "missing {key}: {parsed:?}");
+        }
+        assert!(
+            parsed.get("p99").unwrap().as_f64() >= parsed.get("p50").unwrap().as_f64(),
+            "quantiles out of order: {parsed:?}"
+        );
+    }
+
+    #[test]
+    fn event_and_incident_records_round_trip() {
+        let obs = Obs::detached();
+        obs.begin_run("run-9");
+        let line = obs.event("log.line", "asgard.log");
+        let det = obs.event_under(line.id(), "detection", "assertion-log");
+        obs.event_under(det.id(), "diagnosis.verdict", "root-cause-identified");
+        let events = obs.events().records();
+        let lines = event_lines("run-9", &events);
+        assert_eq!(lines.len(), 3);
+        let parsed = Json::parse(&lines[1].to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("event"));
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("detection"));
+        assert_eq!(parsed.get("cause").unwrap().as_f64(), Some(0.0));
+
+        let chains = pod_obs::incidents(&events);
+        let lines = incident_lines("run-9", &chains);
+        assert_eq!(lines.len(), 1);
+        let parsed = Json::parse(&lines[0].to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("incident"));
+        assert_eq!(parsed.get("complete"), Some(&Json::Bool(true)));
+        let hops = parsed.get("hops").unwrap().as_array().unwrap();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0].as_str(), Some("log.line"));
     }
 
     #[test]

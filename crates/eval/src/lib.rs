@@ -11,8 +11,12 @@
 //!   rate);
 //! - [`TimingStats`] — the Figure-6 diagnosis-time distribution;
 //! - [`render_report`] — plain-text rendering of every table and figure;
-//! - [`snapshot_lines`] / [`span_lines`] / [`render_journal`] — the
-//!   JSON-lines run journal of pod-obs metrics and spans.
+//! - [`snapshot_lines`] / [`span_lines`] / [`event_lines`] /
+//!   [`incident_lines`] / [`render_journal`] — the JSON-lines run journal
+//!   of pod-obs metrics, spans, causal events and incident chains;
+//! - [`LatencyProfile`] / [`stage_self_times`] — the latency-budget
+//!   profiler: per-stage virtual-time attribution, p50/p95/p99 per fault
+//!   type (the `BENCH_pod.json` content).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,15 +24,20 @@
 mod campaign;
 mod journal;
 mod metrics;
+mod profile;
 mod report;
 mod scenario;
 mod timing;
 
 pub use campaign::{
-    execute_run, Campaign, CampaignConfig, CampaignReport, ConformanceStats, RunPlan, RunRecord,
+    execute_run, execute_run_traced, Campaign, CampaignConfig, CampaignReport, ConformanceStats,
+    IncidentSummary, RunPlan, RunRecord, TraceDump,
 };
-pub use journal::{metrics_line, render_journal, snapshot_lines, span_lines};
+pub use journal::{
+    event_lines, incident_lines, metrics_line, render_journal, snapshot_lines, span_lines,
+};
 pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
+pub use profile::{stage_self_times, LatencyProfile};
 pub use report::{render_metrics_line, render_report};
 pub use scenario::{build_engine, build_scenario, pod_config, Scenario, ScenarioConfig};
 pub use timing::TimingStats;

@@ -357,6 +357,7 @@ mod tests {
             step: None,
             instance: None,
             diagnosis: rep,
+            event: None,
         }
     }
 

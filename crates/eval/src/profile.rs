@@ -1,0 +1,294 @@
+//! The latency-budget profiler: attributes each run's virtual-clock time
+//! across pipeline stages and aggregates per-stage self-time distributions
+//! (p50/p95/p99) per fault type — the content of `BENCH_pod.json`.
+//!
+//! A *stage* is a span name (`cloud.api.call`, `conformance.replay`,
+//! `assertion.eval`, `faulttree.walk`, …). A run's budget for a stage is
+//! the stage's **self** time: the summed span durations minus the time
+//! spent in child spans, so the budget rows add up to wall (virtual) time
+//! instead of double-counting nested work.
+
+use std::collections::BTreeMap;
+
+use pod_log::Json;
+use pod_obs::SpanRecord;
+use pod_orchestrator::FaultType;
+use pod_sim::SimDuration;
+
+/// Computes one run's latency budget: span name → summed *self* virtual
+/// time in microseconds (child-span time subtracted).
+pub fn stage_self_times(spans: &[SpanRecord]) -> BTreeMap<String, u64> {
+    let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in spans {
+        if let Some(parent) = span.parent {
+            *child_time.entry(parent).or_insert(0) += span.duration().as_micros();
+        }
+    }
+    let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+    for span in spans {
+        let own = span
+            .duration()
+            .as_micros()
+            .saturating_sub(child_time.get(&span.id).copied().unwrap_or(0));
+        *by_name.entry(span.name.clone()).or_insert(0) += own;
+    }
+    by_name
+}
+
+/// The per-stage distribution for one fault type.
+#[derive(Debug, Clone, Default)]
+struct StageSamples {
+    /// One self-time sample (µs) per run. Runs where the stage never ran
+    /// contribute an explicit zero so quantiles are over *all* runs.
+    samples: Vec<u64>,
+}
+
+/// Aggregated latency budgets across a campaign: per fault type, per
+/// stage, the p50/p95/p99 of the per-run self time.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyProfile {
+    /// fault → stage → samples.
+    per_fault: BTreeMap<String, BTreeMap<String, StageSamples>>,
+    /// fault → number of runs recorded.
+    runs: BTreeMap<String, usize>,
+}
+
+/// Nearest-rank quantile of an unsorted sample set.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl LatencyProfile {
+    /// An empty profile.
+    pub fn new() -> LatencyProfile {
+        LatencyProfile::default()
+    }
+
+    /// Records one run's stage budget (see [`stage_self_times`]) under its
+    /// fault type.
+    pub fn record(&mut self, fault: FaultType, stages: &BTreeMap<String, u64>) {
+        let label = fault.to_string();
+        let runs_so_far = {
+            let n = self.runs.entry(label.clone()).or_insert(0);
+            *n += 1;
+            *n - 1
+        };
+        let per_stage = self.per_fault.entry(label).or_default();
+        // Stages this fault has seen before but this run did not run.
+        for entry in per_stage.values_mut() {
+            entry.samples.resize(runs_so_far, 0);
+        }
+        for (stage, &us) in stages {
+            let entry = per_stage.entry(stage.clone()).or_default();
+            entry.samples.resize(runs_so_far, 0);
+            entry.samples.push(us);
+        }
+        for entry in per_stage.values_mut() {
+            entry.samples.resize(runs_so_far + 1, 0);
+        }
+    }
+
+    /// Total runs recorded.
+    pub fn runs(&self) -> usize {
+        self.runs.values().sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per_fault.is_empty()
+    }
+
+    /// The fault labels recorded, in name order.
+    pub fn faults(&self) -> Vec<String> {
+        self.per_fault.keys().cloned().collect()
+    }
+
+    /// p50/p95/p99 (µs) of a stage's per-run self time for one fault.
+    pub fn quantiles(&self, fault: &str, stage: &str) -> Option<(u64, u64, u64)> {
+        let samples = &self.per_fault.get(fault)?.get(stage)?.samples;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        Some((
+            quantile(&sorted, 0.50),
+            quantile(&sorted, 0.95),
+            quantile(&sorted, 0.99),
+        ))
+    }
+
+    /// The `BENCH_pod.json` document: per fault type, per stage, the
+    /// p50/p95/p99 and mean of the per-run self time (µs).
+    pub fn bench_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("bench", Json::str("pod-latency-budget"));
+        doc.set("unit", Json::str("us"));
+        doc.set("runs", Json::Number(self.runs() as f64));
+        let mut faults = Vec::new();
+        for (fault, stages) in &self.per_fault {
+            let mut f = Json::object();
+            f.set("fault", Json::str(fault.clone()));
+            f.set(
+                "runs",
+                Json::Number(self.runs.get(fault).copied().unwrap_or(0) as f64),
+            );
+            let mut rows = Vec::new();
+            for (stage, samples) in stages {
+                let mut sorted = samples.samples.clone();
+                sorted.sort_unstable();
+                let sum: u64 = sorted.iter().sum();
+                let mut s = Json::object();
+                s.set("stage", Json::str(stage.clone()));
+                s.set("p50", Json::Number(quantile(&sorted, 0.50) as f64));
+                s.set("p95", Json::Number(quantile(&sorted, 0.95) as f64));
+                s.set("p99", Json::Number(quantile(&sorted, 0.99) as f64));
+                s.set(
+                    "mean",
+                    Json::Number(if sorted.is_empty() {
+                        0.0
+                    } else {
+                        sum as f64 / sorted.len() as f64
+                    }),
+                );
+                s.set("total_us", Json::Number(sum as f64));
+                rows.push(s);
+            }
+            f.set("stages", Json::Array(rows));
+            faults.push(f);
+        }
+        doc.set("faults", Json::Array(faults));
+        doc
+    }
+
+    /// Renders the latency budget as a per-fault ASCII table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        if self.is_empty() {
+            return "latency budget: no runs recorded\n".to_string();
+        }
+        let mut out = String::new();
+        for (fault, stages) in &self.per_fault {
+            let runs = self.runs.get(fault).copied().unwrap_or(0);
+            let _ = writeln!(out, "{fault} ({runs} runs)");
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12} {:>12} {:>12}",
+                "stage", "p50", "p95", "p99"
+            );
+            let mut rows: Vec<(&String, (u64, u64, u64))> = stages
+                .keys()
+                .filter_map(|s| self.quantiles(fault, s).map(|q| (s, q)))
+                .collect();
+            rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+            for (stage, (p50, p95, p99)) in rows {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>12} {:>12} {:>12}",
+                    stage,
+                    SimDuration::from_micros(p50).to_string(),
+                    SimDuration::from_micros(p95).to_string(),
+                    SimDuration::from_micros(p99).to_string(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_sim::SimTime;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, start_ms: u64, end_ms: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let spans = vec![
+            span(0, None, "faulttree.walk", 0, 100),
+            span(1, Some(0), "cloud.api.call", 10, 40),
+            span(2, Some(0), "cloud.api.call", 50, 70),
+        ];
+        let budget = stage_self_times(&spans);
+        assert_eq!(budget["faulttree.walk"], 50_000); // 100ms - 50ms children
+        assert_eq!(budget["cloud.api.call"], 50_000);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&sorted, 0.50), 50);
+        assert_eq!(quantile(&sorted, 0.95), 95);
+        assert_eq!(quantile(&sorted, 0.99), 99);
+        assert_eq!(quantile(&[7], 0.99), 7);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn missing_stages_count_as_zero_runs() {
+        let mut profile = LatencyProfile::new();
+        let mut a = BTreeMap::new();
+        a.insert("cloud.api.call".to_string(), 100u64);
+        profile.record(FaultType::AmiUnavailable, &a);
+        let mut b = BTreeMap::new();
+        b.insert("faulttree.walk".to_string(), 10u64);
+        profile.record(FaultType::AmiUnavailable, &b);
+        let fault = FaultType::AmiUnavailable.to_string();
+        // Each stage has 2 samples: one real, one implicit zero.
+        let (p50, p95, _) = profile.quantiles(&fault, "cloud.api.call").unwrap();
+        assert_eq!((p50, p95), (0, 100));
+        let (p50, p95, _) = profile.quantiles(&fault, "faulttree.walk").unwrap();
+        assert_eq!((p50, p95), (0, 10));
+    }
+
+    #[test]
+    fn bench_json_has_all_quantiles_per_fault() {
+        let mut profile = LatencyProfile::new();
+        for fault in FaultType::all() {
+            let mut stages = BTreeMap::new();
+            stages.insert("cloud.api.call".to_string(), 2_000u64);
+            stages.insert("assertion.eval".to_string(), 500u64);
+            profile.record(fault, &stages);
+        }
+        let doc = profile.bench_json();
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("bench").unwrap().as_str(),
+            Some("pod-latency-budget")
+        );
+        let faults = parsed.get("faults").unwrap().as_array().unwrap();
+        assert_eq!(faults.len(), 8);
+        for f in faults {
+            let stages = f.get("stages").unwrap().as_array().unwrap();
+            assert_eq!(stages.len(), 2);
+            for s in stages {
+                for key in ["p50", "p95", "p99", "mean"] {
+                    assert!(s.get(key).is_some(), "missing {key}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_stages_per_fault() {
+        let mut profile = LatencyProfile::new();
+        let mut stages = BTreeMap::new();
+        stages.insert("cloud.api.call".to_string(), 1_500_000u64);
+        profile.record(FaultType::ElbUnavailable, &stages);
+        let text = profile.render();
+        assert!(text.contains("ELB is unavailable during upgrade (1 runs)"));
+        assert!(text.contains("cloud.api.call"));
+        assert!(text.contains("p95"));
+    }
+}

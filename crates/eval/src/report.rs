@@ -118,7 +118,42 @@ pub fn render_report(report: &CampaignReport) -> String {
         c.resource_runs, c.resource_runs_flagged, c.resource_runs_flagged_first
     );
     let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "-- Incident timelines: causal-chain coverage (all runs) --"
+    );
+    let _ = writeln!(
+        out,
+        "incident chains reconstructed: {} — unbroken (log line -> verdict): {}{}",
+        report.incidents_total,
+        report.incidents_complete,
+        if report.incidents_total > 0 {
+            format!(
+                " ({})",
+                pct(report.incidents_complete as f64 / report.incidents_total as f64)
+            )
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "-- Latency budget: per-stage self time, p50/p95/p99 per fault type --"
+    );
+    out.push_str(&report.latency.render());
+    let _ = writeln!(out);
     let _ = writeln!(out, "-- Observability: pod-obs metrics (all runs) --");
+    if report.spans_dropped > 0 || report.events_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: retention caps hit — {} span(s) and {} causal event(s) dropped; \
+             traces and timelines may be incomplete",
+            report.spans_dropped, report.events_dropped
+        );
+    } else {
+        let _ = writeln!(out, "spans dropped: 0, causal events dropped: 0");
+    }
     out.push_str(&pod_obs::render_summary(&report.obs_totals));
     out
 }

@@ -193,14 +193,31 @@ impl DiagnosisEngine {
                 .record(first.as_micros());
         }
         span.attr("tests_run", report.tests_run);
-        span.attr(
-            "verdict",
-            match report.verdict() {
-                DiagnosisVerdict::RootCauseIdentified => "root-cause-identified",
-                DiagnosisVerdict::ErrorConfirmedCauseUnknown => "cause-unknown",
-                DiagnosisVerdict::NoRootCauseIdentified => "no-root-cause",
-            },
-        );
+        let verdict_tag = match report.verdict() {
+            DiagnosisVerdict::RootCauseIdentified => "root-cause-identified",
+            DiagnosisVerdict::ErrorConfirmedCauseUnknown => "cause-unknown",
+            DiagnosisVerdict::NoRootCauseIdentified => "no-root-cause",
+        };
+        span.attr("verdict", verdict_tag);
+        let verdict_event = self
+            .api
+            .cloud()
+            .obs()
+            .event("diagnosis.verdict", verdict_tag);
+        verdict_event.attr("tests_run", report.tests_run);
+        verdict_event.attr("excluded", report.excluded);
+        verdict_event.attr("duration_ms", report.duration.as_millis());
+        if !report.root_causes.is_empty() {
+            verdict_event.attr(
+                "root_causes",
+                report
+                    .root_causes
+                    .iter()
+                    .map(|c| c.node_id.as_str())
+                    .collect::<Vec<_>>()
+                    .join("|"),
+            );
+        }
         let now = self.api.cloud().clock().now();
         match report.verdict() {
             DiagnosisVerdict::RootCauseIdentified => self.log(
@@ -260,7 +277,7 @@ struct Walk<'a> {
     engine: &'a DiagnosisEngine,
     ctx: &'a DiagnosisContext,
     variables: &'a [(String, String)],
-    cache: HashMap<String, TestResult>,
+    cache: HashMap<String, (TestResult, pod_obs::EventId)>,
     depth: usize,
     max_depth: usize,
     report: DiagnosisReport,
@@ -313,7 +330,7 @@ impl Walk<'_> {
                     Severity::Info,
                     format!("Verifying: {description}"),
                 );
-                let result = self.run_cached(&node.id, test);
+                let (result, test_event) = self.run_cached(&node.id, test);
                 let now = self.engine.api.cloud().clock().now();
                 match result {
                     TestResult::Absent => {
@@ -340,6 +357,12 @@ impl Walk<'_> {
                                 self.report.first_cause_after =
                                     Some(now.duration_since(self.report.started_at));
                             }
+                            self.engine
+                                .api
+                                .cloud()
+                                .obs()
+                                .event_under(test_event, "diagnosis.cause", &node.id)
+                                .attr("description", &description);
                             self.report.root_causes.push(DiagnosedCause {
                                 node_id: node.id.clone(),
                                 description,
@@ -372,30 +395,44 @@ impl Walk<'_> {
         self.depth -= 1;
     }
 
-    fn run_cached(&mut self, id: &str, test: &crate::test::DiagnosticTest) -> TestResult {
+    /// Runs (or serves from cache) one diagnostic test, returning the
+    /// result and the `faulttree.test` causal event it is evidenced by (the
+    /// original test's event on a memo hit, so a cause confirmed twice
+    /// still chains to the test that actually ran).
+    fn run_cached(
+        &mut self,
+        id: &str,
+        test: &crate::test::DiagnosticTest,
+    ) -> (TestResult, pod_obs::EventId) {
         if self.engine.memoise {
             if let Some(hit) = self.cache.get(id) {
                 self.engine.metrics.memo_hits.incr();
                 return hit.clone();
             }
         }
-        let span = self.engine.api.cloud().obs().span("faulttree.test");
+        let obs = self.engine.api.cloud().obs().clone();
+        let span = obs.span("faulttree.test");
         span.attr("node", id);
-        let result = test.run(&self.engine.api, self.ctx);
-        span.attr(
-            "result",
-            match &result {
-                TestResult::Absent => "absent",
-                TestResult::Present => "present",
-                TestResult::Inconclusive { .. } => "inconclusive",
-            },
-        );
+        let emitted = obs.event("faulttree.test", id);
+        // Consistent-layer retries made by the test chain under it.
+        let result = {
+            let _scope = obs.events().scope(Some(emitted.id()));
+            test.run(&self.engine.api, self.ctx)
+        };
+        let tag = match &result {
+            TestResult::Absent => "absent",
+            TestResult::Present => "present",
+            TestResult::Inconclusive { .. } => "inconclusive",
+        };
+        span.attr("result", tag);
+        emitted.attr("result", tag);
         self.report.tests_run += 1;
         self.engine.metrics.tests_run.incr();
         if self.engine.memoise {
-            self.cache.insert(id.to_string(), result.clone());
+            self.cache
+                .insert(id.to_string(), (result.clone(), emitted.id()));
         }
-        result
+        (result, emitted.id())
     }
 }
 

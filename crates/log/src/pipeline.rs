@@ -84,6 +84,11 @@ pub struct PipelineOutput {
     pub forwarded: Vec<LogEvent>,
     /// All triggers raised by any stage.
     pub triggers: Vec<Trigger>,
+    /// The `log.line` causal event emitted for this line, when the line
+    /// raised triggers or was forwarded. The engine scopes all downstream
+    /// work (conformance, assertions, timers) under it so every detection
+    /// chains back to the log line that triggered it.
+    pub cause: Option<pod_obs::EventId>,
 }
 
 /// An ordered chain of stages.
@@ -189,6 +194,8 @@ impl Pipeline {
     /// Pushes one event through every stage in order.
     pub fn push(&mut self, event: LogEvent) -> PipelineOutput {
         self.pushed.incr();
+        let source = event.source.clone();
+        let message = event.message.clone();
         let mut out = PipelineOutput::default();
         let mut current = Some(event);
         for (stage, metrics) in self.stages.iter_mut().zip(&self.stage_metrics) {
@@ -204,6 +211,21 @@ impl Pipeline {
         if let Some(event) = current {
             out.forwarded.push(event);
             self.forwarded.incr();
+        }
+        // Lines the pipeline acted on become causal roots; pure noise does
+        // not pollute the event ring.
+        if !out.triggers.is_empty() || !out.forwarded.is_empty() {
+            let emitted = self.obs.event("log.line", &source);
+            emitted.attr("message", &message);
+            if let Some(step) = out
+                .forwarded
+                .first()
+                .and_then(|e| e.context.as_ref())
+                .and_then(|c| c.step_id.as_deref())
+            {
+                emitted.attr("step", step);
+            }
+            out.cause = Some(emitted.id());
         }
         out
     }
@@ -531,6 +553,48 @@ mod tests {
         assert_eq!(snap.counter("pipeline.process-annotator.processed"), 2);
         assert_eq!(snap.counter("pipeline.important-line-forwarder.dropped"), 1);
         assert_eq!(snap.counter("pipeline.forwarded"), 1);
+    }
+
+    #[test]
+    fn acted_on_lines_emit_a_causal_root_event() {
+        let obs = Obs::detached();
+        obs.begin_run("run-1");
+        let mut p = Pipeline::new();
+        p.add_stage(Box::new(NoiseFilter::keep(
+            RegexSet::new(&["Instance", "upgrade"]).unwrap(),
+        )));
+        p.add_stage(Box::new(ProcessAnnotator::new(
+            rules(),
+            "rolling-upgrade",
+            "run-1",
+        )));
+        p.add_stage(Box::new(ImportantLineForwarder));
+        p.set_obs(&obs);
+
+        // Noise: no causal event.
+        let out = p.push(event("jvm gc pause 12ms"));
+        assert!(out.cause.is_none());
+        assert!(obs.events().is_empty());
+
+        // Known activity: log.line event with message and step attrs.
+        let out = p.push(event("Instance i-aa is ready for use"));
+        let cause = out.cause.expect("forwarded line has a cause");
+        let records = obs.events().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, cause.get());
+        assert_eq!(records[0].kind, "log.line");
+        assert_eq!(records[0].name, "asgard.log");
+        assert!(records[0].attrs.contains(&(
+            "message".to_string(),
+            "Instance i-aa is ready for use".to_string()
+        )));
+        assert!(records[0]
+            .attrs
+            .contains(&("step".to_string(), "new-instance-ready".to_string())));
+
+        // Trigger-only (unknown but relevant) lines also get a cause.
+        let out = p.push(event("upgrade hit unexpected state"));
+        assert!(out.cause.is_some());
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The causal event log: a ring buffer of instantaneous events with
+//! explicit parent links, emitted at every pipeline hand-off.
+//!
+//! Spans answer *where the time went*; causal events answer *why a
+//! diagnosis happened*. Every hand-off in the POD pipeline (a log line
+//! raising triggers, a conformance verdict, an assertion result, a
+//! consistent-layer retry, a fault-tree test, a diagnosis) emits one
+//! [`EventRecord`]. Parent links connect an effect to its cause, so an
+//! incident can be replayed hop by hop from the triggering log line to the
+//! reported root cause (see the `timeline` module).
+//!
+//! Causality crosses layer boundaries (the engine calls the evaluator,
+//! which calls the consistent API…), so threading explicit parent ids
+//! through every signature would be invasive. Instead the log keeps an
+//! ambient **cause stack**: a caller pushes the current cause with
+//! [`EventLog::scope`] and every event emitted while the scope is alive is
+//! parented to it by default. Explicit parents override the stack via
+//! [`Parent::Of`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pod_obs::{EventLog, Parent};
+//! use pod_sim::Clock;
+//!
+//! let log = EventLog::new(Clock::new());
+//! log.begin_trace("run-1");
+//! let line = log.emit("log.line", "asgard.log", Parent::Ambient, None);
+//! let _scope = log.scope(Some(line.id()));
+//! let verdict = log.emit("conformance.verdict", "conformance:unfit", Parent::Ambient, None);
+//! assert_eq!(log.records()[1].parent, Some(line.id().get()));
+//! assert_eq!(verdict.id().get(), 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pod_sim::{Clock, SimTime};
+
+/// Upper bound on retained events per trace. The buffer is a true ring:
+/// beyond the cap the *oldest* events are evicted (and counted in
+/// [`EventLog::dropped`]) so the most recent causality is always available.
+const EVENT_CAP: usize = 16_384;
+
+/// Identifier of a causal event within one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw id (ascending in emission order within a trace).
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// How an emitted event is linked to its cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parent {
+    /// Use the innermost active cause scope (none → root event).
+    Ambient,
+    /// Emit a root event regardless of active scopes.
+    None,
+    /// Link to this event explicitly.
+    Of(EventId),
+}
+
+/// One recorded causal event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Unique id within the trace (ascending in emission order).
+    pub id: u64,
+    /// The causing event, if any.
+    pub parent: Option<u64>,
+    /// The innermost open span at emission time, if any.
+    pub span: Option<u64>,
+    /// Virtual-clock emission time.
+    pub at: SimTime,
+    /// Hand-off kind, e.g. `log.line`, `conformance.verdict`, `detection`.
+    pub kind: String,
+    /// Short label, e.g. the verdict tag or the fault-tree node id.
+    pub name: String,
+    /// Key/value attributes in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct EventLogInner {
+    trace_id: String,
+    next_id: u64,
+    ring: VecDeque<EventRecord>,
+    dropped: u64,
+    causes: Vec<u64>,
+}
+
+/// The shared causal event log. Cloning shares the buffer and cause stack.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    clock: Clock,
+    inner: Arc<Mutex<EventLogInner>>,
+}
+
+impl EventLog {
+    /// Creates an event log timestamping from `clock`.
+    pub fn new(clock: Clock) -> EventLog {
+        EventLog {
+            clock,
+            inner: Arc::new(Mutex::new(EventLogInner::default())),
+        }
+    }
+
+    /// Starts a fresh trace, discarding all events (and scopes) of the
+    /// previous one.
+    pub fn begin_trace(&self, trace_id: &str) {
+        let mut inner = self.inner.lock();
+        *inner = EventLogInner {
+            trace_id: trace_id.to_string(),
+            ..EventLogInner::default()
+        };
+    }
+
+    /// The current trace id (empty before the first `begin_trace`).
+    pub fn trace_id(&self) -> String {
+        self.inner.lock().trace_id.clone()
+    }
+
+    /// Emits one event and returns a handle for attaching attributes.
+    ///
+    /// `span` is the id of the span the event belongs to (callers going
+    /// through [`crate::Obs::event`] get the innermost open span filled in
+    /// automatically).
+    pub fn emit(&self, kind: &str, name: &str, parent: Parent, span: Option<u64>) -> Emitted {
+        let at = self.clock.now();
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let parent = match parent {
+            Parent::Ambient => inner.causes.last().copied(),
+            Parent::None => None,
+            Parent::Of(p) => Some(p.get()),
+        };
+        if inner.ring.len() >= EVENT_CAP {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(EventRecord {
+            id,
+            parent,
+            span,
+            at,
+            kind: kind.to_string(),
+            name: name.to_string(),
+            attrs: Vec::new(),
+        });
+        Emitted {
+            log: self.clone(),
+            id: EventId(id),
+        }
+    }
+
+    /// Pushes `cause` (when present) onto the ambient cause stack; the
+    /// returned guard pops it on drop. A `None` cause is a no-op scope, so
+    /// call sites can thread `Option<EventId>` without branching.
+    pub fn scope(&self, cause: Option<EventId>) -> CauseScope {
+        if let Some(cause) = cause {
+            self.inner.lock().causes.push(cause.get());
+        }
+        CauseScope {
+            log: self.clone(),
+            active: cause.is_some(),
+        }
+    }
+
+    /// The innermost ambient cause, if a scope is active.
+    pub fn current_cause(&self) -> Option<EventId> {
+        self.inner.lock().causes.last().copied().map(EventId)
+    }
+
+    /// All retained events, in emission order.
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// The number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ring.is_empty()
+    }
+
+    /// Events evicted from the ring after the retention cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    fn set_attr(&self, id: u64, key: &str, value: String) {
+        let mut inner = self.inner.lock();
+        // The ring is ordered by id; an evicted event is silently skipped.
+        if let Some(record) = inner.ring.iter_mut().rev().find(|e| e.id == id) {
+            record.attrs.push((key.to_string(), value));
+        }
+    }
+}
+
+/// Handle to a just-emitted event.
+#[derive(Debug)]
+pub struct Emitted {
+    log: EventLog,
+    id: EventId,
+}
+
+impl Emitted {
+    /// Attaches a key/value attribute to the event.
+    pub fn attr(&self, key: &str, value: impl std::fmt::Display) -> &Emitted {
+        self.log.set_attr(self.id.get(), key, value.to_string());
+        self
+    }
+
+    /// The event's id, for explicit parent links.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+}
+
+/// RAII guard for an ambient cause (see [`EventLog::scope`]).
+#[derive(Debug)]
+pub struct CauseScope {
+    log: EventLog,
+    active: bool,
+}
+
+impl Drop for CauseScope {
+    fn drop(&mut self) {
+        if self.active {
+            self.log.inner.lock().causes.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> EventLog {
+        let l = EventLog::new(Clock::new());
+        l.begin_trace("t");
+        l
+    }
+
+    #[test]
+    fn events_link_to_the_ambient_cause() {
+        let log = log();
+        let root = log.emit("log.line", "asgard.log", Parent::Ambient, None);
+        assert_eq!(log.records()[0].parent, None);
+        {
+            let _scope = log.scope(Some(root.id()));
+            let child = log.emit("conformance.verdict", "fit", Parent::Ambient, Some(7));
+            assert_eq!(log.current_cause(), Some(root.id()));
+            let records = log.records();
+            assert_eq!(records[1].parent, Some(root.id().get()));
+            assert_eq!(records[1].span, Some(7));
+            // Nested scopes stack.
+            let _inner = log.scope(Some(child.id()));
+            log.emit("detection", "assertion-log", Parent::Ambient, None);
+            assert_eq!(log.records()[2].parent, Some(child.id().get()));
+        }
+        assert_eq!(log.current_cause(), None);
+        log.emit("detection", "late", Parent::Ambient, None);
+        assert_eq!(log.records()[3].parent, None);
+    }
+
+    #[test]
+    fn explicit_parent_overrides_the_stack() {
+        let log = log();
+        let a = log.emit("a", "a", Parent::Ambient, None);
+        let _scope = log.scope(Some(a.id()));
+        log.emit("b", "b", Parent::None, None);
+        let c = log.emit("c", "c", Parent::Of(a.id()), None);
+        let records = log.records();
+        assert_eq!(records[1].parent, None);
+        assert_eq!(records[2].parent, Some(a.id().get()));
+        assert_eq!(c.id().get(), 2);
+    }
+
+    #[test]
+    fn none_scope_is_a_no_op() {
+        let log = log();
+        {
+            let _scope = log.scope(None);
+            log.emit("x", "x", Parent::Ambient, None);
+        }
+        assert_eq!(log.records()[0].parent, None);
+        assert_eq!(log.current_cause(), None);
+    }
+
+    #[test]
+    fn attrs_attach_to_the_emitted_event() {
+        let log = log();
+        let ev = log.emit("assertion.result", "asg-desired", Parent::Ambient, None);
+        ev.attr("outcome", "failed").attr("attempts", 3);
+        let records = log.records();
+        assert_eq!(
+            records[0].attrs,
+            vec![
+                ("outcome".to_string(), "failed".to_string()),
+                ("attempts".to_string(), "3".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let log = log();
+        for i in 0..(EVENT_CAP + 5) {
+            log.emit("e", &i.to_string(), Parent::Ambient, None);
+        }
+        assert_eq!(log.len(), EVENT_CAP);
+        assert_eq!(log.dropped(), 5);
+        // The oldest ids are gone; the newest survive.
+        let records = log.records();
+        assert_eq!(records.first().unwrap().id, 5);
+        assert_eq!(records.last().unwrap().id, (EVENT_CAP + 4) as u64);
+    }
+
+    #[test]
+    fn begin_trace_resets_everything() {
+        let log = log();
+        let a = log.emit("a", "a", Parent::Ambient, None);
+        let _leaked = log.scope(Some(a.id()));
+        log.begin_trace("t2");
+        assert!(log.is_empty());
+        assert_eq!(log.current_cause(), None);
+        assert_eq!(log.trace_id(), "t2");
+    }
+
+    #[test]
+    fn timestamps_come_from_the_clock() {
+        let clock = Clock::new();
+        let log = EventLog::new(clock.clone());
+        log.begin_trace("t");
+        clock.advance(pod_sim::SimDuration::from_millis(42));
+        log.emit("e", "e", Parent::Ambient, None);
+        assert_eq!(log.records()[0].at, SimTime::from_millis(42));
+    }
+}

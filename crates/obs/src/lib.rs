@@ -12,6 +12,17 @@
 //!   conformance replay → assertion eval → fault-tree walk → diagnostic
 //!   test → cloud API call) with virtual-clock start/end times and
 //!   key/value attributes, one trace per run id;
+//! - a **causal event log** ([`EventLog`]) — ring-buffered instantaneous
+//!   events with explicit parent links and span/trace correlation, emitted
+//!   at every pipeline hand-off so each incident carries its evidence
+//!   chain;
+//! - **exporters**: Chrome trace-event JSON ([`chrome_trace`],
+//!   Perfetto-loadable) and an OTLP-style JSON document ([`otlp_json`]) for
+//!   spans+events;
+//! - an **incident timeline explainer** ([`incidents`],
+//!   [`render_timelines`]) reconstructing, per detection, the ordered
+//!   causal chain from the triggering log line to the reported root cause
+//!   with per-hop latency;
 //! - **ASCII sinks**: a metrics summary table ([`render_summary`]), a span
 //!   tree ([`Tracer::render_tree`]) and a flame-style aggregation
 //!   ([`Tracer::render_flame`]).
@@ -48,14 +59,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod event;
+mod export;
 mod metrics;
 mod obs;
 mod render;
 mod span;
+mod timeline;
 
+pub use event::{CauseScope, Emitted, EventId, EventLog, EventRecord, Parent};
+pub use export::{chrome_trace, otlp_json};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_US,
 };
 pub use obs::Obs;
 pub use render::render_summary;
 pub use span::{SpanGuard, SpanRecord, Tracer};
+pub use timeline::{incidents, render_timeline, render_timelines, IncidentChain};

@@ -1,19 +1,22 @@
-//! The [`Obs`] handle bundling clock, metrics registry and tracer.
+//! The [`Obs`] handle bundling clock, metrics registry, tracer and the
+//! causal event log.
 
 use pod_sim::Clock;
 
+use crate::event::{Emitted, EventId, EventLog, Parent};
 use crate::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 use crate::span::{SpanGuard, Tracer};
 
-/// One observability context: a metrics [`Registry`] plus a [`Tracer`],
-/// both timestamped from the same virtual [`Clock`]. Cloning is cheap and
-/// shares all state, so a single `Obs` created next to the `Cloud` can be
-/// handed to every layer of the pipeline.
+/// One observability context: a metrics [`Registry`], a [`Tracer`] and a
+/// causal [`EventLog`], all timestamped from the same virtual [`Clock`].
+/// Cloning is cheap and shares all state, so a single `Obs` created next
+/// to the `Cloud` can be handed to every layer of the pipeline.
 #[derive(Debug, Clone)]
 pub struct Obs {
     clock: Clock,
     registry: Registry,
     tracer: Tracer,
+    events: EventLog,
 }
 
 impl Obs {
@@ -21,6 +24,7 @@ impl Obs {
     pub fn new(clock: Clock) -> Obs {
         Obs {
             tracer: Tracer::new(clock.clone()),
+            events: EventLog::new(clock.clone()),
             registry: Registry::new(),
             clock,
         }
@@ -46,6 +50,36 @@ impl Obs {
     /// The span tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The causal event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Emits a causal event parented to the innermost ambient cause and
+    /// correlated with the innermost open span.
+    pub fn event(&self, kind: &str, name: &str) -> Emitted {
+        self.events
+            .emit(kind, name, Parent::Ambient, self.tracer.current_span_id())
+    }
+
+    /// Emits a causal event with an explicit parent (still correlated with
+    /// the innermost open span).
+    pub fn event_under(&self, parent: EventId, kind: &str, name: &str) -> Emitted {
+        self.events.emit(
+            kind,
+            name,
+            Parent::Of(parent),
+            self.tracer.current_span_id(),
+        )
+    }
+
+    /// Starts a fresh run: resets both the tracer and the event log to a
+    /// new trace identified by `trace_id`.
+    pub fn begin_run(&self, trace_id: &str) {
+        self.tracer.begin_trace(trace_id);
+        self.events.begin_trace(trace_id);
     }
 
     /// Counter accessor (see [`Registry::counter`]).
@@ -94,6 +128,32 @@ mod tests {
         drop(copy.span("s"));
         assert_eq!(obs.snapshot().counter("x"), 1);
         assert_eq!(obs.tracer().finished().len(), 1);
+    }
+
+    #[test]
+    fn events_correlate_with_the_open_span() {
+        let obs = Obs::detached();
+        obs.begin_run("t");
+        let guard = obs.span("conformance.replay");
+        let ev = obs.event("conformance.verdict", "conformance:fit");
+        let records = obs.events().records();
+        assert_eq!(records[0].span, Some(guard.id()));
+        assert_eq!(records[0].parent, None);
+        let child = obs.event_under(ev.id(), "detection", "conformance-unfit");
+        assert_eq!(child.id().get(), 1);
+        assert_eq!(obs.events().records()[1].parent, Some(ev.id().get()));
+    }
+
+    #[test]
+    fn begin_run_resets_tracer_and_events_together() {
+        let obs = Obs::detached();
+        obs.begin_run("a");
+        drop(obs.span("s"));
+        obs.event("e", "e");
+        obs.begin_run("b");
+        assert_eq!(obs.tracer().finished().len(), 0);
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.events().trace_id(), "b");
     }
 
     #[test]

@@ -145,6 +145,12 @@ impl Tracer {
         self.inner.lock().finished.clone()
     }
 
+    /// The id of the innermost open span, if any — used to correlate
+    /// causal events with the span they were emitted under.
+    pub fn current_span_id(&self) -> Option<u64> {
+        self.inner.lock().stack.last().copied()
+    }
+
     /// Spans discarded after the retention cap was reached.
     pub fn dropped(&self) -> u64 {
         self.inner.lock().dropped

@@ -103,12 +103,14 @@ pub struct ConformanceChecker {
     model_name: String,
     instances: HashMap<String, InstanceState>,
     metrics: ConformanceMetrics,
+    obs: Obs,
+    last_event: Option<pod_obs::EventId>,
 }
 
 /// Cached classification counters. The replay hot path must stay well
 /// under the paper's ≈10 ms envelope, so instrumentation here is counter
-/// bumps only — replay *latency* is recorded by the engine from virtual
-/// time, off this path.
+/// bumps and one causal-event emission only — replay *latency* is recorded
+/// by the engine from virtual time, off this path.
 #[derive(Debug, Clone)]
 struct ConformanceMetrics {
     replays: Counter,
@@ -134,19 +136,48 @@ impl ConformanceChecker {
     /// Creates a checker for one process model with a detached
     /// observability context (see [`ConformanceChecker::with_obs`]).
     pub fn new(model: &ProcessModel) -> ConformanceChecker {
+        let obs = Obs::detached();
         ConformanceChecker {
             net: PetriNet::compile(model),
             model_name: model.name().to_string(),
             instances: HashMap::new(),
-            metrics: ConformanceMetrics::new(&Obs::detached()),
+            metrics: ConformanceMetrics::new(&obs),
+            obs,
+            last_event: None,
         }
     }
 
-    /// Rebinds the checker's classification counters to a shared
-    /// observability context (the engine passes the cloud-wide one).
+    /// Rebinds the checker's classification counters and causal events to a
+    /// shared observability context (the engine passes the cloud-wide one).
     pub fn with_obs(mut self, obs: &Obs) -> ConformanceChecker {
         self.metrics = ConformanceMetrics::new(obs);
+        self.obs = obs.clone();
         self
+    }
+
+    /// Emits the `conformance.verdict` causal event for a classification
+    /// just made, remembering its id for [`last_verdict_event`].
+    ///
+    /// [`last_verdict_event`]: ConformanceChecker::last_verdict_event
+    fn emit_verdict(&mut self, trace_id: &str, activity: Option<&str>, verdict: &Conformance) {
+        let emitted = self.obs.event("conformance.verdict", verdict.tag());
+        emitted.attr("trace", trace_id);
+        if let Some(activity) = activity {
+            emitted.attr("activity", activity);
+        }
+        if let Conformance::Unfit { expected, skipped } = verdict {
+            emitted.attr("expected", expected.join("|"));
+            if !skipped.is_empty() {
+                emitted.attr("skipped", skipped.join("|"));
+            }
+        }
+        self.last_event = Some(emitted.id());
+    }
+
+    /// The causal event of the most recent verdict (replay or recorded
+    /// error), so the engine can parent its detection on it.
+    pub fn last_verdict_event(&self) -> Option<pod_obs::EventId> {
+        self.last_event
     }
 
     /// The model this checker validates against.
@@ -173,7 +204,7 @@ impl ConformanceChecker {
         let net = self.net.clone();
         self.metrics.replays.incr();
         let inst = self.instance(trace_id);
-        match net.replay(&inst.marking, activity) {
+        let verdict = match net.replay(&inst.marking, activity) {
             Some(next) => {
                 inst.marking = next;
                 inst.history.push(activity.to_string());
@@ -187,7 +218,9 @@ impl ConformanceChecker {
                 self.metrics.unfit.incr();
                 Conformance::Unfit { expected, skipped }
             }
-        }
+        };
+        self.emit_verdict(trace_id, Some(activity), &verdict);
+        verdict
     }
 
     /// Finds the shortest forward path of other activities whose execution
@@ -234,13 +267,15 @@ impl ConformanceChecker {
         self.metrics.replays.incr();
         let inst = self.instance(trace_id);
         inst.nonconforming_events += 1;
-        if known_error {
+        let verdict = if known_error {
             self.metrics.error.incr();
             Conformance::Error
         } else {
             self.metrics.unclassified.incr();
             Conformance::Unclassified
-        }
+        };
+        self.emit_verdict(trace_id, None, &verdict);
+        verdict
     }
 
     /// Activities currently expected for a trace.
@@ -384,6 +419,31 @@ mod tests {
         assert_eq!(ch.record_error("t", true), Conformance::Error);
         assert_eq!(ch.record_error("t", false), Conformance::Unclassified);
         assert_eq!(ch.nonconforming_events("t"), 2);
+    }
+
+    #[test]
+    fn verdicts_emit_causal_events_parented_to_the_ambient_cause() {
+        let obs = Obs::detached();
+        obs.begin_run("t");
+        let mut ch = checker().with_obs(&obs);
+        let line = obs.event("log.line", "asgard.log");
+        let _scope = obs.events().scope(Some(line.id()));
+        ch.replay("t", "a");
+        let verdict_event = ch.last_verdict_event().expect("replay emits an event");
+        match ch.replay("t", "c") {
+            Conformance::Unfit { .. } => {}
+            other => panic!("expected unfit, got {other:?}"),
+        }
+        assert_ne!(ch.last_verdict_event(), Some(verdict_event));
+        let records = obs.events().records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[1].kind, "conformance.verdict");
+        assert_eq!(records[1].name, "conformance:fit");
+        assert_eq!(records[1].parent, Some(line.id().get()));
+        assert_eq!(records[2].name, "conformance:unfit");
+        assert!(records[2]
+            .attrs
+            .contains(&("expected".to_string(), "b".to_string())));
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //!
 //! Run with `cargo run --release --example fault_injection_campaign`.
 //! Pass a number to change runs-per-fault (e.g. `-- 5` for a quick pass).
-//! Pass `--json` to also write `BENCH_campaign.json`: the Table-I metrics
-//! plus the aggregated pod-obs snapshot as JSON-lines records.
+//! Pass `--json` to also write:
+//! - `BENCH_campaign_{n}x8.json` — Table-I metrics, the aggregated pod-obs
+//!   snapshot, and the last run's incident chains as JSON-lines records;
+//! - `BENCH_pod.json` — the latency budget: per-stage virtual-time self
+//!   time, p50/p95/p99 per fault type;
+//! - `TRACE_campaign.json` — the last run's spans and causal events as a
+//!   Chrome trace-event file (load it in Perfetto / `chrome://tracing`);
+//! - `TRACE_campaign_otlp.json` — the same trace as OTLP-style JSON.
 
 use pod_diagnosis::eval::{
-    metrics_line, render_journal, render_report, snapshot_lines, Campaign, CampaignConfig,
+    incident_lines, metrics_line, render_journal, render_report, snapshot_lines, Campaign,
+    CampaignConfig,
 };
+use pod_diagnosis::obs::{chrome_trace, incidents, otlp_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,9 +55,33 @@ fn main() {
             lines.push(metrics_line(&fault.to_string(), set));
         }
         lines.extend(snapshot_lines("campaign", &report.obs_totals));
+        if let Some(dump) = &report.last_trace {
+            lines.extend(incident_lines(&dump.trace_id, &incidents(&dump.events)));
+        }
         let path = format!("BENCH_campaign_{}x8.json", runs_per_fault);
         std::fs::write(&path, render_journal(&lines)).expect("write journal");
         eprintln!("wrote {} journal records to {path}", lines.len());
+
+        let bench = report.latency.bench_json().to_string();
+        std::fs::write("BENCH_pod.json", bench + "\n").expect("write BENCH_pod.json");
+        eprintln!(
+            "wrote latency budget ({} runs, {} fault types) to BENCH_pod.json",
+            report.latency.runs(),
+            report.latency.faults().len()
+        );
+
+        if let Some(dump) = &report.last_trace {
+            let chrome = chrome_trace(&dump.trace_id, &dump.spans, &dump.events);
+            std::fs::write("TRACE_campaign.json", chrome).expect("write chrome trace");
+            let otlp = otlp_json(&dump.trace_id, &dump.spans, &dump.events);
+            std::fs::write("TRACE_campaign_otlp.json", otlp).expect("write otlp trace");
+            eprintln!(
+                "wrote last run's trace ({} spans, {} events) to TRACE_campaign.json / \
+                 TRACE_campaign_otlp.json",
+                dump.spans.len(),
+                dump.events.len()
+            );
+        }
     }
 
     println!("-- paper targets --");

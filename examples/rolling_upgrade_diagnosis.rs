@@ -45,11 +45,7 @@ fn main() {
         ..ScenarioConfig::default()
     };
     let scenario = build_scenario(&config);
-    scenario
-        .cloud
-        .obs()
-        .tracer()
-        .begin_trace(&scenario.trace_id);
+    scenario.cloud.obs().begin_run(&scenario.trace_id);
     let engine = build_engine(&scenario, &config);
     let mut monitor = Monitor {
         engine,
@@ -120,6 +116,12 @@ fn main() {
 
     let obs = scenario.cloud.obs();
     println!();
+    println!("== incident timelines (causal chains, virtual time) ==");
+    print!(
+        "{}",
+        pod_diagnosis::obs::render_timelines(&obs.events().records())
+    );
+    println!();
     println!("== span tree (virtual time) ==");
     print!("{}", obs.tracer().render_tree());
     println!();
@@ -128,4 +130,27 @@ fn main() {
     println!();
     println!("== metrics summary ==");
     print!("{}", pod_diagnosis::obs::render_summary(&obs.snapshot()));
+    let spans_dropped = obs.tracer().dropped();
+    let events_dropped = obs.events().dropped();
+    if spans_dropped > 0 || events_dropped > 0 {
+        println!(
+            "WARNING: retention caps hit — {spans_dropped} span(s) and {events_dropped} causal \
+             event(s) dropped; the trace exports below are incomplete"
+        );
+    } else {
+        println!("spans dropped: 0, causal events dropped: 0");
+    }
+
+    let spans = obs.tracer().finished();
+    let events = obs.events().records();
+    let chrome = pod_diagnosis::obs::chrome_trace(&scenario.trace_id, &spans, &events);
+    std::fs::write("TRACE_e6.json", chrome).expect("write chrome trace");
+    let otlp = pod_diagnosis::obs::otlp_json(&scenario.trace_id, &spans, &events);
+    std::fs::write("TRACE_e6_otlp.json", otlp).expect("write otlp trace");
+    println!(
+        "exported {} spans and {} causal events to TRACE_e6.json (Chrome trace-event) and \
+         TRACE_e6_otlp.json (OTLP-style JSON)",
+        spans.len(),
+        events.len()
+    );
 }
