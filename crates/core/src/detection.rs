@@ -67,6 +67,48 @@ pub struct Detection {
     pub event: Option<pod_obs::EventId>,
 }
 
+impl Detection {
+    /// A canonical one-line rendering of this detection.
+    ///
+    /// The fingerprint covers everything semantically observable — time,
+    /// source, description, step, instance, and the diagnosis verdict with
+    /// its identified root causes — so two runs are byte-identical exactly
+    /// when they detected and diagnosed the same things at the same virtual
+    /// times. Transient details (event ids, span ids) are excluded.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{}|{}|{}|step={}|instance={}",
+            self.at.as_micros(),
+            self.source.tag(),
+            self.description,
+            self.step.as_deref().unwrap_or("-"),
+            self.instance.as_ref().map(|i| i.as_str()).unwrap_or("-"),
+        );
+        match &self.diagnosis {
+            None => out.push_str("|diagnosis=skipped"),
+            Some(report) => {
+                let mut causes: Vec<&str> = report
+                    .root_causes
+                    .iter()
+                    .map(|c| c.node_id.as_str())
+                    .collect();
+                causes.sort_unstable();
+                let _ = write!(
+                    out,
+                    "|diagnosis={:?}:{}",
+                    report.verdict(),
+                    causes.join(",")
+                );
+            }
+        }
+        out
+    }
+}
+
 /// Summary statistics of one monitored operation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunSummary {
@@ -92,6 +134,20 @@ impl RunSummary {
     pub fn any_conformance_detection(&self) -> bool {
         self.detections.iter().any(|d| d.source.is_conformance())
     }
+
+    /// A canonical multi-line rendering of every detection, in order.
+    ///
+    /// Two runs of the same operation produced byte-identical digests iff
+    /// they behaved identically — the reproducibility property the gateway
+    /// soak test asserts.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for d in &self.detections {
+            out.push_str(&d.fingerprint());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +160,30 @@ mod tests {
         assert!(DetectionSource::ConformanceKnownError.is_conformance());
         assert!(!DetectionSource::AssertionLog.is_conformance());
         assert!(!DetectionSource::AssertionPeriodicTimer.is_conformance());
+    }
+
+    #[test]
+    fn fingerprint_is_canonical_and_digest_joins() {
+        let d = Detection {
+            at: SimTime::from_millis(82_500),
+            source: DetectionSource::AssertionLog,
+            description: "instance failed health check".into(),
+            step: Some("step4".into()),
+            instance: Some(InstanceId::new("i-7df34041")),
+            diagnosis: None,
+            event: None,
+        };
+        assert_eq!(
+            d.fingerprint(),
+            "82500000|assertion-log|instance failed health check\
+             |step=step4|instance=i-7df34041|diagnosis=skipped"
+        );
+        let summary = RunSummary {
+            detections: vec![d.clone(), d],
+            ..RunSummary::default()
+        };
+        assert_eq!(summary.digest().lines().count(), 2);
+        // Identical inputs produce byte-identical digests.
+        assert_eq!(summary.digest(), summary.digest());
     }
 }

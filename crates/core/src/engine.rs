@@ -204,8 +204,30 @@ impl PodEngine {
         &self.summary.detections
     }
 
+    /// The process model id this engine monitors (e.g. `rolling-upgrade`).
+    pub fn process_id(&self) -> &str {
+        &self.process_id
+    }
+
     /// Ingests one raw operation-log line.
     pub fn ingest(&mut self, event: LogEvent) {
+        self.ingest_line(event);
+        self.fire_due_timers();
+    }
+
+    /// Ingests a batch of raw lines, firing due timers once at the end.
+    ///
+    /// This is the gateway's amortized entry point: regex matching and token
+    /// replay still run per line, but the timer wheel is only consulted once
+    /// per batch instead of once per line.
+    pub fn ingest_batch(&mut self, events: impl IntoIterator<Item = LogEvent>) {
+        for event in events {
+            self.ingest_line(event);
+        }
+        self.fire_due_timers();
+    }
+
+    fn ingest_line(&mut self, event: LogEvent) {
         let out = self.pipeline.push(event);
         self.storage.extend(out.forwarded);
         {
@@ -223,7 +245,6 @@ impl PodEngine {
                 }
             }
         }
-        self.fire_due_timers();
     }
 
     /// Lets due timers fire; call at idle moments (e.g. orchestrator poll

@@ -153,6 +153,55 @@ pub fn incident_lines(run: &str, chains: &[IncidentChain]) -> Vec<Json> {
         .collect()
 }
 
+/// One "gateway" summary record plus one "gateway-shard" record per shard:
+/// the machine-readable form of [`pod_gateway::GatewayStats`], including
+/// every shed/deferred/blocked line and the per-shard queue-wait quantiles.
+pub fn gateway_lines(run: &str, stats: &pod_gateway::GatewayStats) -> Vec<Json> {
+    let mut out = Vec::new();
+    let mut o = Json::object();
+    o.set("record", Json::str("gateway"));
+    o.set("run", Json::str(run));
+    o.set("lines_submitted", num(stats.lines_submitted));
+    o.set("lines_processed", num(stats.lines_processed));
+    o.set("shed_oldest", num(stats.shed_oldest));
+    o.set("shed_newest", num(stats.shed_newest));
+    o.set("blocked", num(stats.blocked));
+    o.set("deferred", num(stats.deferred));
+    o.set("admission_denied", num(stats.admission_denied));
+    o.set("batches", num(stats.batches));
+    o.set("virtual_elapsed_us", num(stats.virtual_elapsed.as_micros()));
+    o.set(
+        "lines_per_sec_virtual",
+        Json::Number(stats.lines_per_sec_virtual()),
+    );
+    out.push(o);
+    for shard in &stats.shards {
+        let mut o = Json::object();
+        o.set("record", Json::str("gateway-shard"));
+        o.set("run", Json::str(run));
+        o.set("shard", num(shard.shard as u64));
+        o.set("ops", num(shard.ops as u64));
+        o.set("lines", num(shard.lines));
+        o.set("shed", num(shard.shed));
+        o.set("batches", num(shard.batches));
+        if let Some(h) = &shard.queue_wait_us {
+            o.set("queue_wait_count", num(h.count));
+            o.set("queue_wait_mean_us", Json::Number(h.mean()));
+            for (key, q) in [
+                ("queue_wait_p50_us", 0.5),
+                ("queue_wait_p95_us", 0.95),
+                ("queue_wait_p99_us", 0.99),
+            ] {
+                if let Some(v) = h.quantile(q) {
+                    o.set(key, num(v));
+                }
+            }
+        }
+        out.push(o);
+    }
+    out
+}
+
 /// The Table-I metrics of one metric set as a single record.
 pub fn metrics_line(label: &str, m: &MetricSet) -> Json {
     let mut o = Json::object();
@@ -294,6 +343,39 @@ mod tests {
         let hops = parsed.get("hops").unwrap().as_array().unwrap();
         assert_eq!(hops.len(), 3);
         assert_eq!(hops[0].as_str(), Some("log.line"));
+    }
+
+    #[test]
+    fn gateway_records_cover_totals_and_every_shard() {
+        let mut gw = pod_gateway::Gateway::new(pod_gateway::GatewayConfig {
+            shards: 2,
+            ..pod_gateway::GatewayConfig::default()
+        });
+        #[derive(Debug)]
+        struct Null;
+        impl pod_gateway::DiagnosisSink for Null {
+            fn ingest_batch(&mut self, _events: Vec<pod_log::LogEvent>) {}
+            fn finish(&mut self) -> pod_core::RunSummary {
+                pod_core::RunSummary::default()
+            }
+        }
+        let op = gw.register("p", "i", Box::new(Null)).unwrap();
+        for i in 0..5 {
+            gw.submit(op, SimTime::from_millis(i), &format!("line {i}"));
+        }
+        gw.pump_until_idle();
+        let lines = gateway_lines("soak", &gw.stats());
+        assert_eq!(lines.len(), 3, "one summary + one per shard");
+        let parsed = Json::parse(&lines[0].to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("gateway"));
+        assert_eq!(parsed.get("lines_processed").unwrap().as_f64(), Some(5.0));
+        let busy = lines[1..]
+            .iter()
+            .map(|l| Json::parse(&l.to_string()).unwrap())
+            .find(|l| l.get("lines").unwrap().as_f64() == Some(5.0))
+            .expect("the serving shard is in the journal");
+        assert_eq!(busy.get("record").unwrap().as_str(), Some("gateway-shard"));
+        assert!(busy.get("queue_wait_p99_us").is_some());
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   of pod-obs metrics, spans, causal events and incident chains;
 //! - [`LatencyProfile`] / [`stage_self_times`] — the latency-budget
 //!   profiler: per-stage virtual-time attribution, p50/p95/p99 per fault
-//!   type (the `BENCH_pod.json` content).
+//!   type (the `BENCH_pod.json` content);
+//! - [`collect_streams`] / [`replay`] / [`sweep_batches`] — the gateway
+//!   soak: many interleaved faulty upgrades serialized to raw lines, then
+//!   replayed through one `pod-gateway` with per-operation engines (the
+//!   `BENCH_gateway.json` content).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +31,7 @@ mod metrics;
 mod profile;
 mod report;
 mod scenario;
+mod soak;
 mod timing;
 
 pub use campaign::{
@@ -34,10 +39,15 @@ pub use campaign::{
     IncidentSummary, RunPlan, RunRecord, TraceDump,
 };
 pub use journal::{
-    event_lines, incident_lines, metrics_line, render_journal, snapshot_lines, span_lines,
+    event_lines, gateway_lines, incident_lines, metrics_line, render_journal, snapshot_lines,
+    span_lines,
 };
 pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
 pub use profile::{stage_self_times, LatencyProfile};
-pub use report::{render_metrics_line, render_report};
+pub use report::{render_gateway_report, render_metrics_line, render_report};
 pub use scenario::{build_engine, build_scenario, pod_config, Scenario, ScenarioConfig};
+pub use soak::{
+    collect_streams, render_soak_report, replay, soak_bench_json, sweep_batches, OpStream,
+    SoakConfig, SoakOpResult, SoakReport, SoakStreams,
+};
 pub use timing::TimingStats;

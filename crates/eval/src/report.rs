@@ -158,6 +158,74 @@ pub fn render_report(report: &CampaignReport) -> String {
     out
 }
 
+/// Renders the gateway section: throughput, backpressure accounting (with
+/// an explicit warning when overload shed lines — shed input means the
+/// downstream diagnosis saw an incomplete log) and the per-shard table
+/// with queue-wait quantiles.
+pub fn render_gateway_report(stats: &pod_gateway::GatewayStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- Gateway: sharding, batching, backpressure --");
+    let _ = writeln!(
+        out,
+        "lines: {} submitted, {} processed in {} batches ({:.0} lines/s virtual, {} virtual elapsed)",
+        stats.lines_submitted,
+        stats.lines_processed,
+        stats.batches,
+        stats.lines_per_sec_virtual(),
+        stats.virtual_elapsed,
+    );
+    let _ = writeln!(
+        out,
+        "backpressure: {} producer stall(s), {} line(s) deferred past a full batch, \
+         {} registration(s) denied by admission control",
+        stats.blocked, stats.deferred, stats.admission_denied
+    );
+    if stats.total_shed() > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: overload shed {} line(s) (oldest-first: {}, newest-first: {}); \
+             diagnosis may be incomplete",
+            stats.total_shed(),
+            stats.shed_oldest,
+            stats.shed_newest
+        );
+    } else {
+        let _ = writeln!(out, "lines shed: 0");
+    }
+    let _ = writeln!(
+        out,
+        "parse: {} json, {} plaintext, {} unclassified",
+        stats.parsed_json, stats.parsed_plain, stats.unclassified
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>4} {:>8} {:>6} {:>8} {:>12} {:>12} {:>12}",
+        "shard", "ops", "lines", "shed", "batches", "wait p50", "wait p95", "wait p99"
+    );
+    for s in &stats.shards {
+        let q = |p: f64| {
+            s.queue_wait_us
+                .as_ref()
+                .and_then(|h| h.quantile(p))
+                .map(|us| pod_sim::SimDuration::from_micros(us).to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let _ = writeln!(
+            out,
+            "{:<6} {:>4} {:>8} {:>6} {:>8} {:>12} {:>12} {:>12}",
+            s.shard,
+            s.ops,
+            s.lines,
+            s.shed,
+            s.batches,
+            q(0.5),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    out
+}
+
 /// Renders a single metric set as one summary line.
 pub fn render_metrics_line(label: &str, m: &MetricSet) -> String {
     format!(
@@ -196,6 +264,53 @@ mod tests {
         for fault in pod_orchestrator::FaultType::all() {
             assert!(text.contains(&fault.to_string()), "missing {fault}");
         }
+    }
+
+    #[test]
+    fn gateway_report_warns_only_when_lines_were_shed() {
+        let hist = {
+            let obs = pod_obs::Obs::detached();
+            let h = obs.histogram("w", &[100, 1000]);
+            h.record(500);
+            obs.snapshot().histogram("w").unwrap().clone()
+        };
+        let mut stats = pod_gateway::GatewayStats {
+            shards: vec![pod_gateway::ShardStats {
+                shard: 0,
+                ops: 2,
+                lines: 10,
+                shed: 0,
+                batches: 3,
+                queue_wait_us: Some(hist),
+            }],
+            lines_submitted: 10,
+            lines_processed: 10,
+            shed_oldest: 0,
+            shed_newest: 0,
+            blocked: 1,
+            deferred: 2,
+            admission_denied: 0,
+            batches: 3,
+            parsed_json: 8,
+            parsed_plain: 1,
+            unclassified: 1,
+            virtual_elapsed: pod_sim::SimDuration::from_secs(2),
+        };
+        let clean = render_gateway_report(&stats);
+        assert!(clean.contains("lines shed: 0"), "{clean}");
+        assert!(clean.contains("wait p99"), "{clean}");
+        assert!(!clean.contains("WARNING"), "{clean}");
+        stats.shed_oldest = 4;
+        stats.shards[0].shed = 4;
+        let shedding = render_gateway_report(&stats);
+        assert!(
+            shedding.contains("WARNING: overload shed 4 line(s)"),
+            "{shedding}"
+        );
+        assert!(
+            shedding.contains("diagnosis may be incomplete"),
+            "{shedding}"
+        );
     }
 
     #[test]

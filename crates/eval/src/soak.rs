@@ -1,0 +1,635 @@
+//! The gateway soak: many interleaved faulty upgrades replayed through
+//! `pod-gateway` in two phases.
+//!
+//! **Phase A ([`collect_streams`])** runs each upgrade independently on its
+//! own simulated cloud, injecting one fault per operation (cycling through
+//! all eight types), applying shared-account interference to every n-th
+//! operation and sprinkling plaintext application noise — and serializes
+//! every log line to its raw wire form (Logstash JSON for operation lines,
+//! bare text for noise).
+//!
+//! **Phase B ([`replay`])** merges all streams by arrival time into one
+//! interleaved feed and pushes it through a single [`Gateway`], with one
+//! freshly built `pod_core` engine per operation as the sink. Detections
+//! arise at replay time — this is the batched-replay half of the design:
+//! parsing and token replay are amortized over gateway batches.
+//!
+//! Everything runs on deterministic virtual clocks, so the same
+//! [`SoakConfig`] always produces a byte-identical [`SoakReport::digest`].
+
+use std::collections::BTreeSet;
+
+use pod_cloud::Cloud;
+use pod_gateway::{Gateway, GatewayConfig, GatewayStats, OpId};
+use pod_log::{Json, LogEvent};
+use pod_orchestrator::{
+    FaultInjector, FaultType, Interference, NoiseGenerator, RollingUpgrade, UpgradeObserver,
+    UpgradeOutcome,
+};
+use pod_sim::{SimRng, SimTime};
+
+use crate::profile::{stage_self_times, LatencyProfile};
+use crate::scenario::{build_engine, build_scenario, Scenario, ScenarioConfig};
+
+/// Knobs of the soak.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Concurrent operations to run and interleave. Default 64.
+    pub ops: usize,
+    /// Master seed; every operation derives its own.
+    pub seed: u64,
+    /// Per-tick probability of a plaintext application-noise line.
+    pub noise_rate: f64,
+    /// Every n-th operation also suffers a shared-account interference
+    /// operation (scale-out or random termination). 0 disables.
+    pub interference_every: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            ops: 64,
+            seed: 2014,
+            noise_rate: 0.05,
+            interference_every: 4,
+        }
+    }
+}
+
+/// One operation's phase-A product: its scenario (retained so the replay
+/// can build an engine against the same cloud) and its raw line stream.
+#[derive(Debug)]
+pub struct OpStream {
+    /// The fault injected into this operation.
+    pub fault: FaultType,
+    /// The scenario the upgrade ran on (cloud state is post-upgrade).
+    pub scenario: Scenario,
+    /// The scenario's configuration (needed to rebuild the engine).
+    pub scenario_config: ScenarioConfig,
+    /// When the fault was actually injected.
+    pub injected_at: Option<SimTime>,
+    /// Whether the orchestrator completed the upgrade.
+    pub upgrade_completed: bool,
+    /// The raw wire lines, in arrival order: (arrival time, raw text).
+    pub lines: Vec<(SimTime, String)>,
+    /// Every `i-…` instance token mentioned in this operation's own lines
+    /// (the ground truth for the cross-operation leak check).
+    pub tokens: BTreeSet<String>,
+}
+
+/// The phase-A product: every operation's stream.
+#[derive(Debug)]
+pub struct SoakStreams {
+    /// One stream per operation.
+    pub ops: Vec<OpStream>,
+    /// Total raw lines across all streams.
+    pub lines_total: u64,
+}
+
+/// One operation's replay result.
+#[derive(Debug)]
+pub struct SoakOpResult {
+    /// The operation's trace id (its gateway instance id).
+    pub trace_id: String,
+    /// The injected fault.
+    pub fault: FaultType,
+    /// The shard that served the operation.
+    pub shard: usize,
+    /// Raw lines the operation submitted.
+    pub lines_submitted: u64,
+    /// Lines the gateway delivered to the operation's engine.
+    pub lines_delivered: u64,
+    /// Detections the engine raised at replay.
+    pub detections: usize,
+    /// Whether the phase-A upgrade completed.
+    pub upgrade_completed: bool,
+    /// The canonical detection digest (see `pod_core::RunSummary::digest`).
+    pub digest: String,
+}
+
+/// The replay result: per-operation outcomes plus gateway-level statistics.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Per-operation results, in stream order.
+    pub ops: Vec<SoakOpResult>,
+    /// Gateway statistics (throughput, backpressure, per-shard waits).
+    pub stats: GatewayStats,
+    /// The gateway's full pod-obs metric snapshot.
+    pub snapshot: pod_obs::Snapshot,
+    /// Replay-time latency budget per fault type (p50/p95/p99 per stage).
+    pub latency: LatencyProfile,
+    /// Total raw lines across all streams.
+    pub lines_total: u64,
+    /// Cross-operation leakage findings (must be empty).
+    pub leaks: Vec<String>,
+}
+
+impl SoakReport {
+    /// A canonical byte string over every operation's detections and the
+    /// gateway statistics: two runs from the same seed must match exactly.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&format!(
+                "== {} fault={:?} shard={} delivered={} ==\n{}\n",
+                op.trace_id, op.fault, op.shard, op.lines_delivered, op.digest
+            ));
+        }
+        out.push_str(&self.stats.to_json().to_string());
+        out.push('\n');
+        out
+    }
+}
+
+/// Collects every `i-…` instance token in `text` into `out` (used to
+/// establish which cloud instances each operation's lines mention).
+fn instance_tokens(text: &str, out: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("i-") {
+        let start = from + pos;
+        let clean_boundary = start == 0 || !bytes[start - 1].is_ascii_alphanumeric();
+        let mut end = start + 2;
+        while end < bytes.len() && bytes[end].is_ascii_alphanumeric() {
+            end += 1;
+        }
+        if clean_boundary && end > start + 2 {
+            out.insert(text[start..end].to_string());
+        }
+        from = start + 2;
+    }
+}
+
+/// The phase-A observer: serializes operation lines, injects the fault at
+/// orchestrator safe points (configuration faults wait for the upgrade
+/// launch configuration, like the campaign) and emits plaintext noise.
+struct SoakCollector<'s> {
+    scenario: &'s Scenario,
+    fault: FaultType,
+    inject_at: SimTime,
+    injector: FaultInjector,
+    injected_at: Option<SimTime>,
+    interference: Option<(SimTime, Interference)>,
+    noise: NoiseGenerator,
+    rng: SimRng,
+    lines: Vec<(SimTime, String)>,
+}
+
+impl SoakCollector<'_> {
+    fn lc_exists(&self, cloud: &Cloud) -> bool {
+        cloud
+            .admin_describe_launch_config(&pod_cloud::LaunchConfigName::new(
+                &self.scenario.upgrade_lc_name,
+            ))
+            .is_some()
+    }
+}
+
+impl UpgradeObserver for SoakCollector<'_> {
+    fn on_log(&mut self, event: LogEvent) {
+        // Operation lines travel as Logstash JSON, exactly as a shipper
+        // would put them on the wire.
+        self.lines
+            .push((event.timestamp, event.to_json().to_string()));
+    }
+
+    fn on_tick(&mut self, cloud: &Cloud, now: SimTime) {
+        if self.injected_at.is_none() && now >= self.inject_at {
+            let ready = !self.fault.is_configuration_fault() || self.lc_exists(cloud);
+            if ready {
+                self.injector.inject(
+                    cloud,
+                    &self.scenario.upgrade,
+                    &self.scenario.upgrade_lc_name,
+                    &mut self.rng,
+                );
+                self.injected_at = Some(now);
+            }
+        }
+        if let Some((at, kind)) = self.interference {
+            if now >= at {
+                kind.apply(cloud, &self.scenario.upgrade, &mut self.rng);
+                self.interference = None;
+            }
+        }
+        // Shared-account application noise arrives as bare plaintext.
+        if let Some(noise) = self.noise.maybe_emit(now) {
+            self.lines.push((now, noise.message));
+        }
+    }
+}
+
+/// One operation's deterministic plan.
+struct OpPlan {
+    fault: FaultType,
+    scenario: ScenarioConfig,
+    inject_at: SimTime,
+    interference: Option<(SimTime, Interference)>,
+}
+
+fn plan_ops(config: &SoakConfig) -> Vec<OpPlan> {
+    let mut rng = SimRng::seed_from(config.seed);
+    let mut seen_seeds = BTreeSet::new();
+    (0..config.ops)
+        .map(|i| {
+            let mut seed = rng.uniform_u64(1, u64::MAX - 1);
+            while !seen_seeds.insert(seed) {
+                seed = rng.uniform_u64(1, u64::MAX - 1);
+            }
+            let interference = (config.interference_every > 0
+                && (i + 1).is_multiple_of(config.interference_every))
+            .then(|| {
+                let kind = if rng.chance(0.5) {
+                    Interference::ScaleOut
+                } else {
+                    Interference::RandomTermination
+                };
+                (SimTime::from_secs(rng.uniform_u64(30, 160)), kind)
+            });
+            OpPlan {
+                fault: FaultType::all()[i % 8],
+                scenario: ScenarioConfig {
+                    seed,
+                    ..ScenarioConfig::default()
+                },
+                inject_at: SimTime::from_secs(rng.uniform_u64(15, 160)),
+                interference,
+            }
+        })
+        .collect()
+}
+
+fn collect_one(plan: &OpPlan, noise_rate: f64) -> OpStream {
+    let mut inject_at = plan.inject_at;
+    loop {
+        let scenario = build_scenario(&plan.scenario);
+        scenario.cloud.obs().begin_run(&scenario.trace_id);
+        let mut collector = SoakCollector {
+            scenario: &scenario,
+            fault: plan.fault,
+            inject_at,
+            injector: FaultInjector::new(plan.fault),
+            injected_at: None,
+            interference: plan.interference,
+            noise: NoiseGenerator::new(SimRng::seed_from(plan.scenario.seed ^ 0x5048), noise_rate),
+            rng: SimRng::seed_from(plan.scenario.seed ^ 0xD1A6),
+            lines: Vec::new(),
+        };
+        let mut upgrade = RollingUpgrade::new(
+            scenario.cloud.clone(),
+            scenario.upgrade.clone(),
+            scenario.trace_id.clone(),
+        );
+        let report = upgrade.run(&mut collector);
+        let injected_at = collector.injected_at;
+        let lines = std::mem::take(&mut collector.lines);
+        drop(collector);
+        // The sampled injection time can fall after a fast upgrade already
+        // ended; retry earlier so every operation really carries its fault.
+        if injected_at.is_none() && inject_at >= SimTime::from_secs(10) {
+            inject_at = SimTime::from_micros(inject_at.as_micros() / 2);
+            continue;
+        }
+        let mut tokens = BTreeSet::new();
+        for (_, raw) in &lines {
+            instance_tokens(raw, &mut tokens);
+        }
+        return OpStream {
+            fault: plan.fault,
+            scenario,
+            scenario_config: plan.scenario.clone(),
+            injected_at,
+            upgrade_completed: matches!(report.outcome, UpgradeOutcome::Completed),
+            lines,
+            tokens,
+        };
+    }
+}
+
+/// Phase A: runs every operation's upgrade on its own cloud and collects
+/// the raw line streams.
+pub fn collect_streams(config: &SoakConfig) -> SoakStreams {
+    let ops: Vec<OpStream> = plan_ops(config)
+        .iter()
+        .map(|plan| collect_one(plan, config.noise_rate))
+        .collect();
+    let lines_total = ops.iter().map(|o| o.lines.len() as u64).sum();
+    SoakStreams { ops, lines_total }
+}
+
+/// Phase B: merges all streams by arrival time and replays them through
+/// one gateway, with a freshly built engine per operation as the sink.
+pub fn replay(streams: &SoakStreams, gateway: &GatewayConfig) -> SoakReport {
+    let mut gw = Gateway::new(gateway.clone());
+    let mut op_ids: Vec<OpId> = Vec::with_capacity(streams.ops.len());
+    for stream in &streams.ops {
+        // A fresh trace per replay so the latency budget covers exactly
+        // the replay-time work (conformance, assertions, diagnosis).
+        stream
+            .scenario
+            .cloud
+            .obs()
+            .begin_run(&stream.scenario.trace_id);
+        let engine = build_engine(&stream.scenario, &stream.scenario_config);
+        let process_id = engine.process_id().to_string();
+        let op = gw
+            .register(
+                process_id,
+                stream.scenario.trace_id.clone(),
+                Box::new(engine),
+            )
+            .expect("per-shard admission limit accommodates the soak");
+        op_ids.push(op);
+    }
+
+    // Merge every stream into one feed ordered by (arrival, op, seq) —
+    // the deterministic interleaving of 64 concurrent producers.
+    let mut merged: Vec<(SimTime, usize, usize)> = Vec::with_capacity(streams.lines_total as usize);
+    for (i, stream) in streams.ops.iter().enumerate() {
+        for (seq, (at, _)) in stream.lines.iter().enumerate() {
+            merged.push((*at, i, seq));
+        }
+    }
+    merged.sort_unstable();
+    for (at, i, seq) in merged {
+        gw.submit(op_ids[i], at, &streams.ops[i].lines[seq].1);
+    }
+
+    let reports = gw.finish();
+    let stats = gw.stats();
+    let snapshot = gw.obs().snapshot();
+
+    let mut latency = LatencyProfile::new();
+    let mut ops = Vec::with_capacity(streams.ops.len());
+    let mut leaks = Vec::new();
+    for (i, (stream, report)) in streams.ops.iter().zip(&reports).enumerate() {
+        let spans = stream.scenario.cloud.obs().tracer().finished();
+        latency.record(stream.fault, &stage_self_times(&spans));
+        let digest = report.summary.digest();
+        // Leak check: a detection referencing an instance that only other
+        // operations' lines mention means a line crossed operations.
+        let mut mentioned = BTreeSet::new();
+        instance_tokens(&digest, &mut mentioned);
+        for token in mentioned {
+            if !stream.tokens.contains(&token)
+                && streams
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != i && other.tokens.contains(&token))
+            {
+                leaks.push(format!(
+                    "{}: detection references foreign instance {token}",
+                    stream.scenario.trace_id
+                ));
+            }
+        }
+        ops.push(SoakOpResult {
+            trace_id: stream.scenario.trace_id.clone(),
+            fault: stream.fault,
+            shard: report.shard,
+            lines_submitted: stream.lines.len() as u64,
+            lines_delivered: report.lines,
+            detections: report.summary.detections.len(),
+            upgrade_completed: stream.upgrade_completed,
+            digest,
+        });
+    }
+    SoakReport {
+        ops,
+        stats,
+        snapshot,
+        latency,
+        lines_total: streams.lines_total,
+        leaks,
+    }
+}
+
+/// Replays the same streams once per batch size and returns the gateway
+/// statistics of each pass (the amortization sweep of `BENCH_gateway.json`).
+pub fn sweep_batches(
+    streams: &SoakStreams,
+    base: &GatewayConfig,
+    sizes: &[usize],
+) -> Vec<(usize, GatewayStats)> {
+    sizes
+        .iter()
+        .map(|&batch_size| {
+            let config = GatewayConfig {
+                batch_size,
+                ..base.clone()
+            };
+            (batch_size, replay(streams, &config).stats)
+        })
+        .collect()
+}
+
+/// The `BENCH_gateway.json` document: headline throughput, the full
+/// gateway statistics (per-shard p50/p95/p99 queue waits included), the
+/// batch-size sweep and the replay latency budget.
+pub fn soak_bench_json(
+    report: &SoakReport,
+    sweep: &[(usize, GatewayStats)],
+    wall_secs: f64,
+) -> Json {
+    let num = |n: u64| Json::Number(n as f64);
+    let mut doc = Json::object();
+    doc.set("bench", Json::str("pod-gateway-soak"));
+    doc.set("ops", num(report.ops.len() as u64));
+    doc.set("lines_total", num(report.lines_total));
+    doc.set("leaks", num(report.leaks.len() as u64));
+    doc.set(
+        "detections_total",
+        num(report.ops.iter().map(|o| o.detections as u64).sum()),
+    );
+    doc.set("wall_secs", Json::Number(wall_secs));
+    if wall_secs > 0.0 {
+        doc.set(
+            "lines_per_sec_wall",
+            Json::Number(report.stats.lines_processed as f64 / wall_secs),
+        );
+    }
+    doc.set("gateway", report.stats.to_json());
+    let rows = sweep
+        .iter()
+        .map(|(batch_size, stats)| {
+            let mut row = Json::object();
+            row.set("batch_size", num(*batch_size as u64));
+            row.set(
+                "lines_per_sec_virtual",
+                Json::Number(stats.lines_per_sec_virtual()),
+            );
+            row.set("virtual_elapsed_us", num(stats.virtual_elapsed.as_micros()));
+            row.set("batches", num(stats.batches));
+            row.set("deferred", num(stats.deferred));
+            row.set("blocked", num(stats.blocked));
+            row.set("shed", num(stats.total_shed()));
+            row
+        })
+        .collect();
+    doc.set("batch_sweep", Json::Array(rows));
+    doc.set("latency_budget", report.latency.bench_json());
+    doc
+}
+
+/// Renders the soak result as plain text: headline, per-fault detection
+/// counts, the gateway section and the replay latency budget.
+pub fn render_soak_report(report: &SoakReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let completed = report.ops.iter().filter(|o| o.upgrade_completed).count();
+    let detections: usize = report.ops.iter().map(|o| o.detections).sum();
+    let _ = writeln!(out, "== pod-gateway soak report ==");
+    let _ = writeln!(
+        out,
+        "operations: {} ({} upgrades completed), raw lines: {}, detections at replay: {}",
+        report.ops.len(),
+        completed,
+        report.lines_total,
+        detections
+    );
+    match report.leaks.len() {
+        0 => {
+            let _ = writeln!(out, "cross-operation leakage: none");
+        }
+        n => {
+            let _ = writeln!(out, "cross-operation leakage: {n} FINDING(S)");
+            for leak in &report.leaks {
+                let _ = writeln!(out, "  LEAK: {leak}");
+            }
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- detections by fault type --");
+    for fault in FaultType::all() {
+        let ops: Vec<&SoakOpResult> = report.ops.iter().filter(|o| o.fault == fault).collect();
+        if ops.is_empty() {
+            continue;
+        }
+        let det: usize = ops.iter().map(|o| o.detections).sum();
+        let _ = writeln!(
+            out,
+            "{:<42} {:>3} ops {:>5} detections",
+            fault.to_string(),
+            ops.len(),
+            det
+        );
+    }
+    let _ = writeln!(out);
+    out.push_str(&crate::report::render_gateway_report(&report.stats));
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "-- replay latency budget: per-stage self time, p50/p95/p99 per fault type --"
+    );
+    out.push_str(&report.latency.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_gateway::OverloadPolicy;
+
+    fn small_config() -> SoakConfig {
+        SoakConfig {
+            ops: 4,
+            seed: 11,
+            ..SoakConfig::default()
+        }
+    }
+
+    #[test]
+    fn block_replay_is_lossless_and_leak_free() {
+        let streams = collect_streams(&small_config());
+        assert_eq!(streams.ops.len(), 4);
+        assert!(streams.lines_total > 0);
+        assert!(streams.ops.iter().all(|o| o.injected_at.is_some()));
+        let report = replay(&streams, &GatewayConfig::default());
+        assert!(report.leaks.is_empty(), "{:?}", report.leaks);
+        // Block policy: every collected line reaches its engine.
+        assert_eq!(report.stats.lines_processed, streams.lines_total);
+        assert_eq!(report.stats.total_shed(), 0);
+        assert!(report.ops.iter().all(|o| o.lines_delivered > 0));
+        assert!(
+            report.ops.iter().any(|o| o.detections > 0),
+            "injected faults must surface at replay: {report:#?}"
+        );
+        assert!(!report.latency.is_empty());
+        assert!(report.stats.lines_per_sec_virtual() > 0.0);
+    }
+
+    #[test]
+    fn shedding_replay_accounts_for_every_lost_line() {
+        let streams = collect_streams(&small_config());
+        let config = GatewayConfig {
+            queue_capacity: 4,
+            batch_size: 4,
+            flush_interval: pod_sim::SimDuration::from_secs(5),
+            overload: OverloadPolicy::ShedOldest,
+            ..GatewayConfig::default()
+        };
+        let report = replay(&streams, &config);
+        assert!(report.stats.shed_oldest > 0, "tiny queues must overflow");
+        assert_eq!(
+            report.stats.lines_processed + report.stats.total_shed(),
+            streams.lines_total,
+            "every line is either delivered or counted as shed"
+        );
+        let per_shard: u64 = report.stats.shards.iter().map(|s| s.shed).sum();
+        assert_eq!(per_shard, report.stats.total_shed());
+        assert_eq!(
+            report.snapshot.sum_counters("gateway.shed."),
+            report.stats.total_shed()
+        );
+        let text = render_soak_report(&report);
+        assert!(text.contains("WARNING: overload shed"), "{text}");
+    }
+
+    #[test]
+    fn bench_json_carries_sweep_and_shard_quantiles() {
+        let streams = collect_streams(&SoakConfig {
+            ops: 2,
+            seed: 5,
+            ..SoakConfig::default()
+        });
+        let base = GatewayConfig::default();
+        let report = replay(&streams, &base);
+        let sweep = sweep_batches(&streams, &base, &[1, 16]);
+        let doc = soak_bench_json(&report, &sweep, 1.5);
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("bench").unwrap().as_str(),
+            Some("pod-gateway-soak")
+        );
+        assert_eq!(parsed.get("leaks").unwrap().as_f64(), Some(0.0));
+        let rows = parsed.get("batch_sweep").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("batch_size").unwrap().as_f64(), Some(1.0));
+        let shards = parsed
+            .get("gateway")
+            .unwrap()
+            .get("shards")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(shards
+            .iter()
+            .filter_map(|s| s.get("queue_wait_us"))
+            .any(|h| h.get("p99").is_some()));
+        assert!(parsed.get("latency_budget").is_some());
+    }
+
+    #[test]
+    fn instance_tokens_respect_word_boundaries() {
+        let mut tokens = BTreeSet::new();
+        instance_tokens(
+            "Instance i-7df34041 uses ami-00ff and talks to i-abc, not semi-colon",
+            &mut tokens,
+        );
+        assert_eq!(
+            tokens.into_iter().collect::<Vec<_>>(),
+            ["i-7df34041", "i-abc"]
+        );
+    }
+}

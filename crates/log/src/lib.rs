@@ -21,6 +21,7 @@ mod central;
 mod event;
 mod json;
 mod matcher;
+mod parse;
 mod pipeline;
 mod storage;
 
@@ -28,6 +29,7 @@ pub use central::{CentralLogProcessor, FailureNotice};
 pub use event::{LogEvent, ProcessContext, Severity, StepOutcome};
 pub use json::{Json, JsonError};
 pub use matcher::{Boundary, LineRule, RuleBook, RuleMatch};
+pub use parse::{parse_line, LineFormat, ParsedLine, UNCLASSIFIED};
 pub use pipeline::{
     ImportantLineForwarder, NoiseFilter, Pipeline, PipelineOutput, ProcessAnnotator, Stage,
     StageOutput, TimerSetter, Trigger,

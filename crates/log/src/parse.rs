@@ -1,0 +1,229 @@
+//! Edge parsing of raw log lines for the gateway.
+//!
+//! The gateway ingests *wire* data: raw text lines from many tenants, some
+//! Logstash-shaped JSON, some plaintext, some garbage. This module turns any
+//! line into a [`LogEvent`] without ever panicking: valid Logstash JSON is
+//! reconstructed faithfully (source, tags, fields, type, timestamp), bare
+//! plaintext becomes an ordinary operation line, and anything else —
+//! truncated JSON, non-object JSON, empty or whitespace-only input — degrades
+//! to the `unclassified` type so downstream stages can count and drop it
+//! instead of crashing a shard.
+
+use pod_sim::SimTime;
+
+use crate::event::LogEvent;
+use crate::json::Json;
+
+/// The `@type` assigned to lines that could not be classified.
+pub const UNCLASSIFIED: &str = "unclassified";
+
+/// How a raw line was recognized by [`parse_line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineFormat {
+    /// A well-formed Logstash-shaped JSON object.
+    Json,
+    /// A non-empty plaintext line.
+    Plain,
+    /// Empty/whitespace-only input or malformed JSON; the event is tagged
+    /// [`UNCLASSIFIED`] and carries the raw input as its message.
+    Unclassified,
+}
+
+impl LineFormat {
+    /// Stable lowercase label, used as a metric suffix by the gateway.
+    pub fn label(self) -> &'static str {
+        match self {
+            LineFormat::Json => "json",
+            LineFormat::Plain => "plain",
+            LineFormat::Unclassified => "unclassified",
+        }
+    }
+}
+
+/// A parsed raw line: the reconstructed event plus how it was recognized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine {
+    /// The reconstructed event, ready for a pipeline.
+    pub event: LogEvent,
+    /// How the raw input was classified.
+    pub format: LineFormat,
+}
+
+/// Parses one raw line into a [`LogEvent`], never panicking.
+///
+/// `received_at` is the gateway-side arrival time; it is used as the event
+/// timestamp whenever the line does not carry a parseable `@timestamp`.
+///
+/// # Examples
+///
+/// ```
+/// use pod_log::{parse_line, LineFormat};
+/// use pod_sim::SimTime;
+///
+/// let now = SimTime::from_secs(3);
+/// assert_eq!(parse_line("plain text line", now).format, LineFormat::Plain);
+/// assert_eq!(parse_line("   ", now).format, LineFormat::Unclassified);
+/// assert_eq!(parse_line("{\"@message\": truncated", now).format, LineFormat::Unclassified);
+/// ```
+pub fn parse_line(raw: &str, received_at: SimTime) -> ParsedLine {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return unclassified(raw, received_at);
+    }
+    if trimmed.starts_with('{') {
+        return match Json::parse(trimmed) {
+            Ok(json) => from_logstash(&json, received_at)
+                .map(|event| ParsedLine {
+                    event,
+                    format: LineFormat::Json,
+                })
+                .unwrap_or_else(|| unclassified(raw, received_at)),
+            Err(_) => unclassified(raw, received_at),
+        };
+    }
+    let event = LogEvent::new(received_at, "raw.log", trimmed);
+    ParsedLine {
+        event,
+        format: LineFormat::Plain,
+    }
+}
+
+fn unclassified(raw: &str, received_at: SimTime) -> ParsedLine {
+    let event = LogEvent::new(received_at, "gateway.raw", raw.trim()).with_type(UNCLASSIFIED);
+    ParsedLine {
+        event,
+        format: LineFormat::Unclassified,
+    }
+}
+
+/// Rebuilds a [`LogEvent`] from the Logstash shape emitted by
+/// [`LogEvent::to_json`]. Returns `None` when the object is not
+/// event-shaped (no `@message`).
+fn from_logstash(json: &Json, received_at: SimTime) -> Option<LogEvent> {
+    let message = json.get("@message")?.as_str()?;
+    let timestamp = json
+        .get("@timestamp")
+        .and_then(|t| t.as_str())
+        .and_then(|t| t.parse::<SimTime>().ok())
+        .unwrap_or(received_at);
+    let source = json
+        .get("@source")
+        .and_then(|s| s.as_str())
+        .unwrap_or("gateway.raw");
+    let mut event = LogEvent::new(timestamp, source, message);
+    if let Some(host) = json.get("@source_host").and_then(|h| h.as_str()) {
+        event.source_host = host.to_string();
+    }
+    if let Some(t) = json.get("@type").and_then(|t| t.as_str()) {
+        event.event_type = t.to_string();
+    }
+    if let Some(tags) = json.get("@tags").and_then(|t| t.as_array()) {
+        for tag in tags {
+            if let Some(tag) = tag.as_str() {
+                event.tags.push(tag.to_string());
+            }
+        }
+    }
+    if let Some(Json::Object(entries)) = json.get("@fields") {
+        for (key, value) in entries {
+            // `to_json` writes each field as a one-element array; accept
+            // bare strings too for hand-written input.
+            let value = match value {
+                Json::Array(items) => items.first().and_then(|v| v.as_str()),
+                other => other.as_str(),
+            };
+            if let Some(value) = value {
+                event.fields.push((key.clone(), value.to_string()));
+            }
+        }
+    }
+    Some(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+
+    fn now() -> SimTime {
+        SimTime::from_secs(9)
+    }
+
+    #[test]
+    fn logstash_json_round_trips() {
+        let original = LogEvent::new(
+            SimTime::from_millis(82_500),
+            "asgard.log",
+            "ERROR: Instance i-7df34041 failed health check",
+        )
+        .with_tag("rolling-upgrade")
+        .with_tag("step4")
+        .with_field("instanceid", "i-7df34041")
+        .with_type("asgard");
+        let parsed = parse_line(&original.to_json().to_string(), now());
+        assert_eq!(parsed.format, LineFormat::Json);
+        let e = parsed.event;
+        assert_eq!(e.timestamp, original.timestamp);
+        assert_eq!(e.source, "asgard.log");
+        assert_eq!(e.event_type, "asgard");
+        assert_eq!(e.tags, original.tags);
+        assert_eq!(e.field("instanceid"), Some("i-7df34041"));
+        assert_eq!(e.message, original.message);
+        assert_eq!(e.severity, Severity::Error);
+    }
+
+    #[test]
+    fn plaintext_becomes_operation_line() {
+        let parsed = parse_line("Instance i-1 is ready for use.\n", now());
+        assert_eq!(parsed.format, LineFormat::Plain);
+        assert_eq!(parsed.event.message, "Instance i-1 is ready for use.");
+        assert_eq!(parsed.event.timestamp, now());
+        assert_eq!(parsed.event.event_type, "operation");
+    }
+
+    #[test]
+    fn empty_and_whitespace_lines_degrade_to_unclassified() {
+        for raw in ["", "   ", "\t\n", " \r\n "] {
+            let parsed = parse_line(raw, now());
+            assert_eq!(parsed.format, LineFormat::Unclassified, "input {raw:?}");
+            assert_eq!(parsed.event.event_type, UNCLASSIFIED);
+        }
+    }
+
+    #[test]
+    fn truncated_and_invalid_json_degrade_to_unclassified() {
+        for raw in [
+            "{\"@message\": \"chopped",
+            "{\"@message\" \"no colon\"}",
+            "{",
+            "{\"@fields\": [}",
+        ] {
+            let parsed = parse_line(raw, now());
+            assert_eq!(parsed.format, LineFormat::Unclassified, "input {raw:?}");
+            assert_eq!(parsed.event.event_type, UNCLASSIFIED);
+            assert_eq!(parsed.event.message, raw.trim());
+            assert_eq!(parsed.event.timestamp, now());
+        }
+    }
+
+    #[test]
+    fn json_without_message_is_unclassified() {
+        let parsed = parse_line("{\"@type\": \"asgard\"}", now());
+        assert_eq!(parsed.format, LineFormat::Unclassified);
+    }
+
+    #[test]
+    fn unparseable_timestamp_falls_back_to_arrival_time() {
+        let raw = "{\"@message\": \"hello\", \"@timestamp\": \"not-a-time\"}";
+        let parsed = parse_line(raw, now());
+        assert_eq!(parsed.format, LineFormat::Json);
+        assert_eq!(parsed.event.timestamp, now());
+    }
+
+    #[test]
+    fn format_labels_are_stable() {
+        assert_eq!(LineFormat::Json.label(), "json");
+        assert_eq!(LineFormat::Plain.label(), "plain");
+        assert_eq!(LineFormat::Unclassified.label(), "unclassified");
+    }
+}

@@ -51,4 +51,4 @@ pub use clock::Clock;
 pub use events::{EventId, EventQueue};
 pub use latency::LatencyModel;
 pub use rng::SimRng;
-pub use time::{SimDuration, SimTime};
+pub use time::{ParseTimeError, SimDuration, SimTime};

@@ -81,6 +81,51 @@ impl fmt::Display for SimTime {
     }
 }
 
+/// Error returned when a string is not a recognizable [`SimTime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTimeError {
+    input: String,
+}
+
+impl fmt::Display for ParseTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparseable sim time {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseTimeError {}
+
+impl std::str::FromStr for SimTime {
+    type Err = ParseTimeError;
+
+    /// Parses the [`Display`](fmt::Display) form (`"12.345s"`, fractional
+    /// digits optional) or a bare microsecond count (`"12345000"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTimeError {
+            input: s.to_string(),
+        };
+        let s = s.trim();
+        if let Some(body) = s.strip_suffix('s') {
+            let (secs, frac) = match body.split_once('.') {
+                Some((secs, frac)) => (secs, frac),
+                None => (body, ""),
+            };
+            if frac.len() > 6 || !frac.chars().all(|c| c.is_ascii_digit()) {
+                return Err(err());
+            }
+            let secs: u64 = secs.parse().map_err(|_| err())?;
+            // Right-pad the fraction to microseconds: "5" means 500ms.
+            let mut frac_us: u64 = 0;
+            for c in frac.chars().chain(std::iter::repeat('0')).take(6) {
+                frac_us = frac_us * 10 + (c as u64 - '0' as u64);
+            }
+            Ok(SimTime(secs * 1_000_000 + frac_us))
+        } else {
+            s.parse().map(SimTime).map_err(|_| err())
+        }
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
 
@@ -249,6 +294,30 @@ mod tests {
         assert_eq!(SimDuration::from_micros(800).to_string(), "800us");
         assert_eq!(SimDuration::from_millis(83).to_string(), "83ms");
         assert_eq!(SimDuration::from_millis(10440).to_string(), "10.440s");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for t in [
+            SimTime::ZERO,
+            SimTime::from_millis(1_500),
+            SimTime::from_secs(82),
+        ] {
+            let parsed: SimTime = t.to_string().parse().unwrap();
+            assert_eq!(parsed, t);
+        }
+        assert_eq!(
+            "2.5s".parse::<SimTime>().unwrap(),
+            SimTime::from_millis(2_500)
+        );
+        assert_eq!("90s".parse::<SimTime>().unwrap(), SimTime::from_secs(90));
+        assert_eq!(
+            "1500".parse::<SimTime>().unwrap(),
+            SimTime::from_micros(1_500)
+        );
+        for bad in ["", "s", "abc", "1.2345678s", "1.x2s", "-4s"] {
+            assert!(bad.parse::<SimTime>().is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The gateway soak: ≥64 interleaved faulty upgrades through `pod-gateway`.
+//!
+//! Phase A runs every upgrade on its own simulated cloud (one injected
+//! fault per operation, shared-account interference on every 4th, plaintext
+//! application noise) and serializes the logs to raw wire lines. Phase B
+//! merges all streams by arrival time and replays them through one sharded
+//! gateway with a fresh POD engine per operation — then sweeps the batch
+//! size and demonstrates overload shedding with a deliberately tiny queue.
+//!
+//! Run with `cargo run --release --example gateway_soak`.
+//! Pass a number to change the operation count (e.g. `-- 16`).
+//! Pass `--policy shed-oldest|shed-newest|block` for the main replay.
+//! Pass `--json` to also write:
+//! - `BENCH_gateway.json` — lines/sec (wall and virtual), the batch-size
+//!   sweep, per-shard p50/p95/p99 queue waits and the replay latency budget;
+//! - `JOURNAL_gateway.json` — the gateway's pod-obs snapshot plus the
+//!   gateway/gateway-shard records for the main and stress replays.
+
+use pod_diagnosis::eval::{
+    collect_streams, gateway_lines, render_gateway_report, render_journal, render_soak_report,
+    replay, snapshot_lines, soak_bench_json, sweep_batches, SoakConfig,
+};
+use pod_diagnosis::gateway::{GatewayConfig, OverloadPolicy};
+use pod_diagnosis::sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let ops: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(64);
+    let policy: OverloadPolicy = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.parse().expect("valid overload policy"))
+        .unwrap_or(OverloadPolicy::Block);
+
+    let config = SoakConfig {
+        ops,
+        seed: 2014,
+        ..SoakConfig::default()
+    };
+    eprintln!("phase A: running {ops} faulty upgrades, each on its own cloud...");
+    let started = std::time::Instant::now();
+    let streams = collect_streams(&config);
+    eprintln!(
+        "collected {} raw lines from {} upgrades in {:.1?} wall-clock",
+        streams.lines_total,
+        streams.ops.len(),
+        started.elapsed()
+    );
+
+    let base = GatewayConfig {
+        overload: policy,
+        ..GatewayConfig::default()
+    };
+    eprintln!(
+        "phase B: replaying the interleaved feed through {} shards ({} policy)...",
+        base.shards, base.overload
+    );
+    let replay_started = std::time::Instant::now();
+    let report = replay(&streams, &base);
+    let wall_secs = replay_started.elapsed().as_secs_f64();
+    println!("{}", render_soak_report(&report));
+    assert!(
+        report.leaks.is_empty(),
+        "cross-operation leakage detected: {:?}",
+        report.leaks
+    );
+
+    eprintln!("batch-size sweep...");
+    let sweep = sweep_batches(&streams, &base, &[1, 4, 16, 64]);
+    println!("-- batch-size sweep (same feed, same policy) --");
+    for (batch, stats) in &sweep {
+        println!(
+            "batch {batch:>3}: {:>9.0} lines/s virtual, {:>6} batches, {:>6} deferred, {:>5} blocked",
+            stats.lines_per_sec_virtual(),
+            stats.batches,
+            stats.deferred,
+            stats.blocked
+        );
+    }
+    println!();
+
+    // Overload demonstration: a queue far too small for the burst pattern,
+    // shedding oldest-first. Every lost line is accounted for.
+    let stress_config = GatewayConfig {
+        queue_capacity: 4,
+        batch_size: 4,
+        flush_interval: SimDuration::from_secs(5),
+        overload: OverloadPolicy::ShedOldest,
+        ..GatewayConfig::default()
+    };
+    let stress = replay(&streams, &stress_config);
+    println!("-- overload stress (capacity 4, shed-oldest) --");
+    print!("{}", render_gateway_report(&stress.stats));
+    assert_eq!(
+        stress.stats.lines_processed + stress.stats.total_shed(),
+        streams.lines_total,
+        "every line is delivered or counted as shed"
+    );
+
+    if json {
+        let bench = soak_bench_json(&report, &sweep, wall_secs).to_string();
+        std::fs::write("BENCH_gateway.json", bench + "\n").expect("write BENCH_gateway.json");
+        eprintln!(
+            "wrote gateway bench ({} ops, {} lines) to BENCH_gateway.json",
+            report.ops.len(),
+            report.lines_total
+        );
+
+        let mut lines = snapshot_lines("gateway-soak", &report.snapshot);
+        lines.extend(gateway_lines("gateway-soak", &report.stats));
+        lines.extend(gateway_lines("gateway-stress", &stress.stats));
+        std::fs::write("JOURNAL_gateway.json", render_journal(&lines))
+            .expect("write JOURNAL_gateway.json");
+        eprintln!(
+            "wrote {} journal records to JOURNAL_gateway.json",
+            lines.len()
+        );
+    }
+}

@@ -30,6 +30,7 @@ pub use pod_cloud as cloud;
 pub use pod_core as core;
 pub use pod_eval as eval;
 pub use pod_faulttree as faulttree;
+pub use pod_gateway as gateway;
 pub use pod_log as log;
 pub use pod_mining as mining;
 pub use pod_obs as obs;

@@ -1,0 +1,42 @@
+//! Bit-reproducibility and isolation of the gateway soak: the same seed
+//! must produce byte-identical detections across independent runs, and no
+//! operation's detections may reference another operation's instances.
+
+use pod_diagnosis::eval::{collect_streams, replay, SoakConfig};
+use pod_diagnosis::gateway::GatewayConfig;
+
+fn soak_digest() -> (String, u64) {
+    let config = SoakConfig {
+        ops: 8,
+        seed: 2014,
+        ..SoakConfig::default()
+    };
+    let streams = collect_streams(&config);
+    let report = replay(&streams, &GatewayConfig::default());
+    assert!(
+        report.leaks.is_empty(),
+        "cross-operation leakage: {:?}",
+        report.leaks
+    );
+    assert_eq!(
+        report.stats.lines_processed, streams.lines_total,
+        "block policy must deliver every line"
+    );
+    (report.digest(), report.stats.lines_processed)
+}
+
+#[test]
+fn same_seed_produces_byte_identical_detections() {
+    let (digest_a, lines_a) = soak_digest();
+    let (digest_b, lines_b) = soak_digest();
+    assert!(lines_a > 0);
+    assert_eq!(lines_a, lines_b);
+    assert!(
+        digest_a.contains("run-"),
+        "digest names every operation: {digest_a}"
+    );
+    assert_eq!(
+        digest_a, digest_b,
+        "same seed and same interleaved input must be bit-reproducible"
+    );
+}
