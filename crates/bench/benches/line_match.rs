@@ -1,0 +1,155 @@
+//! Line-matching throughput: the prefiltered fast paths against the
+//! backtracking baselines, over the E1 rolling-upgrade log.
+//!
+//! Unlike the criterion-style micro benches this is a throughput harness
+//! with a machine-readable result: it writes `BENCH_match.json` at the
+//! workspace root (`--json`) and can gate against a committed baseline
+//! (`--baseline <path>`): because absolute lines/sec depends on the
+//! machine, the gate compares *speedup ratios* (fast vs naive measured in
+//! the same run), failing when the fresh annotator speedup drops below
+//! 0.8x the baseline's.
+//!
+//! Usage (args pass through `cargo bench --bench line_match -- ...`):
+//!   --smoke            fewer rounds, for CI
+//!   --json             write BENCH_match.json
+//!   --baseline <path>  regression-gate against a previous BENCH_match.json
+
+use std::time::Instant;
+
+use pod_log::Json;
+use pod_regex::{Engine, Regex, RegexSet};
+
+const READY_PATTERN: &str = r"Instance \w+ on (?P<instanceid>i-[0-9a-f]+) is ready for use. (?P<done>\d+) of (?P<total>\d+) instance relaunches done";
+
+/// Measures `f` over every line, `rounds` times; returns lines/sec.
+fn lines_per_sec<F: FnMut(&str)>(lines: &[String], rounds: usize, mut f: F) -> f64 {
+    // One untimed warm-up pass so lazily-built scratch is allocated.
+    for line in lines {
+        f(line);
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for line in lines {
+            f(line);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (rounds * lines.len()) as f64 / elapsed
+}
+
+/// One fast-vs-naive comparison, rendered as a JSON object.
+fn section(name: &str, fast: f64, naive: f64) -> (String, Json) {
+    let mut obj = Json::object();
+    obj.set("lines_per_sec", Json::Number(fast.round()));
+    obj.set("baseline_lines_per_sec", Json::Number(naive.round()));
+    obj.set(
+        "speedup",
+        Json::Number((fast / naive * 100.0).round() / 100.0),
+    );
+    println!(
+        "{name:<24} fast: {fast:>12.0} lines/s   naive: {naive:>12.0} lines/s   speedup: {:.2}x",
+        fast / naive
+    );
+    (name.to_string(), obj)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `cargo bench` forwards its own `--bench` flag; ignore it.
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let write_json = args.iter().any(|a| a == "--json");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let rounds = if smoke { 10 } else { 60 };
+    let lines = pod_bench::upgrade_log_lines(7, 4, 8);
+    println!(
+        "line_match: {} lines ({} rounds{})",
+        lines.len(),
+        rounds,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    // 1. Annotator: rule-level literal index vs per-rule backtracking.
+    let rules = pod_orchestrator::process_def::rolling_upgrade_rules();
+    let annotator_fast = lines_per_sec(&lines, rounds, |l| {
+        std::hint::black_box(rules.match_line(l));
+    });
+    let annotator_naive = lines_per_sec(&lines, rounds, |l| {
+        std::hint::black_box(rules.match_line_naive(l));
+    });
+
+    // 2. RegexSet relevance filter: shared prefilter vs per-pattern loop.
+    let patterns = pod_orchestrator::process_def::relevance_patterns();
+    let set = RegexSet::new(&patterns).unwrap();
+    let regexes: Vec<Regex> = patterns.iter().map(|p| Regex::new(p).unwrap()).collect();
+    let set_fast = lines_per_sec(&lines, rounds, |l| {
+        std::hint::black_box(set.first_match(l));
+    });
+    let set_naive = lines_per_sec(&lines, rounds, |l| {
+        std::hint::black_box(regexes.iter().position(|re| {
+            re.try_captures_with(l, Engine::Backtracking)
+                .ok()
+                .flatten()
+                .is_some()
+        }));
+    });
+
+    // 3. Single unanchored pattern: prefiltered Pike VM vs backtracker.
+    let re = Regex::new(READY_PATTERN).unwrap();
+    let single_fast = lines_per_sec(&lines, rounds, |l| {
+        std::hint::black_box(re.captures(l));
+    });
+    let single_naive = lines_per_sec(&lines, rounds, |l| {
+        std::hint::black_box(re.try_captures_with(l, Engine::Backtracking).ok().flatten());
+    });
+
+    let mut report = Json::object();
+    report.set("bench", Json::str("line_match"));
+    report.set("lines", Json::Number(lines.len() as f64));
+    report.set("rounds", Json::Number(rounds as f64));
+    for (name, obj) in [
+        section("annotator", annotator_fast, annotator_naive),
+        section("regex_set", set_fast, set_naive),
+        section("single_pattern", single_fast, single_naive),
+    ] {
+        report.set(name, obj);
+    }
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_match.json");
+    if write_json {
+        std::fs::write(out_path, format!("{report}\n")).expect("write BENCH_match.json");
+        println!("wrote {out_path}");
+    }
+
+    if let Some(path) = baseline_path {
+        // Relative paths are resolved against the workspace root, matching
+        // where `--json` writes (cargo runs benches from the package dir).
+        let path = if std::path::Path::new(&path).is_relative() {
+            format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+        } else {
+            path
+        };
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline is valid JSON");
+        let committed = baseline
+            .get("annotator")
+            .and_then(|s| s.get("speedup"))
+            .and_then(|v| v.as_f64())
+            .expect("baseline has annotator.speedup");
+        let fresh = annotator_fast / annotator_naive;
+        println!(
+            "regression gate: fresh annotator speedup {fresh:.2}x vs committed {committed:.2}x"
+        );
+        if fresh < 0.8 * committed {
+            eprintln!(
+                "REGRESSION: annotator speedup {fresh:.2}x fell below 0.8x the committed {committed:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
+}

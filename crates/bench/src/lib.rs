@@ -6,7 +6,8 @@
 #![warn(missing_docs)]
 
 use pod_cloud::{Cloud, CloudConfig};
-use pod_sim::{Clock, SimRng};
+use pod_orchestrator::{CollectingObserver, NoiseGenerator, RollingUpgrade, UpgradeConfig};
+use pod_sim::{Clock, SimRng, SimTime};
 
 /// A ready-to-use 4-instance cluster with a consistent-API handle.
 pub fn bench_cloud(seed: u64) -> (Cloud, pod_assert::ExpectedEnv) {
@@ -37,4 +38,69 @@ pub fn bench_cloud(seed: u64) -> (Cloud, pod_assert::ExpectedEnv) {
         expected_count: 4,
     };
     (cloud, env)
+}
+
+/// A v1 cluster plus the config to roll it to v2 — the E1 rolling-upgrade
+/// scenario from the paper, ready to hand to [`RollingUpgrade`].
+pub fn upgrade_fixture(seed: u64, instances: u32) -> (Cloud, UpgradeConfig) {
+    let cloud = Cloud::new(
+        Clock::new(),
+        SimRng::seed_from(seed),
+        CloudConfig {
+            stale_read_prob: 0.0,
+            ..CloudConfig::default()
+        },
+    );
+    let ami_v1 = cloud.admin_create_ami("app", "1.0");
+    let ami_v2 = cloud.admin_create_ami("app", "2.0");
+    let sg = cloud.admin_create_security_group("web", &[80]);
+    let kp = cloud.admin_create_key_pair("prod");
+    let elb = cloud.admin_create_elb("front");
+    let lc = cloud.admin_create_launch_config("lc-v1", ami_v1, "m1.small", kp, sg);
+    let asg = cloud.admin_create_asg("pm--asg", lc, 1, 30, instances, Some(elb.clone()));
+    let config = UpgradeConfig::new("pm", asg, elb, ami_v2, "2.0");
+    (cloud, config)
+}
+
+/// The full operation log of a clean E1 rolling upgrade interleaved with
+/// deterministic application noise: `noise_per_line` noise lines are
+/// inserted after every operation line. This is the shared workload for
+/// the line-matching benches and the annotator golden test — every
+/// consumer sees byte-identical lines for the same arguments.
+pub fn upgrade_log_lines(seed: u64, instances: u32, noise_per_line: usize) -> Vec<String> {
+    let (cloud, config) = upgrade_fixture(seed, instances);
+    let mut upgrade = RollingUpgrade::new(cloud, config, "task-e1");
+    let mut observer = CollectingObserver::default();
+    let report = upgrade.run(&mut observer);
+    assert!(
+        report.outcome.is_success(),
+        "bench fixture upgrade must succeed: {:?}",
+        report.outcome
+    );
+    let mut noise = NoiseGenerator::new(SimRng::seed_from(seed ^ 0x9e37_79b9), 1.0);
+    let mut lines = Vec::with_capacity(observer.events.len() * (1 + noise_per_line));
+    for event in &observer.events {
+        lines.push(event.message.clone());
+        for _ in 0..noise_per_line {
+            lines.push(noise.emit(SimTime::ZERO).message);
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upgrade_log_is_deterministic_and_mixed() {
+        let a = upgrade_log_lines(7, 4, 2);
+        let b = upgrade_log_lines(7, 4, 2);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|l| l.contains("Started rolling upgrade")));
+        assert!(a.iter().any(|l| l.contains("is ready for use")));
+        // Two noise lines ride along after every operation line.
+        let ops = a.len() / 3;
+        assert_eq!(a.len(), ops * 3);
+    }
 }

@@ -13,8 +13,8 @@ use pod_faulttree::{
     DiagnosisContext, DiagnosisEngine, DiagnosisReport, DiagnosisVerdict, FaultTreeRepository,
 };
 use pod_log::{
-    ImportantLineForwarder, LogEvent, LogStorage, NoiseFilter, Pipeline, ProcessAnnotator,
-    ProcessContext, Severity, TimerSetter, Trigger,
+    ImportantLineForwarder, LogEvent, LogStorage, NoiseFilter, Pipeline, PipelineOutput,
+    ProcessAnnotator, ProcessContext, Severity, TimerSetter, Trigger,
 };
 use pod_obs::{Counter, Histogram, Obs, LATENCY_BOUNDS_US};
 use pod_process::{Conformance, ConformanceChecker};
@@ -217,32 +217,38 @@ impl PodEngine {
 
     /// Ingests a batch of raw lines, firing due timers once at the end.
     ///
-    /// This is the gateway's amortized entry point: regex matching and token
-    /// replay still run per line, but the timer wheel is only consulted once
-    /// per batch instead of once per line.
+    /// This is the gateway's amortized entry point: the whole batch runs
+    /// through the pipeline's batch-aware API (one step-limit sample per
+    /// batch), the causal-event ring handle is resolved once instead of per
+    /// line, and the timer wheel is only consulted once per batch.
     pub fn ingest_batch(&mut self, events: impl IntoIterator<Item = LogEvent>) {
-        for event in events {
-            self.ingest_line(event);
+        let outs = self.pipeline.push_batch(events.into_iter().collect());
+        let ring = self.cloud.obs().events().clone();
+        for out in outs {
+            self.handle_pipeline_output(out, &ring);
         }
         self.fire_due_timers();
     }
 
     fn ingest_line(&mut self, event: LogEvent) {
         let out = self.pipeline.push(event);
+        let ring = self.cloud.obs().events().clone();
+        self.handle_pipeline_output(out, &ring);
+    }
+
+    /// Applies one line's pipeline output: forwarded events go to central
+    /// storage and triggers run scoped under the line's `log.line` causal
+    /// event, so conformance verdicts, assertion results and timer arming
+    /// all chain back to the line that caused them.
+    fn handle_pipeline_output(&mut self, out: PipelineOutput, ring: &pod_obs::EventLog) {
         self.storage.extend(out.forwarded);
-        {
-            // Everything triggered by this line — conformance verdicts,
-            // assertion results, timer arming — chains under its `log.line`
-            // causal event.
-            let events = self.cloud.obs().events().clone();
-            let _scope = events.scope(out.cause);
-            for trigger in out.triggers {
-                match trigger {
-                    Trigger::Conformance(e) => self.on_conformance(e),
-                    Trigger::Assertion { activity, event } => self.on_assertion(activity, event),
-                    Trigger::PeriodicStart { .. } => self.on_operation_start(),
-                    Trigger::PeriodicStop { .. } => self.on_operation_end(),
-                }
+        let _scope = ring.scope(out.cause);
+        for trigger in out.triggers {
+            match trigger {
+                Trigger::Conformance(e) => self.on_conformance(e),
+                Trigger::Assertion { activity, event } => self.on_assertion(activity, event),
+                Trigger::PeriodicStart { .. } => self.on_operation_start(),
+                Trigger::PeriodicStop { .. } => self.on_operation_end(),
             }
         }
     }

@@ -154,6 +154,14 @@ pub fn render_report(report: &CampaignReport) -> String {
     } else {
         let _ = writeln!(out, "spans dropped: 0, causal events dropped: 0");
     }
+    let step_limit_aborts = report.obs_totals.counter("pipeline.regex.step_limit");
+    if step_limit_aborts > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: regex engine abandoned {step_limit_aborts} match attempt(s) at its \
+             step limit — those lines have no match answer and may be mis-annotated"
+        );
+    }
     out.push_str(&pod_obs::render_summary(&report.obs_totals));
     out
 }
@@ -264,6 +272,30 @@ mod tests {
         for fault in pod_orchestrator::FaultType::all() {
             assert!(text.contains(&fault.to_string()), "missing {fault}");
         }
+    }
+
+    #[test]
+    fn report_warns_only_when_regex_step_limit_was_hit() {
+        let mut report = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        })
+        .run();
+        let clean = render_report(&report);
+        assert!(
+            !clean.contains("abandoned"),
+            "clean campaign must not warn about step limits: {clean}"
+        );
+        // Inject step-limit aborts as they would arrive from run snapshots.
+        let obs = pod_obs::Obs::detached();
+        obs.counter("pipeline.regex.step_limit").add(3);
+        report.obs_totals.merge(&obs.snapshot());
+        let warned = render_report(&report);
+        assert!(
+            warned.contains("WARNING: regex engine abandoned 3 match attempt(s)"),
+            "{warned}"
+        );
     }
 
     #[test]

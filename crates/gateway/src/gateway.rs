@@ -575,7 +575,12 @@ impl Gateway {
 
         // Parse at the edge, then group per operation preserving each
         // operation's line order (first-appearance order across groups).
-        let mut groups: Vec<(usize, Vec<LogEvent>)> = Vec::new();
+        // Each group is handed to its sink as one batch, so the whole
+        // drain flows through the diagnosis engine's batch-aware path
+        // (`Pipeline::push_batch`): per-line setup — step-limit sampling,
+        // causal-ring resolution, timer polling — is paid once per group.
+        let batch_len = batch.len();
+        let mut groups: Vec<(usize, Vec<LogEvent>)> = Vec::with_capacity(4);
         for line in batch {
             let wait = service_start.duration_since(line.enqueued_at).as_micros();
             self.shards[shard_idx].queue_wait.record(wait);
@@ -597,7 +602,17 @@ impl Gateway {
             }
             match groups.iter_mut().find(|(op, _)| *op == line.op.0) {
                 Some((_, events)) => events.push(parsed.event),
-                None => groups.push((line.op.0, vec![parsed.event])),
+                None => {
+                    // Single-op batches are the common case; size the first
+                    // group for the whole batch so it never reallocates.
+                    let mut events = Vec::with_capacity(if groups.is_empty() {
+                        batch_len
+                    } else {
+                        batch_len / 2
+                    });
+                    events.push(parsed.event);
+                    groups.push((line.op.0, events));
+                }
             }
         }
         for (op, events) in groups {

@@ -5,7 +5,15 @@
 //! regex_i+1 or …) matches, add tag `[activity name]` to the line"*. A
 //! [`RuleBook`] holds those rules and classifies raw lines.
 
-use pod_regex::Regex;
+use std::cell::RefCell;
+
+use pod_regex::{Captures, Engine, LiteralScanner, Regex};
+
+thread_local! {
+    /// Reusable candidate buffer: `(rule, pattern)` pairs whose required
+    /// literals occurred in the current line.
+    static RULE_CANDIDATES: RefCell<Vec<(u32, u32)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Where in an activity's lifetime a matching line falls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,10 +71,59 @@ pub struct RuleMatch {
     pub fields: Vec<(String, String)>,
 }
 
+/// The shared prefilter over every pattern of every rule: one literal scan
+/// per line yields the only `(rule, pattern)` pairs whose regex could
+/// match, so confirmation cost is proportional to the candidates — not to
+/// the size of the book.
+#[derive(Debug, Clone, Default)]
+struct RuleIndex {
+    /// Scanner over the union of all patterns' required literals; `None`
+    /// when no pattern yields literals (index would admit everything).
+    scanner: Option<LiteralScanner>,
+    /// `(rule, pattern)` owning each scanner literal id.
+    lit_owner: Vec<(u32, u32)>,
+    /// Patterns with no derivable literal requirement: always candidates.
+    always: Vec<(u32, u32)>,
+}
+
+impl RuleIndex {
+    fn build(rules: &[LineRule]) -> RuleIndex {
+        let mut literals: Vec<String> = Vec::new();
+        let mut lit_owner = Vec::new();
+        let mut always = Vec::new();
+        for (r, rule) in rules.iter().enumerate() {
+            for (p, re) in rule.patterns.iter().enumerate() {
+                match re.required_literals() {
+                    Some(req) => {
+                        for lit in req {
+                            literals.push(lit.clone());
+                            lit_owner.push((r as u32, p as u32));
+                        }
+                    }
+                    None => always.push((r as u32, p as u32)),
+                }
+            }
+        }
+        let scanner = if lit_owner.is_empty() {
+            None
+        } else {
+            Some(LiteralScanner::new(&literals))
+        };
+        RuleIndex {
+            scanner,
+            lit_owner,
+            always,
+        }
+    }
+}
+
 /// An ordered collection of transformation rules.
 ///
 /// Rules are tried in insertion order and the first match wins, mirroring a
-/// Logstash filter chain.
+/// Logstash filter chain. Classification dispatches through a shared
+/// literal index (see [`RuleIndex`]): one scan over the line selects the
+/// candidate `(rule, pattern)` pairs, and only those run their regex. The
+/// unindexed reference path is kept as [`RuleBook::match_line_naive`].
 ///
 /// # Examples
 ///
@@ -88,17 +145,23 @@ pub struct RuleMatch {
 #[derive(Debug, Clone, Default)]
 pub struct RuleBook {
     rules: Vec<LineRule>,
+    index: RuleIndex,
 }
 
 impl RuleBook {
     /// Creates an empty rule book.
     pub fn new() -> RuleBook {
-        RuleBook { rules: Vec::new() }
+        RuleBook {
+            rules: Vec::new(),
+            index: RuleIndex::default(),
+        }
     }
 
-    /// Appends a rule; later rules have lower priority.
+    /// Appends a rule; later rules have lower priority. The literal index
+    /// is rebuilt (books are small and built once at startup).
     pub fn push(&mut self, rule: LineRule) {
         self.rules.push(rule);
+        self.index = RuleIndex::build(&self.rules);
     }
 
     /// The rules in priority order.
@@ -118,26 +181,70 @@ impl RuleBook {
 
     /// Classifies `line`, returning the first matching rule's activity and
     /// any named-capture fields.
+    ///
+    /// One shared literal scan selects the candidate `(rule, pattern)`
+    /// pairs; only those are confirmed with their regex, in rule order, so
+    /// first-rule-wins semantics are preserved exactly (a pattern absent
+    /// from the candidates is guaranteed not to match).
     pub fn match_line(&self, line: &str) -> Option<RuleMatch> {
+        let Some(scanner) = self.index.scanner.as_ref() else {
+            // No pattern yields literals: the index cannot narrow anything.
+            return self.match_line_with_engine(line, Engine::Auto);
+        };
+        RULE_CANDIDATES.with(|buf| {
+            let mut fallback = Vec::new();
+            let mut guard = buf.try_borrow_mut().ok();
+            let cands = guard.as_deref_mut().unwrap_or(&mut fallback);
+            cands.clear();
+            cands.extend_from_slice(&self.index.always);
+            scanner.scan(line, |lit, _| cands.push(self.index.lit_owner[lit]));
+            cands.sort_unstable();
+            cands.dedup();
+            for &(r, p) in cands.iter() {
+                let rule = &self.rules[r as usize];
+                let re = &rule.patterns[p as usize];
+                if let Some(caps) = re.captures(line) {
+                    return Some(Self::rule_match(rule, re, &caps));
+                }
+            }
+            None
+        })
+    }
+
+    /// The pre-index reference implementation: every pattern of every rule
+    /// is tried in order on the legacy backtracking engine. Kept public as
+    /// the oracle for golden equivalence tests and as the "before" side of
+    /// the line-matching benchmarks.
+    pub fn match_line_naive(&self, line: &str) -> Option<RuleMatch> {
+        self.match_line_with_engine(line, Engine::Backtracking)
+    }
+
+    /// Match-each-pattern loop on a chosen engine.
+    fn match_line_with_engine(&self, line: &str, engine: Engine) -> Option<RuleMatch> {
         for rule in &self.rules {
             for re in &rule.patterns {
-                if let Some(caps) = re.captures(line) {
-                    let fields = re
-                        .capture_names()
-                        .filter_map(|name| {
-                            caps.name(name)
-                                .map(|m| (name.to_string(), m.as_str().to_string()))
-                        })
-                        .collect();
-                    return Some(RuleMatch {
-                        activity: rule.activity.clone(),
-                        boundary: rule.boundary,
-                        fields,
-                    });
+                if let Some(caps) = re.captures_with(line, engine) {
+                    return Some(Self::rule_match(rule, re, &caps));
                 }
             }
         }
         None
+    }
+
+    /// Builds the [`RuleMatch`] for a confirmed pattern.
+    fn rule_match(rule: &LineRule, re: &Regex, caps: &Captures<'_>) -> RuleMatch {
+        let fields = re
+            .capture_names()
+            .filter_map(|name| {
+                caps.name(name)
+                    .map(|m| (name.to_string(), m.as_str().to_string()))
+            })
+            .collect();
+        RuleMatch {
+            activity: rule.activity.clone(),
+            boundary: rule.boundary,
+            fields,
+        }
     }
 
     /// All activities known to the book, deduplicated, in rule order.
@@ -215,5 +322,91 @@ mod tests {
     #[test]
     fn invalid_pattern_is_an_error() {
         assert!(LineRule::new("bad", Boundary::Start, &["("]).is_err());
+    }
+
+    /// A book mixing literal-bearing and literal-free patterns, with
+    /// overlapping rules, for candidate-dispatch tests.
+    fn dispatch_book() -> RuleBook {
+        let mut b = RuleBook::new();
+        b.push(
+            LineRule::new(
+                "start",
+                Boundary::Start,
+                &[r"[Ss]tarting rolling upgrade (?P<task>task-\d+)"],
+            )
+            .unwrap(),
+        );
+        b.push(
+            LineRule::new(
+                "terminate",
+                Boundary::End,
+                &[
+                    r"Terminated instance (?P<instanceid>i-[0-9a-f]+)",
+                    r"Instance (?P<instanceid>i-[0-9a-f]+) is shutting down",
+                ],
+            )
+            .unwrap(),
+        );
+        // Also matches "Terminated instance …" lines but has lower
+        // priority than "terminate".
+        b.push(LineRule::new("any-terminated", Boundary::During, &["Terminated"]).unwrap());
+        // No derivable literal: always a candidate.
+        b.push(LineRule::new("digits", Boundary::During, &[r"^\d+\s\d+$"]).unwrap());
+        b
+    }
+
+    #[test]
+    fn candidate_dispatch_matches_naive_for_zero_one_many() {
+        let b = dispatch_book();
+        let lines = [
+            // Zero candidate rules.
+            "completely unrelated line",
+            // Exactly one rule's literals occur.
+            "Starting rolling upgrade task-17",
+            "Instance i-0badf00d is shutting down",
+            // Multiple rules are candidates; first must win.
+            "Terminated instance i-7df34041",
+            // Literal occurs but the full pattern fails to confirm.
+            "Terminated nothing in particular",
+            // Only the literal-free rule can match.
+            "12 34",
+            "",
+        ];
+        for line in lines {
+            assert_eq!(
+                b.match_line(line),
+                b.match_line_naive(line),
+                "dispatch diverged on {line:?}"
+            );
+        }
+        assert!(b.match_line("completely unrelated line").is_none());
+        assert_eq!(
+            b.match_line("Terminated instance i-7df34041")
+                .unwrap()
+                .activity,
+            "terminate"
+        );
+        assert_eq!(
+            b.match_line("Terminated nothing in particular")
+                .unwrap()
+                .activity,
+            "any-terminated"
+        );
+        assert_eq!(b.match_line("12 34").unwrap().activity, "digits");
+    }
+
+    #[test]
+    fn index_preserves_fields_and_boundaries() {
+        let b = dispatch_book();
+        let fast = b.match_line("x Starting rolling upgrade task-3 y").unwrap();
+        let naive = b
+            .match_line_naive("x Starting rolling upgrade task-3 y")
+            .unwrap();
+        assert_eq!(fast, naive);
+        assert_eq!(fast.boundary, Boundary::Start);
+        assert_eq!(
+            fast.fields,
+            vec![("task".to_string(), "task-3".to_string())]
+        );
     }
 }

@@ -116,6 +116,14 @@ pub struct Pipeline {
     stage_metrics: Vec<StageMetrics>,
     pushed: Counter,
     forwarded: Counter,
+    /// Regex step-limit aborts observed while this pipeline ran its stages
+    /// (`pipeline.regex.step_limit`). A non-zero value means some match
+    /// attempts were abandoned with no answer — the affected lines may have
+    /// been mis-annotated, so the report warns on it.
+    step_limit: Counter,
+    /// Last sampled value of the process-wide [`pod_regex::step_limit_hits`]
+    /// counter; deltas are attributed to this pipeline's counter.
+    step_limit_seen: u64,
 }
 
 /// Per-stage throughput/drop counters, cached so `push` stays lock-free.
@@ -149,6 +157,8 @@ impl Pipeline {
         Pipeline {
             pushed: obs.counter("pipeline.pushed"),
             forwarded: obs.counter("pipeline.forwarded"),
+            step_limit: obs.counter("pipeline.regex.step_limit"),
+            step_limit_seen: pod_regex::step_limit_hits(),
             obs,
             stages: Vec::new(),
             stage_metrics: Vec::new(),
@@ -167,6 +177,7 @@ impl Pipeline {
         self.obs = obs.clone();
         self.pushed = obs.counter("pipeline.pushed");
         self.forwarded = obs.counter("pipeline.forwarded");
+        self.step_limit = obs.counter("pipeline.regex.step_limit");
         self.stage_metrics = self
             .stages
             .iter()
@@ -193,6 +204,38 @@ impl Pipeline {
 
     /// Pushes one event through every stage in order.
     pub fn push(&mut self, event: LogEvent) -> PipelineOutput {
+        let out = self.push_unsampled(event);
+        self.sample_step_limits();
+        out
+    }
+
+    /// Pushes a whole batch through the pipeline, one output per input
+    /// event in order. Equivalent to calling [`Pipeline::push`] per event,
+    /// but per-line bookkeeping (step-limit sampling) is amortized over the
+    /// batch — this is the entry point the gateway's batched drain uses.
+    pub fn push_batch(&mut self, events: Vec<LogEvent>) -> Vec<PipelineOutput> {
+        let outs = events
+            .into_iter()
+            .map(|event| self.push_unsampled(event))
+            .collect();
+        self.sample_step_limits();
+        outs
+    }
+
+    /// Attributes any new process-wide regex step-limit aborts to this
+    /// pipeline's `pipeline.regex.step_limit` counter. Attribution is
+    /// approximate under concurrency (the source counter is global), which
+    /// is fine for its purpose: warning that match answers were dropped.
+    fn sample_step_limits(&mut self) {
+        let hits = pod_regex::step_limit_hits();
+        if hits > self.step_limit_seen {
+            self.step_limit.add(hits - self.step_limit_seen);
+            self.step_limit_seen = hits;
+        }
+    }
+
+    /// The per-event stage loop, without step-limit sampling.
+    fn push_unsampled(&mut self, event: LogEvent) -> PipelineOutput {
         self.pushed.incr();
         let source = event.source.clone();
         let message = event.message.clone();
@@ -595,6 +638,80 @@ mod tests {
         // Trigger-only (unknown but relevant) lines also get a cause.
         let out = p.push(event("upgrade hit unexpected state"));
         assert!(out.cause.is_some());
+    }
+
+    /// A stage that deliberately runs a catastrophic pattern on the legacy
+    /// backtracking engine, to exercise step-limit accounting.
+    #[derive(Debug)]
+    struct PathologicalStage {
+        re: Regex,
+    }
+
+    impl Stage for PathologicalStage {
+        fn process(&mut self, event: LogEvent) -> StageOutput {
+            let _ = self
+                .re
+                .captures_with(&event.message, pod_regex::Engine::Backtracking);
+            StageOutput::pass(event)
+        }
+
+        fn name(&self) -> &'static str {
+            "pathological"
+        }
+    }
+
+    #[test]
+    fn step_limit_aborts_surface_in_pipeline_metrics() {
+        let obs = Obs::detached();
+        let mut p = Pipeline::new();
+        p.add_stage(Box::new(PathologicalStage {
+            re: Regex::new("(a+)+b").unwrap(),
+        }));
+        p.set_obs(&obs);
+        let out = p.push(event(&"a".repeat(30)));
+        // The line still flows through (the stage passes it on)…
+        assert_eq!(out.forwarded.len(), 1);
+        // …but the abandoned match attempt is counted, not hidden.
+        assert!(
+            obs.snapshot().counter("pipeline.regex.step_limit") >= 1,
+            "step-limit abort was not attributed to the pipeline"
+        );
+    }
+
+    #[test]
+    fn push_batch_equals_per_line_pushes() {
+        let build = || {
+            let mut p = Pipeline::new();
+            p.add_stage(Box::new(NoiseFilter::keep(
+                RegexSet::new(&["Instance", "upgrade"]).unwrap(),
+            )));
+            p.add_stage(Box::new(ProcessAnnotator::new(
+                rules(),
+                "rolling-upgrade",
+                "run-1",
+            )));
+            p.add_stage(Box::new(ImportantLineForwarder));
+            p
+        };
+        let lines = [
+            "jvm gc pause 12ms",
+            "Instance i-aa is ready for use",
+            "upgrade hit unexpected state",
+            "Started rolling upgrade",
+        ];
+        let mut singly = build();
+        let expected: Vec<PipelineOutput> = lines.iter().map(|l| singly.push(event(l))).collect();
+        let mut batched = build();
+        let got = batched.push_batch(lines.iter().map(|l| event(l)).collect());
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.forwarded.len(), e.forwarded.len());
+            assert_eq!(g.triggers, e.triggers);
+            for (gf, ef) in g.forwarded.iter().zip(&e.forwarded) {
+                assert_eq!(gf.message, ef.message);
+                assert_eq!(gf.context, ef.context);
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,24 @@
 //! (`* + ? {m} {m,} {m,n}`), alternation, and capturing / non-capturing /
 //! named groups (`(?P<name>...)`).
 //!
-//! The implementation is a classic backtracking VM (parse → AST → compile →
-//! execute) with an empty-match loop guard, so patterns like `(a*)*` cannot
-//! hang.
+//! # Matching fast path
+//!
+//! Since most lines fed to the pipeline match none of the patterns, the
+//! engine is built to reject cheaply:
+//!
+//! 1. **Literal prefilter** — at compile time the AST is analysed for
+//!    required literals ([`Regex::required_literals`]). At match time a
+//!    substring scan ([`LiteralScanner`]) either rejects the line outright
+//!    or yields the only byte offsets a match could start at.
+//! 2. **Pike VM** — surviving candidates run on a non-backtracking
+//!    thread-list engine with reusable scratch buffers, visiting each
+//!    (position, instruction) pair at most once. The dialect has no
+//!    back-references, so this path is always available and is selected by
+//!    default ([`Engine::Auto`]).
+//! 3. The classic backtracking VM is kept as a reference engine
+//!    ([`Engine::Backtracking`]); its step-limit abort is surfaced as
+//!    [`MatchError::StepLimit`] and counted in [`step_limit_hits`] instead
+//!    of being silently conflated with a non-match.
 //!
 //! # Examples
 //!
@@ -31,12 +46,84 @@
 
 mod ast;
 mod compile;
+mod literal;
 mod parser;
+mod pike;
 mod vm;
 
+pub use literal::LiteralScanner;
 pub use parser::ParseError;
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use compile::Program;
+use literal::LiteralInfo;
+use pike::StartPolicy;
+
+/// Global count of backtracking-VM executions that hit the step limit.
+static STEP_LIMIT_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times (process-wide) the backtracking engine abandoned a match
+/// attempt at its step limit. Each such attempt's answer is unknown — the
+/// pipeline samples this to surface "the matcher gave up" in observability
+/// rather than treating the line as a clean non-match.
+pub fn step_limit_hits() -> u64 {
+    STEP_LIMIT_HITS.load(Ordering::Relaxed)
+}
+
+/// A matching failure. The only current variant is the backtracking
+/// engine's step-limit abort, which means the input may or may not match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatchError {
+    /// The backtracking engine exhausted its step budget; no answer.
+    StepLimit,
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::StepLimit => {
+                write!(f, "regex engine exhausted its step limit (no answer)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Which execution engine to use for a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Literal prefilter + Pike VM (the default fast path).
+    #[default]
+    Auto,
+    /// Pike VM without the prefilter (scans every offset). Useful to test
+    /// the prefilter and the VM independently.
+    PikeVm,
+    /// The legacy backtracking VM. Kept as the reference semantics and the
+    /// "before" side of benchmarks; may fail with [`MatchError::StepLimit`].
+    Backtracking,
+}
+
+thread_local! {
+    /// Reusable buffer for prefilter candidate start offsets.
+    static START_BUF: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Reusable buffer for `RegexSet` candidate pattern ids.
+    static CANDIDATE_BUF: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The compiled prefilter of one pattern.
+#[derive(Debug, Clone)]
+enum Prefilter {
+    /// Every match starts with one of the scanner's literals.
+    Prefixes(LiteralScanner),
+    /// Every match contains one of the scanner's literals somewhere.
+    Inner(LiteralScanner),
+    /// No literal requirement: scan every offset.
+    None,
+}
 
 /// A compiled regular expression.
 ///
@@ -48,6 +135,9 @@ pub struct Regex {
     pattern: String,
     prog: Program,
     names: Vec<(u32, String)>,
+    anchored: bool,
+    prefilter: Prefilter,
+    literals: Option<Vec<String>>,
 }
 
 impl Regex {
@@ -60,16 +150,38 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Regex, ParseError> {
         let parsed = parser::parse(pattern)?;
         let prog = compile::compile(&parsed.ast, parsed.capture_count);
+        let anchored = literal::anchored_at_start(&parsed.ast);
+        let info = literal::literal_info(&parsed.ast);
+        let literals = info.literals().map(<[String]>::to_vec);
+        let prefilter = match &info {
+            // An anchored pattern already restricts the start to offset 0;
+            // the scanner would be pure overhead.
+            _ if anchored => Prefilter::None,
+            LiteralInfo::Prefixes(lits) => Prefilter::Prefixes(LiteralScanner::new(lits)),
+            LiteralInfo::Inner(lits) => Prefilter::Inner(LiteralScanner::new(lits)),
+            LiteralInfo::None => Prefilter::None,
+        };
         Ok(Regex {
             pattern: pattern.to_string(),
             prog,
             names: parsed.capture_names,
+            anchored,
+            prefilter,
+            literals,
         })
     }
 
     /// The source pattern.
     pub fn as_str(&self) -> &str {
         &self.pattern
+    }
+
+    /// The literal requirement derived from the pattern, if any: every
+    /// match of the pattern contains at least one of the returned strings.
+    /// Callers (like the annotator's rule index) build shared multi-pattern
+    /// prefilters from these.
+    pub fn required_literals(&self) -> Option<&[String]> {
+        self.literals.as_deref()
     }
 
     /// Whether the pattern matches anywhere in `text`.
@@ -85,6 +197,90 @@ impl Regex {
 
     /// Finds the leftmost match and returns all capture groups.
     pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        self.captures_with(text, Engine::Auto)
+    }
+
+    /// Like [`Regex::captures`], but surfaces engine failures instead of
+    /// mapping them to "no match".
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::StepLimit`] if the backtracking engine gave up; the
+    /// default engine never fails.
+    pub fn try_captures<'t>(&self, text: &'t str) -> Result<Option<Captures<'t>>, MatchError> {
+        self.try_captures_with(text, Engine::Auto)
+    }
+
+    /// Finds the leftmost match using a specific [`Engine`]. Engine
+    /// failures count toward [`step_limit_hits`] and report as no match.
+    pub fn captures_with<'t>(&self, text: &'t str, engine: Engine) -> Option<Captures<'t>> {
+        self.try_captures_with(text, engine).unwrap_or_default()
+    }
+
+    /// Finds the leftmost match using a specific [`Engine`], surfacing
+    /// engine failures.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::StepLimit`] if the backtracking engine gave up before
+    /// finding an answer (the attempt is also counted in
+    /// [`step_limit_hits`]). `Auto` and `PikeVm` never fail.
+    pub fn try_captures_with<'t>(
+        &self,
+        text: &'t str,
+        engine: Engine,
+    ) -> Result<Option<Captures<'t>>, MatchError> {
+        let slots = match engine {
+            Engine::Auto => self.exec_auto(text),
+            Engine::PikeVm => {
+                let policy = if self.anchored {
+                    StartPolicy::Zero
+                } else {
+                    StartPolicy::All
+                };
+                pike::exec(&self.prog, text, policy)
+            }
+            Engine::Backtracking => self.exec_backtracking(text)?,
+        };
+        Ok(slots.map(|slots| Captures {
+            text,
+            slots,
+            names: self.names.clone(),
+        }))
+    }
+
+    /// The default path: prefilter, then Pike VM over candidate starts.
+    fn exec_auto(&self, text: &str) -> Option<pike::ByteSlots> {
+        if self.anchored {
+            return pike::exec(&self.prog, text, StartPolicy::Zero);
+        }
+        match &self.prefilter {
+            Prefilter::Prefixes(scanner) => START_BUF.with(|buf| {
+                let mut fallback = Vec::new();
+                let mut guard = buf.try_borrow_mut().ok();
+                let starts = guard.as_deref_mut().unwrap_or(&mut fallback);
+                starts.clear();
+                scanner.scan(text, |_, at| starts.push(at));
+                if starts.is_empty() {
+                    return None;
+                }
+                starts.sort_unstable();
+                starts.dedup();
+                pike::exec(&self.prog, text, StartPolicy::At(starts))
+            }),
+            Prefilter::Inner(scanner) => {
+                if !scanner.matches_any(text) {
+                    return None;
+                }
+                pike::exec(&self.prog, text, StartPolicy::All)
+            }
+            Prefilter::None => pike::exec(&self.prog, text, StartPolicy::All),
+        }
+    }
+
+    /// The legacy engine: retry the backtracking VM at every start offset,
+    /// then convert its char-index slots to byte offsets.
+    fn exec_backtracking(&self, text: &str) -> Result<Option<pike::ByteSlots>, MatchError> {
         let chars: Vec<char> = text.chars().collect();
         // Byte offset of each char index, plus the end offset.
         let mut offsets = Vec::with_capacity(chars.len() + 1);
@@ -95,16 +291,19 @@ impl Regex {
         }
         offsets.push(off);
         for start in 0..=chars.len() {
-            if let Some(slots) = vm::exec(&self.prog, &chars, start) {
-                return Some(Captures {
-                    text,
-                    offsets,
-                    slots,
-                    names: self.names.clone(),
-                });
+            match vm::exec(&self.prog, &chars, start) {
+                vm::ExecOutcome::Match(slots) => {
+                    let byte_slots = slots.iter().map(|s| s.map(|i| offsets[i])).collect();
+                    return Ok(Some(byte_slots));
+                }
+                vm::ExecOutcome::NoMatch => {}
+                vm::ExecOutcome::StepLimit => {
+                    STEP_LIMIT_HITS.fetch_add(1, Ordering::Relaxed);
+                    return Err(MatchError::StepLimit);
+                }
             }
         }
-        None
+        Ok(None)
     }
 
     /// Iterates over all non-overlapping matches in `text`.
@@ -213,10 +412,10 @@ impl<'t> Match<'t> {
 }
 
 /// The capture groups of a successful match. Group 0 is the whole match.
+/// Slots are byte offsets into the searched text.
 #[derive(Debug, Clone)]
 pub struct Captures<'t> {
     text: &'t str,
-    offsets: Vec<usize>,
     slots: Vec<Option<usize>>,
     names: Vec<(u32, String)>,
 }
@@ -228,8 +427,8 @@ impl<'t> Captures<'t> {
         let e = (*self.slots.get(2 * i + 1)?)?;
         Some(Match {
             text: self.text,
-            start: self.offsets[s],
-            end: self.offsets[e],
+            start: s,
+            end: e,
         })
     }
 
@@ -290,8 +489,26 @@ impl<'t> Iterator for FindIter<'_, 't> {
     }
 }
 
+/// The shared multi-pattern prefilter of a [`RegexSet`]: one scanner over
+/// the union of every member's required literals, mapping each literal back
+/// to the pattern that requires it.
+#[derive(Debug, Clone)]
+struct SetPrefilter {
+    scanner: LiteralScanner,
+    /// Pattern index owning each literal id.
+    lit_owner: Vec<usize>,
+    /// Patterns with no literal requirement: always candidates.
+    always: Vec<usize>,
+}
+
 /// A set of patterns matched together, used by the log pipeline's noise
 /// filter and the activity matchers.
+///
+/// Membership tests run as a true multi-pattern engine: one shared literal
+/// scan over the line yields candidate pattern ids, and only those
+/// candidates are confirmed with their full regex. Patterns for which no
+/// literal requirement can be derived are always candidates; if no pattern
+/// yields literals the set falls back to the match-each-member loop.
 ///
 /// # Examples
 ///
@@ -305,6 +522,7 @@ impl<'t> Iterator for FindIter<'_, 't> {
 #[derive(Debug, Clone, Default)]
 pub struct RegexSet {
     regexes: Vec<Regex>,
+    prefilter: Option<SetPrefilter>,
 }
 
 impl RegexSet {
@@ -314,22 +532,90 @@ impl RegexSet {
             .iter()
             .map(|p| Regex::new(p.as_ref()))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(RegexSet { regexes })
+        let mut literals: Vec<String> = Vec::new();
+        let mut lit_owner = Vec::new();
+        let mut always = Vec::new();
+        for (idx, re) in regexes.iter().enumerate() {
+            match re.required_literals() {
+                Some(lits) => {
+                    for lit in lits {
+                        literals.push(lit.clone());
+                        lit_owner.push(idx);
+                    }
+                }
+                None => always.push(idx),
+            }
+        }
+        // A prefilter that admits everything is pure overhead.
+        let prefilter = if lit_owner.is_empty() {
+            None
+        } else {
+            Some(SetPrefilter {
+                scanner: LiteralScanner::new(&literals),
+                lit_owner,
+                always,
+            })
+        };
+        Ok(RegexSet { regexes, prefilter })
+    }
+
+    /// Candidate pattern indices for `text` (sorted, deduplicated), written
+    /// into `out`. Patterns not listed are guaranteed non-matching.
+    fn candidates(&self, pf: &SetPrefilter, text: &str, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&pf.always);
+        pf.scanner.scan(text, |lit, _| out.push(pf.lit_owner[lit]));
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Computes the candidate patterns for `text` into reusable scratch
+    /// and hands them (in index order) to `f`.
+    fn with_candidates<T>(&self, text: &str, f: impl FnOnce(&[usize]) -> T) -> T {
+        let pf = self
+            .prefilter
+            .as_ref()
+            .expect("with_candidates requires a prefilter");
+        CANDIDATE_BUF.with(|buf| {
+            let mut fallback = Vec::new();
+            let mut guard = buf.try_borrow_mut().ok();
+            let out = guard.as_deref_mut().unwrap_or(&mut fallback);
+            self.candidates(pf, text, out);
+            f(out)
+        })
     }
 
     /// Indices of all patterns that match `text`.
     pub fn matches(&self, text: &str) -> Vec<usize> {
-        self.regexes
-            .iter()
-            .enumerate()
-            .filter(|(_, re)| re.is_match(text))
-            .map(|(i, _)| i)
-            .collect()
+        match &self.prefilter {
+            Some(_) => self.with_candidates(text, |cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.regexes[i].is_match(text))
+                    .collect()
+            }),
+            None => self
+                .regexes
+                .iter()
+                .enumerate()
+                .filter(|(_, re)| re.is_match(text))
+                .map(|(i, _)| i)
+                .collect(),
+        }
     }
 
     /// Index of the first (lowest-index) matching pattern.
     pub fn first_match(&self, text: &str) -> Option<usize> {
-        self.regexes.iter().position(|re| re.is_match(text))
+        match &self.prefilter {
+            Some(_) => self.with_candidates(text, |cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .find(|&i| self.regexes[i].is_match(text))
+            }),
+            None => self.regexes.iter().position(|re| re.is_match(text)),
+        }
     }
 
     /// Number of patterns in the set.
@@ -460,5 +746,73 @@ mod tests {
         assert_eq!(set.matches("cab"), vec![0, 1, 2]);
         assert_eq!(set.matches("b"), vec![1]);
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn engines_agree_on_fixture_patterns() {
+        let cases = [
+            (
+                r"Terminated instance (?P<id>i-[0-9a-f]+)",
+                "... Terminated instance i-7df34041 ...",
+            ),
+            (r"Terminated instance i-\w+", "nothing relevant here"),
+            (r"[Rr]olling upgrade", "Started rolling upgrade task"),
+            (r"\d+ of \d+ instances", "saw 3 of 12 instances in service"),
+            (r"^\[task\] done$", "[task] done"),
+            (r"x+y?z*", "wxxyzz!"),
+        ];
+        for (pattern, text) in cases {
+            let re = Regex::new(pattern).unwrap();
+            let auto = re.captures_with(text, Engine::Auto);
+            let pikevm = re.captures_with(text, Engine::PikeVm);
+            let backtrack = re.captures_with(text, Engine::Backtracking);
+            for (name, got) in [("pike", &pikevm), ("backtracking", &backtrack)] {
+                match (&auto, got) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        for i in 0..a.len() {
+                            assert_eq!(
+                                a.get(i).map(|m| (m.start(), m.end())),
+                                b.get(i).map(|m| (m.start(), m.end())),
+                                "{pattern} vs {name} group {i} on {text:?}"
+                            );
+                        }
+                    }
+                    _ => panic!("{pattern}: auto={auto:?} {name}={got:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_limit_surfaces_as_error_and_metric() {
+        let re = Regex::new("(a+)+b").unwrap();
+        let text = "a".repeat(30);
+        let before = step_limit_hits();
+        assert_eq!(
+            re.try_captures_with(&text, Engine::Backtracking).err(),
+            Some(MatchError::StepLimit)
+        );
+        assert!(step_limit_hits() > before);
+        // The infallible API maps the failure to "no match"…
+        assert!(re.captures_with(&text, Engine::Backtracking).is_none());
+        // …while the default engine answers definitively.
+        assert!(re.try_captures(&text).unwrap().is_none());
+        assert!(re.captures(&format!("{text}b")).is_some());
+    }
+
+    #[test]
+    fn set_prefilter_confirms_candidates_only() {
+        let set = RegexSet::new(&[
+            r"ERROR",
+            r"Terminated instance i-\w+",
+            r"\d+\s\w+", // no derivable literal: always a candidate
+        ])
+        .unwrap();
+        assert_eq!(set.matches("ERROR: Terminated instance i-1"), vec![0, 1]);
+        assert_eq!(set.matches("7 dwarves"), vec![2]);
+        assert_eq!(set.first_match("Terminated instance i-9 ERROR"), Some(0));
+        assert_eq!(set.first_match("all quiet"), None);
+        assert!(set.matches("all quiet").is_empty());
     }
 }

@@ -4,12 +4,26 @@ use crate::compile::{Inst, Program};
 
 /// Upper bound on VM steps per match attempt; guards against pathological
 /// backtracking. Log lines are short and the system's patterns are fixed, so
-/// this limit is never reached in practice.
+/// this limit is never reached in practice — but when it is, the caller must
+/// be able to tell "gave up" apart from "no match" (see [`ExecOutcome`]).
 const STEP_LIMIT: usize = 1 << 22;
 
 /// The result of running the VM: capture slots (`None` where a group did not
 /// participate in the match).
 pub type Slots = Vec<Option<usize>>;
+
+/// Outcome of one VM execution. `StepLimit` means the engine abandoned the
+/// attempt after [`STEP_LIMIT`] steps: the input may or may not match, and
+/// callers must not report it as a clean non-match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The program matched; capture slots are recorded.
+    Match(Slots),
+    /// The program definitively does not match at this start position.
+    NoMatch,
+    /// The step budget was exhausted before an answer was found.
+    StepLimit,
+}
 
 #[derive(Debug)]
 struct Frame {
@@ -20,8 +34,8 @@ struct Frame {
 }
 
 /// Attempts to match `prog` against `input` starting exactly at char index
-/// `start`. Returns the capture slots on success.
-pub fn exec(prog: &Program, input: &[char], start: usize) -> Option<Slots> {
+/// `start`.
+pub fn exec(prog: &Program, input: &[char], start: usize) -> ExecOutcome {
     let mut slots: Slots = vec![None; prog.n_slots];
     let mut regs: Vec<usize> = vec![usize::MAX; prog.n_regs];
     let mut stack: Vec<Frame> = Vec::new();
@@ -39,7 +53,7 @@ pub fn exec(prog: &Program, input: &[char], start: usize) -> Option<Slots> {
                     regs = f.regs;
                     continue;
                 }
-                None => return None,
+                None => return ExecOutcome::NoMatch,
             }
         };
     }
@@ -47,7 +61,7 @@ pub fn exec(prog: &Program, input: &[char], start: usize) -> Option<Slots> {
     loop {
         steps += 1;
         if steps > STEP_LIMIT {
-            return None;
+            return ExecOutcome::StepLimit;
         }
         match &prog.insts[pc] {
             Inst::Char(c) => {
@@ -123,7 +137,7 @@ pub fn exec(prog: &Program, input: &[char], start: usize) -> Option<Slots> {
                     backtrack!();
                 }
             }
-            Inst::Match => return Some(slots),
+            Inst::Match => return ExecOutcome::Match(slots),
         }
     }
 }
@@ -138,7 +152,11 @@ mod tests {
         let parsed = parse(pattern).unwrap();
         let prog = compile(&parsed.ast, parsed.capture_count);
         let chars: Vec<char> = text.chars().collect();
-        exec(&prog, &chars, 0)
+        match exec(&prog, &chars, 0) {
+            ExecOutcome::Match(slots) => Some(slots),
+            ExecOutcome::NoMatch => None,
+            ExecOutcome::StepLimit => panic!("unexpected step limit"),
+        }
     }
 
     #[test]
@@ -176,5 +194,16 @@ mod tests {
     fn anchors_enforced() {
         assert!(run("^ab$", "ab").is_some());
         assert!(run("^ab$", "abx").is_none());
+    }
+
+    #[test]
+    fn step_limit_is_a_distinct_outcome() {
+        // Classic catastrophic backtracking: nested quantifier plus a
+        // forced failure at the end. The VM must report `StepLimit`, not
+        // pretend the line cleanly failed to match.
+        let parsed = parse("(a+)+b").unwrap();
+        let prog = compile(&parsed.ast, parsed.capture_count);
+        let chars: Vec<char> = "a".repeat(30).chars().collect();
+        assert_eq!(exec(&prog, &chars, 0), ExecOutcome::StepLimit);
     }
 }

@@ -1,0 +1,138 @@
+//! Differential tests: the prefiltered Pike-VM fast path must be
+//! observationally identical to the legacy backtracking engine.
+//!
+//! Random patterns are generated from the supported dialect's grammar and
+//! run against random inputs on all three engines ([`Engine::Auto`],
+//! [`Engine::PikeVm`], [`Engine::Backtracking`]); `is_match`, the overall
+//! find span, and every capture group's span must agree. The backtracker is
+//! the reference semantics; cases where it exhausts its step budget (so
+//! there is no reference answer) are skipped.
+
+use pod_regex::{Engine, Regex};
+use proptest::prelude::*;
+
+/// Random pattern strings from the supported grammar. Leaves draw from a
+/// small alphabet (so random inputs actually collide with them) plus the
+/// shorthand classes; composites add concatenation, alternation, capture
+/// groups and greedy/lazy repetition.
+fn pattern_strategy() -> BoxedStrategy<String> {
+    let leaf = prop::sample::select(vec![
+        "a", "b", "c", "1", " ", "ab", "bc", "a1", r"\d", r"\w", r"\s", r"\.", ".", "[ab]", "[^a]",
+        "[a-c]", "[b1 ]",
+    ])
+    .prop_map(str::to_string)
+    .boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Concatenation.
+            prop::collection::vec(inner.clone(), 2..4).prop_map(|parts| parts.concat()),
+            // Alternation, grouped so precedence stays local.
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(?:{a}|{b})")),
+            // Capturing group (named groups only change lookup, not spans).
+            inner.clone().prop_map(|p| format!("({p})")),
+            // Repetition over a grouped operand, greedy and lazy.
+            (
+                inner.clone(),
+                prop::sample::select(vec![
+                    "*", "+", "?", "{2}", "{1,3}", "{0,2}", "*?", "+?", "??",
+                ]),
+            )
+                .prop_map(|(p, op)| format!("(?:{p}){op}")),
+            // Anchored variant.
+            inner.prop_map(|p| format!("^{p}")),
+        ]
+    })
+}
+
+/// Asserts that `engine` produces exactly the reference engine's answer
+/// for `re` on `input`: same match/no-match, same group-0 span, same span
+/// for every capture group.
+fn assert_engines_agree(re: &Regex, input: &str, engine: Engine, pattern: &str) {
+    let reference = match re.try_captures_with(input, Engine::Backtracking) {
+        Ok(r) => r,
+        // The backtracker gave up (MatchError::StepLimit): there is no
+        // reference answer to compare against.
+        Err(_) => return,
+    };
+    let got = re.captures_with(input, engine);
+    match (&reference, &got) {
+        (None, None) => {}
+        (Some(want), Some(have)) => {
+            assert_eq!(
+                want.len(),
+                have.len(),
+                "group count diverged: {pattern:?} on {input:?} ({engine:?})"
+            );
+            for group in 0..want.len() {
+                let span = |c: &pod_regex::Captures<'_>| c.get(group).map(|m| (m.start(), m.end()));
+                assert_eq!(
+                    span(want),
+                    span(have),
+                    "group {group} diverged: {pattern:?} on {input:?} ({engine:?})"
+                );
+            }
+        }
+        _ => panic!(
+            "is_match diverged: {pattern:?} on {input:?} ({engine:?}): \
+             backtracking={:?} fast={:?}",
+            reference.is_some(),
+            got.is_some()
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    /// Auto (prefilter + Pike VM) and bare Pike VM agree with the
+    /// backtracker on random (pattern, input) pairs.
+    #[test]
+    fn random_patterns_agree_across_engines(
+        pattern in pattern_strategy(),
+        input in "[abc1 ]{0,14}",
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern must parse");
+        assert_engines_agree(&re, &input, Engine::Auto, &pattern);
+        assert_engines_agree(&re, &input, Engine::PikeVm, &pattern);
+    }
+
+    /// Same property against inputs biased to contain full pattern leaves,
+    /// so matches (not just rejections) are exercised heavily.
+    #[test]
+    fn match_heavy_inputs_agree_across_engines(
+        pattern in pattern_strategy(),
+        head in "[abc1 ]{0,6}",
+        tail in "[abc1 ]{0,6}",
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern must parse");
+        for middle in ["ab", "abc", "a1 b", "ccc"] {
+            let input = format!("{head}{middle}{tail}");
+            assert_engines_agree(&re, &input, Engine::Auto, &pattern);
+            assert_engines_agree(&re, &input, Engine::PikeVm, &pattern);
+        }
+    }
+
+    /// The production rule patterns agree across engines on random lines.
+    #[test]
+    fn fixture_like_patterns_agree(
+        pattern in prop::sample::select(vec![
+            r"Terminated instance (?P<id>i-[0-9a-f]+)",
+            r"[Rr]olling upgrade",
+            r"Waiting for ASG (?P<asg>[\w-]+)",
+            r"(?P<n>\d+) of (?P<m>\d+) instances",
+            r"^\[(?P<ts>\d{4})\]",
+            r"ERROR",
+        ]),
+        line in "[a-z0-9 \\[\\]:,.-]{0,40}",
+    ) {
+        let re = Regex::new(pattern).unwrap();
+        for input in [
+            line.clone(),
+            format!("{line} Terminated instance i-7df34041"),
+            format!("[2013] Rolling upgrade: 3 of 12 instances, ERROR {line}"),
+        ] {
+            assert_engines_agree(&re, &input, Engine::Auto, pattern);
+            assert_engines_agree(&re, &input, Engine::PikeVm, pattern);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Golden test for the annotator's candidate dispatch: over the full E1
+//! rolling-upgrade log (operation lines interleaved with application
+//! noise), the literal-index fast path must classify every line exactly
+//! like the naive match-each-pattern backtracking loop.
+
+use pod_orchestrator::process_def::rolling_upgrade_rules;
+use pod_regex::RegexSet;
+
+#[test]
+fn fast_path_annotation_matches_naive_over_e1_log() {
+    let rules = rolling_upgrade_rules();
+    let lines = pod_bench::upgrade_log_lines(7, 4, 4);
+    assert!(lines.len() > 50, "fixture log is suspiciously short");
+    let mut operation_hits = 0usize;
+    let mut noise_misses = 0usize;
+    for line in &lines {
+        let fast = rules.match_line(line);
+        let naive = rules.match_line_naive(line);
+        assert_eq!(fast, naive, "divergence on line: {line}");
+        match fast {
+            Some(_) => operation_hits += 1,
+            None => noise_misses += 1,
+        }
+    }
+    // The E1 log must exercise both outcomes heavily: every operation
+    // phase line is tagged, every noise line falls through.
+    assert!(operation_hits >= 10, "only {operation_hits} lines tagged");
+    assert!(noise_misses >= 40, "only {noise_misses} lines untagged");
+}
+
+#[test]
+fn relevance_set_agrees_with_per_pattern_scan_over_e1_log() {
+    let patterns = pod_orchestrator::process_def::relevance_patterns();
+    let set = RegexSet::new(&patterns).unwrap();
+    let regexes: Vec<pod_regex::Regex> = patterns
+        .iter()
+        .map(|p| pod_regex::Regex::new(p).unwrap())
+        .collect();
+    for line in pod_bench::upgrade_log_lines(11, 4, 4) {
+        let via_set = set.matches(&line);
+        let via_loop: Vec<usize> = regexes
+            .iter()
+            .enumerate()
+            .filter(|(_, re)| re.is_match(&line))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(via_set, via_loop, "divergence on line: {line}");
+    }
+}
