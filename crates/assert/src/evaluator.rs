@@ -53,7 +53,8 @@ pub struct AssertionRecord {
     /// The process context the evaluation ran under, if any.
     pub context: Option<ProcessContext>,
     /// The `assertion.result` causal event emitted for this evaluation, so
-    /// the engine can parent a detection on it.
+    /// the engine can parent a detection on it. `Some` only for failures:
+    /// passing evaluations are counted (`assertion.passed`), not traced.
     pub event: Option<pod_obs::EventId>,
 }
 
@@ -126,32 +127,38 @@ impl AssertionEvaluator {
         context: Option<&ProcessContext>,
     ) -> AssertionRecord {
         let obs = self.api.cloud().obs().clone();
-        let span = obs.span("assertion.eval");
-        span.attr("trigger", trigger.tag());
-        // Emitted before evaluation so consistent-layer retries made while
-        // evaluating chain under this event (the ambient cause).
-        let emitted = obs.event("assertion.result", assertion.key());
-        emitted.attr("trigger", trigger.tag());
-        if let Some(step) = context.and_then(|c| c.step_id.as_deref()) {
-            emitted.attr("step", step);
-        }
         let started_at = self.api.cloud().clock().now();
-        let outcome = {
-            let _scope = obs.events().scope(Some(emitted.id()));
-            assertion.evaluate(&self.api, env)
-        };
-        let verdict = if outcome.is_failure() {
-            "failed"
-        } else {
-            "passed"
-        };
-        span.attr("outcome", verdict);
-        emitted.attr("outcome", verdict);
+        let outcome = assertion.evaluate(&self.api, env);
         let finished = self.api.cloud().clock().now();
-        emitted.attr(
-            "duration_ms",
-            finished.duration_since(started_at).as_millis(),
-        );
+        let duration = finished.duration_since(started_at);
+        // Outcome-conditional tracing: a passing assertion bumps a counter
+        // (its latency is already in the API-call histograms) while a
+        // failing one retroactively materialises the `assertion.eval` span
+        // and the `assertion.result` event diagnosis parents detections
+        // on. At gateway scale passes outnumber failures ten to one, so
+        // the healthy path stays allocation-free.
+        let event = if outcome.is_failure() {
+            obs.record_span(
+                "assertion.eval",
+                started_at,
+                vec![
+                    ("trigger", trigger.tag().to_string()),
+                    ("outcome", "failed".to_string()),
+                ],
+            );
+            let mut attrs = vec![
+                ("trigger", trigger.tag().to_string()),
+                ("outcome", "failed".to_string()),
+                ("duration_ms", duration.as_millis().to_string()),
+            ];
+            if let Some(step) = context.and_then(|c| c.step_id.as_deref()) {
+                attrs.push(("step", step.to_string()));
+            }
+            obs.event_with("assertion.result", assertion.key(), attrs)
+        } else {
+            obs.counter("assertion.passed").incr();
+            None
+        };
         let description = assertion.describe(env);
         let record = AssertionRecord {
             assertion: assertion.clone(),
@@ -159,9 +166,9 @@ impl AssertionEvaluator {
             outcome: outcome.clone(),
             trigger: trigger.clone(),
             started_at,
-            duration: finished.duration_since(started_at),
+            duration,
             context: context.cloned(),
-            event: Some(emitted.id()),
+            event,
         };
         self.storage.append(self.render(&record));
         record

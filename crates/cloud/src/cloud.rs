@@ -251,7 +251,11 @@ impl Cloud {
         &self,
         f: impl FnOnce(&mut Inner, SimTime) -> Result<T, ApiError>,
     ) -> Result<T, ApiError> {
-        let span = self.obs.span("cloud.api.call");
+        // Outcome-conditional tracing: healthy calls are fully accounted
+        // by the `calls`/`latency_us` metrics (with exemplars), so they
+        // pay only a clock read here; a span is materialised
+        // retroactively for the anomalous outcomes diagnosis cares about.
+        let started_at = self.clock.now();
         let mut inner = self.inner.lock();
         let model = inner.config.api_latency.clone();
         let latency = model.sample(&mut inner.rng);
@@ -261,13 +265,21 @@ impl Cloud {
         self.metrics.latency_us.record(latency.as_micros());
         if !inner.throttle.try_take(now) {
             self.metrics.throttled.incr();
-            span.attr("outcome", "throttled");
+            self.obs.record_span(
+                "cloud.api.call",
+                started_at,
+                vec![("outcome", "throttled".to_string())],
+            );
             return Err(ApiError::Throttling);
         }
         let failure_prob = inner.config.api_failure_prob;
         if failure_prob > 0.0 && inner.rng.chance(failure_prob) {
             self.metrics.errors.incr();
-            span.attr("outcome", "transient-error");
+            self.obs.record_span(
+                "cloud.api.call",
+                started_at,
+                vec![("outcome", "transient-error".to_string())],
+            );
             return Err(ApiError::Internal("transient service error".into()));
         }
         f(&mut inner, now)

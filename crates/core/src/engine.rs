@@ -16,7 +16,7 @@ use pod_log::{
     ImportantLineForwarder, LogEvent, LogStorage, NoiseFilter, Pipeline, PipelineOutput,
     ProcessAnnotator, ProcessContext, Severity, TimerSetter, Trigger,
 };
-use pod_obs::{Counter, Histogram, Obs, LATENCY_BOUNDS_US};
+use pod_obs::{Counter, Exemplar, LogHistogram, Obs};
 use pod_process::{Conformance, ConformanceChecker};
 use pod_regex::{Regex, RegexSet};
 use pod_sim::{LatencyModel, SimDuration, SimRng, SimTime};
@@ -33,7 +33,10 @@ const MASTER_TREE_KEY: &str = "asg-has-n-instances-with-version";
 struct EngineMetrics {
     detections: Counter,
     diagnoses: Counter,
-    replay_latency_us: Histogram,
+    /// Log-scale so one layout covers both the ≈10 ms common case and the
+    /// multi-second diagnosis-coupled tail; tail observations carry an
+    /// exemplar naming the run and causal event.
+    replay_latency_us: LogHistogram,
 }
 
 impl EngineMetrics {
@@ -41,7 +44,7 @@ impl EngineMetrics {
         EngineMetrics {
             detections: obs.counter("engine.detections"),
             diagnoses: obs.counter("engine.diagnoses"),
-            replay_latency_us: obs.histogram("conformance.replay_latency_us", LATENCY_BOUNDS_US),
+            replay_latency_us: obs.log_histogram("conformance.replay_latency_us"),
         }
     }
 }
@@ -237,12 +240,17 @@ impl PodEngine {
     }
 
     /// Applies one line's pipeline output: forwarded events go to central
-    /// storage and triggers run scoped under the line's `log.line` causal
-    /// event, so conformance verdicts, assertion results and timer arming
-    /// all chain back to the line that caused them.
+    /// storage and triggers run scoped under the line's *pending* `log.line`
+    /// causal root, so conformance verdicts, assertion results and timer
+    /// arming all chain back to the line that caused them. The root only
+    /// materialises in the event ring when something actually emits under
+    /// it — healthy lines (fit verdicts, passing assertions) record nothing.
     fn handle_pipeline_output(&mut self, out: PipelineOutput, ring: &pod_obs::EventLog) {
         self.storage.extend(out.forwarded);
-        let _scope = ring.scope(out.cause);
+        let _scope = match out.cause {
+            Some(c) => self.cloud.obs().scope_cause("log.line", c.source, c.attrs),
+            None => ring.scope(None),
+        };
         for trigger in out.triggers {
             match trigger {
                 Trigger::Conformance(e) => self.on_conformance(e),
@@ -282,7 +290,6 @@ impl PodEngine {
     // -----------------------------------------------------------------
 
     fn on_conformance(&mut self, event: LogEvent) {
-        let span = self.cloud.obs().span("conformance.replay");
         let replay_started = self.cloud.clock().now();
         // The conformance service call costs ≈ 10 ms.
         self.cloud.clock().advance(self.conformance_latency);
@@ -295,17 +302,33 @@ impl PodEngine {
                 self.conformance.record_error(&self.trace_id, known)
             }
         };
-        if let Some(act) = &activity {
-            span.attr("activity", act);
-        }
-        span.attr("verdict", verdict.tag());
-        self.metrics.replay_latency_us.record(
+        // Outcome-conditional tracing: fit replays are counted by the
+        // checker and measured by `replay_latency_us` (with exemplars);
+        // only non-fit replays materialise a `conformance.replay` span,
+        // retroactively covering the whole service call.
+        if verdict.is_error() {
+            let mut attrs = Vec::with_capacity(2);
+            if let Some(act) = &activity {
+                attrs.push(("activity", act.to_string()));
+            }
+            attrs.push(("verdict", verdict.tag().to_string()));
             self.cloud
-                .clock()
-                .now()
-                .duration_since(replay_started)
-                .as_micros(),
-        );
+                .obs()
+                .record_span("conformance.replay", replay_started, attrs);
+        }
+        let replay_done = self.cloud.clock().now();
+        let replay_us = replay_done.duration_since(replay_started).as_micros();
+        self.metrics
+            .replay_latency_us
+            .record_with(replay_us, || Exemplar {
+                value: replay_us,
+                at: replay_done,
+                event: self.conformance.last_verdict_event().map(|id| id.get()),
+                labels: vec![
+                    ("op".to_string(), self.trace_id.clone()),
+                    ("verdict".to_string(), verdict.tag().to_string()),
+                ],
+            });
         self.log_conformance(&event, &verdict);
         if verdict.is_error() {
             self.summary.conformance_errors += 1;

@@ -388,7 +388,7 @@ fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
     let incidents = pod_obs::incidents(&dump.events)
         .iter()
         .map(|c| IncidentSummary {
-            detection: c.detection.name.clone(),
+            detection: c.detection.name.to_string(),
             hops: c.hops.len(),
             anchored: c.anchored,
             diagnosed: c.diagnosed,
@@ -714,7 +714,13 @@ mod tests {
         assert!(!dump.spans.is_empty());
         assert!(!dump.events.is_empty());
         assert!(dump.trace_id.starts_with("run-"));
-        assert!(record.stage_self_us.contains_key("cloud.api.call"));
+        // Healthy API calls are counted, not traced (outcome-conditional
+        // tracing), so the stage map attributes to the process steps.
+        assert!(
+            record.stage_self_us.contains_key("upgrade.step"),
+            "stages: {:?}",
+            record.stage_self_us.keys().collect::<Vec<_>>()
+        );
         assert!(!record.incidents.is_empty());
         assert_eq!(record.events_dropped, 0);
     }

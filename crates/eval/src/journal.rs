@@ -8,7 +8,7 @@
 //! the `run` id it belongs to.
 
 use pod_log::Json;
-use pod_obs::{EventRecord, IncidentChain, Snapshot, SpanRecord};
+use pod_obs::{EventRecord, FlightDump, IncidentChain, Snapshot, SpanRecord};
 
 use crate::metrics::MetricSet;
 
@@ -61,6 +61,96 @@ pub fn snapshot_lines(run: &str, snapshot: &Snapshot) -> Vec<Json> {
     out
 }
 
+/// One record per retained tail exemplar in `snapshot`: the concrete
+/// observation (value, virtual time, causal event, labels) a histogram's
+/// tail quantiles link back to.
+pub fn exemplar_lines(run: &str, snapshot: &Snapshot) -> Vec<Json> {
+    let mut out = Vec::new();
+    for (name, exemplars) in &snapshot.exemplars {
+        for e in exemplars {
+            let mut o = Json::object();
+            o.set("record", Json::str("exemplar"));
+            o.set("run", Json::str(run));
+            o.set("name", Json::str(name.clone()));
+            o.set("value", num(e.value));
+            o.set("at_us", num(e.at.as_micros()));
+            if let Some(event) = e.event {
+                o.set("event", num(event));
+            }
+            if !e.labels.is_empty() {
+                let mut labels = Json::object();
+                for (k, v) in &e.labels {
+                    labels.set(k.clone(), Json::str(v.clone()));
+                }
+                o.set("labels", labels);
+            }
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// The `FLIGHT_<op>.json` document: the flight recorder's black box as one
+/// JSON object — every frame with its counters, gauges and histogram
+/// quantile summaries, plus the incident marks and eviction accounting.
+pub fn flight_json(run: &str, dump: &FlightDump) -> Json {
+    let mut doc = Json::object();
+    doc.set("record", Json::str("flight"));
+    doc.set("run", Json::str(run));
+    doc.set("evicted_frames", num(dump.evicted_frames));
+    doc.set("dropped_incidents", num(dump.dropped_incidents));
+    let frames = dump
+        .frames
+        .iter()
+        .map(|f| {
+            let mut frame = Json::object();
+            frame.set("at_us", num(f.at.as_micros()));
+            let mut counters = Json::object();
+            for (name, value) in &f.snapshot.counters {
+                counters.set(name.clone(), num(*value));
+            }
+            frame.set("counters", counters);
+            if !f.snapshot.gauges.is_empty() {
+                let mut gauges = Json::object();
+                for (name, value) in &f.snapshot.gauges {
+                    gauges.set(name.clone(), Json::Number(*value as f64));
+                }
+                frame.set("gauges", gauges);
+            }
+            if !f.snapshot.histograms.is_empty() {
+                let mut hists = Json::object();
+                for (name, h) in &f.snapshot.histograms {
+                    let mut ho = Json::object();
+                    ho.set("count", num(h.count));
+                    if h.count > 0 {
+                        for (key, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                            if let Some(v) = h.quantile(q) {
+                                ho.set(key, num(v));
+                            }
+                        }
+                    }
+                    hists.set(name.clone(), ho);
+                }
+                frame.set("histograms", hists);
+            }
+            frame
+        })
+        .collect();
+    doc.set("frames", Json::Array(frames));
+    let incidents = dump
+        .incidents
+        .iter()
+        .map(|inc| {
+            let mut o = Json::object();
+            o.set("at_us", num(inc.at.as_micros()));
+            o.set("label", Json::str(inc.label.clone()));
+            o
+        })
+        .collect();
+    doc.set("incidents", Json::Array(incidents));
+    doc
+}
+
 /// One record per finished span.
 pub fn span_lines(run: &str, spans: &[SpanRecord]) -> Vec<Json> {
     spans
@@ -73,13 +163,13 @@ pub fn span_lines(run: &str, spans: &[SpanRecord]) -> Vec<Json> {
             if let Some(parent) = s.parent {
                 o.set("parent", num(parent));
             }
-            o.set("name", Json::str(s.name.clone()));
+            o.set("name", Json::str(s.name));
             o.set("start_us", num(s.start.as_micros()));
             o.set("end_us", num(s.end.as_micros()));
             if !s.attrs.is_empty() {
                 let mut attrs = Json::object();
                 for (k, v) in &s.attrs {
-                    attrs.set(k.clone(), Json::str(v.clone()));
+                    attrs.set(*k, Json::str(v.clone()));
                 }
                 o.set("attrs", attrs);
             }
@@ -103,13 +193,13 @@ pub fn event_lines(run: &str, events: &[EventRecord]) -> Vec<Json> {
             if let Some(span) = e.span {
                 o.set("span", num(span));
             }
-            o.set("kind", Json::str(e.kind.clone()));
+            o.set("kind", Json::str(e.kind));
             o.set("name", Json::str(e.name.clone()));
             o.set("at_us", num(e.at.as_micros()));
             if !e.attrs.is_empty() {
                 let mut attrs = Json::object();
                 for (k, v) in &e.attrs {
-                    attrs.set(k.clone(), Json::str(v.clone()));
+                    attrs.set(*k, Json::str(v.clone()));
                 }
                 o.set("attrs", attrs);
             }
@@ -131,7 +221,7 @@ pub fn incident_lines(run: &str, chains: &[IncidentChain]) -> Vec<Json> {
             o.set("detection_event", num(c.detection.id));
             o.set(
                 "hops",
-                Json::Array(c.hops.iter().map(|h| Json::str(h.kind.clone())).collect()),
+                Json::Array(c.hops.iter().map(|h| Json::str(h.kind)).collect()),
             );
             o.set("anchored", Json::Bool(c.anchored));
             o.set("diagnosed", Json::Bool(c.diagnosed));
@@ -280,10 +370,10 @@ mod tests {
         let spans = [SpanRecord {
             id: 1,
             parent: None,
-            name: "x".into(),
+            name: "x",
             start: SimTime::ZERO,
             end: SimTime::from_millis(2),
-            attrs: vec![("k".into(), "v".into())],
+            attrs: vec![("k", "v".into())],
         }];
         let line = &span_lines("r", &spans)[0];
         let parsed = Json::parse(&line.to_string()).unwrap();
@@ -376,6 +466,53 @@ mod tests {
             .expect("the serving shard is in the journal");
         assert_eq!(busy.get("record").unwrap().as_str(), Some("gateway-shard"));
         assert!(busy.get("queue_wait_p99_us").is_some());
+    }
+
+    #[test]
+    fn exemplar_and_flight_records_round_trip() {
+        let obs = Obs::detached();
+        let h = obs.log_histogram("gateway.queue_wait_us");
+        h.record_with(4_321, || pod_obs::Exemplar {
+            value: 4_321,
+            at: SimTime::from_millis(7),
+            event: Some(3),
+            labels: vec![("op".into(), "i-0001".into())],
+        });
+        let lines = exemplar_lines("soak", &obs.snapshot());
+        assert_eq!(lines.len(), 1);
+        let parsed = Json::parse(&lines[0].to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("exemplar"));
+        assert_eq!(parsed.get("value").unwrap().as_f64(), Some(4321.0));
+        assert_eq!(parsed.get("event").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            parsed.get("labels").unwrap().get("op").unwrap().as_str(),
+            Some("i-0001")
+        );
+
+        let rec = pod_obs::FlightRecorder::new(
+            obs.clock().clone(),
+            obs.registry().clone(),
+            pod_obs::FlightConfig::default(),
+        );
+        rec.tick();
+        rec.mark_incident("i-0001 detection");
+        let doc = flight_json("soak", &rec.dump());
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("flight"));
+        let frames = parsed.get("frames").unwrap().as_array().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(frames[0]
+            .get("histograms")
+            .unwrap()
+            .get("gateway.queue_wait_us")
+            .unwrap()
+            .get("p99")
+            .is_some());
+        let incidents = parsed.get("incidents").unwrap().as_array().unwrap();
+        assert_eq!(
+            incidents[0].get("label").unwrap().as_str(),
+            Some("i-0001 detection")
+        );
     }
 
     #[test]

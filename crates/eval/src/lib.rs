@@ -20,7 +20,12 @@
 //! - [`collect_streams`] / [`replay`] / [`sweep_batches`] — the gateway
 //!   soak: many interleaved faulty upgrades serialized to raw lines, then
 //!   replayed through one `pod-gateway` with per-operation engines (the
-//!   `BENCH_gateway.json` content).
+//!   `BENCH_gateway.json` content);
+//! - [`replay_telemetry`] — the same soak under an explicit
+//!   `TelemetryMode` (off/sampled/full), with tail-based trace sampling,
+//!   queue-wait tail exemplars and the gateway's flight-recorder dump (the
+//!   `BENCH_obs.json` / `FLIGHT_*.json` content, via [`exemplar_lines`] and
+//!   [`flight_json`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,15 +44,15 @@ pub use campaign::{
     IncidentSummary, RunPlan, RunRecord, TraceDump,
 };
 pub use journal::{
-    event_lines, gateway_lines, incident_lines, metrics_line, render_journal, snapshot_lines,
-    span_lines,
+    event_lines, exemplar_lines, flight_json, gateway_lines, incident_lines, metrics_line,
+    render_journal, snapshot_lines, span_lines,
 };
 pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
 pub use profile::{stage_self_times, LatencyProfile};
 pub use report::{render_gateway_report, render_metrics_line, render_report};
 pub use scenario::{build_engine, build_scenario, pod_config, Scenario, ScenarioConfig};
 pub use soak::{
-    collect_streams, render_soak_report, replay, soak_bench_json, sweep_batches, OpStream,
-    SoakConfig, SoakOpResult, SoakReport, SoakStreams,
+    collect_streams, render_soak_report, replay, replay_telemetry, soak_bench_json, sweep_batches,
+    OpStream, SoakConfig, SoakOpResult, SoakReport, SoakStreams,
 };
 pub use timing::TimingStats;

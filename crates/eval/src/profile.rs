@@ -30,7 +30,7 @@ pub fn stage_self_times(spans: &[SpanRecord]) -> BTreeMap<String, u64> {
             .duration()
             .as_micros()
             .saturating_sub(child_time.get(&span.id).copied().unwrap_or(0));
-        *by_name.entry(span.name.clone()).or_insert(0) += own;
+        *by_name.entry(span.name.to_string()).or_insert(0) += own;
     }
     by_name
 }
@@ -202,11 +202,17 @@ mod tests {
     use super::*;
     use pod_sim::SimTime;
 
-    fn span(id: u64, parent: Option<u64>, name: &str, start_ms: u64, end_ms: u64) -> SpanRecord {
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> SpanRecord {
         SpanRecord {
             id,
             parent,
-            name: name.into(),
+            name,
             start: SimTime::from_millis(start_ms),
             end: SimTime::from_millis(end_ms),
             attrs: Vec::new(),

@@ -16,12 +16,21 @@
 //!
 //! Everything runs on deterministic virtual clocks, so the same
 //! [`SoakConfig`] always produces a byte-identical [`SoakReport::digest`].
+//!
+//! [`replay_telemetry`] runs the same replay under an explicit
+//! [`TelemetryMode`]: `Off` records no spans/events at all (the overhead
+//! baseline), `Sampled` records everything but *retains* per-operation
+//! traces only when the tail-based [`TailSampler`] keeps them (detections,
+//! errors, degradation warnings and tail-latency exemplars are never
+//! discarded), and `Full` retains every trace. The mode never changes the
+//! detections — [`SoakReport::digest`] is byte-identical across all three.
 
 use std::collections::BTreeSet;
 
 use pod_cloud::Cloud;
 use pod_gateway::{Gateway, GatewayConfig, GatewayStats, OpId};
 use pod_log::{Json, LogEvent};
+use pod_obs::{FlightDump, RunSignals, SampleVerdict, SamplerConfig, TailSampler, TelemetryMode};
 use pod_orchestrator::{
     FaultInjector, FaultType, Interference, NoiseGenerator, RollingUpgrade, UpgradeObserver,
     UpgradeOutcome,
@@ -43,6 +52,12 @@ pub struct SoakConfig {
     /// Every n-th operation also suffers a shared-account interference
     /// operation (scale-out or random termination). 0 disables.
     pub interference_every: usize,
+    /// Every n-th operation suffers an injected fault (cycling through all
+    /// eight types); the rest run healthy. 1 = every operation is faulty
+    /// (the default, and the historical behavior), 0 = no faults. A
+    /// mostly-healthy mix is what gives tail-based sampling something to
+    /// discard — see the `obs_overhead` bench.
+    pub fault_every: usize,
 }
 
 impl Default for SoakConfig {
@@ -52,6 +67,7 @@ impl Default for SoakConfig {
             seed: 2014,
             noise_rate: 0.05,
             interference_every: 4,
+            fault_every: 1,
         }
     }
 }
@@ -60,8 +76,8 @@ impl Default for SoakConfig {
 /// can build an engine against the same cloud) and its raw line stream.
 #[derive(Debug)]
 pub struct OpStream {
-    /// The fault injected into this operation.
-    pub fault: FaultType,
+    /// The fault injected into this operation (`None` = healthy run).
+    pub fault: Option<FaultType>,
     /// The scenario the upgrade ran on (cloud state is post-upgrade).
     pub scenario: Scenario,
     /// The scenario's configuration (needed to rebuild the engine).
@@ -91,8 +107,8 @@ pub struct SoakStreams {
 pub struct SoakOpResult {
     /// The operation's trace id (its gateway instance id).
     pub trace_id: String,
-    /// The injected fault.
-    pub fault: FaultType,
+    /// The injected fault (`None` = healthy run).
+    pub fault: Option<FaultType>,
     /// The shard that served the operation.
     pub shard: usize,
     /// Raw lines the operation submitted.
@@ -105,6 +121,12 @@ pub struct SoakOpResult {
     pub upgrade_completed: bool,
     /// The canonical detection digest (see `pod_core::RunSummary::digest`).
     pub digest: String,
+    /// The tail-sampling verdict for this operation's trace
+    /// ([`TelemetryMode::Sampled`] only; `None` means no sampling ran —
+    /// everything retained under `Full`, nothing recorded under `Off`).
+    pub verdict: Option<SampleVerdict>,
+    /// Incident chains reconstructed from this operation's retained trace.
+    pub incidents: usize,
 }
 
 /// The replay result: per-operation outcomes plus gateway-level statistics.
@@ -122,6 +144,17 @@ pub struct SoakReport {
     pub lines_total: u64,
     /// Cross-operation leakage findings (must be empty).
     pub leaks: Vec<String>,
+    /// The telemetry mode the replay ran under.
+    pub mode: TelemetryMode,
+    /// Operation traces retained (all of them under `Full`, the sampler's
+    /// keep set under `Sampled`, zero under `Off`).
+    pub kept_traces: usize,
+    /// Operation traces recorded but discarded by the sampler.
+    pub discarded_traces: usize,
+    /// Incident chains reconstructed across all retained traces.
+    pub incidents: usize,
+    /// The gateway's flight-recorder black box, when enabled.
+    pub flight: Option<FlightDump>,
 }
 
 impl SoakReport {
@@ -165,9 +198,9 @@ fn instance_tokens(text: &str, out: &mut BTreeSet<String>) {
 /// launch configuration, like the campaign) and emits plaintext noise.
 struct SoakCollector<'s> {
     scenario: &'s Scenario,
-    fault: FaultType,
+    fault: Option<FaultType>,
     inject_at: SimTime,
-    injector: FaultInjector,
+    injector: Option<FaultInjector>,
     injected_at: Option<SimTime>,
     interference: Option<(SimTime, Interference)>,
     noise: NoiseGenerator,
@@ -194,16 +227,20 @@ impl UpgradeObserver for SoakCollector<'_> {
     }
 
     fn on_tick(&mut self, cloud: &Cloud, now: SimTime) {
-        if self.injected_at.is_none() && now >= self.inject_at {
-            let ready = !self.fault.is_configuration_fault() || self.lc_exists(cloud);
-            if ready {
-                self.injector.inject(
-                    cloud,
-                    &self.scenario.upgrade,
-                    &self.scenario.upgrade_lc_name,
-                    &mut self.rng,
-                );
-                self.injected_at = Some(now);
+        if let Some(fault) = self.fault {
+            if self.injected_at.is_none() && now >= self.inject_at {
+                let ready = !fault.is_configuration_fault() || self.lc_exists(cloud);
+                if ready {
+                    if let Some(injector) = self.injector.as_mut() {
+                        injector.inject(
+                            cloud,
+                            &self.scenario.upgrade,
+                            &self.scenario.upgrade_lc_name,
+                            &mut self.rng,
+                        );
+                    }
+                    self.injected_at = Some(now);
+                }
             }
         }
         if let Some((at, kind)) = self.interference {
@@ -221,7 +258,7 @@ impl UpgradeObserver for SoakCollector<'_> {
 
 /// One operation's deterministic plan.
 struct OpPlan {
-    fault: FaultType,
+    fault: Option<FaultType>,
     scenario: ScenarioConfig,
     inject_at: SimTime,
     interference: Option<(SimTime, Interference)>,
@@ -246,8 +283,12 @@ fn plan_ops(config: &SoakConfig) -> Vec<OpPlan> {
                 };
                 (SimTime::from_secs(rng.uniform_u64(30, 160)), kind)
             });
+            // Faulty ops cycle through all eight types so every type stays
+            // covered regardless of the healthy/faulty mix.
+            let fault = (config.fault_every > 0 && i.is_multiple_of(config.fault_every))
+                .then(|| FaultType::all()[(i / config.fault_every) % 8]);
             OpPlan {
-                fault: FaultType::all()[i % 8],
+                fault,
                 scenario: ScenarioConfig {
                     seed,
                     ..ScenarioConfig::default()
@@ -268,7 +309,7 @@ fn collect_one(plan: &OpPlan, noise_rate: f64) -> OpStream {
             scenario: &scenario,
             fault: plan.fault,
             inject_at,
-            injector: FaultInjector::new(plan.fault),
+            injector: plan.fault.map(FaultInjector::new),
             injected_at: None,
             interference: plan.interference,
             noise: NoiseGenerator::new(SimRng::seed_from(plan.scenario.seed ^ 0x5048), noise_rate),
@@ -286,7 +327,7 @@ fn collect_one(plan: &OpPlan, noise_rate: f64) -> OpStream {
         drop(collector);
         // The sampled injection time can fall after a fast upgrade already
         // ended; retry earlier so every operation really carries its fault.
-        if injected_at.is_none() && inject_at >= SimTime::from_secs(10) {
+        if plan.fault.is_some() && injected_at.is_none() && inject_at >= SimTime::from_secs(10) {
             inject_at = SimTime::from_micros(inject_at.as_micros() / 2);
             continue;
         }
@@ -319,12 +360,27 @@ pub fn collect_streams(config: &SoakConfig) -> SoakStreams {
 
 /// Phase B: merges all streams by arrival time and replays them through
 /// one gateway, with a freshly built engine per operation as the sink.
+/// Equivalent to [`replay_telemetry`] under [`TelemetryMode::Full`].
 pub fn replay(streams: &SoakStreams, gateway: &GatewayConfig) -> SoakReport {
+    replay_telemetry(streams, gateway, TelemetryMode::Full)
+}
+
+/// Phase B under an explicit [`TelemetryMode`]. The mode gates only the
+/// trace side (spans, causal events, incident reconstruction); metrics,
+/// detections and [`SoakReport::digest`] are byte-identical across modes.
+pub fn replay_telemetry(
+    streams: &SoakStreams,
+    gateway: &GatewayConfig,
+    mode: TelemetryMode,
+) -> SoakReport {
     let mut gw = Gateway::new(gateway.clone());
+    gw.obs().set_mode(mode);
+    let sampler = TailSampler::new(gw.obs().registry(), SamplerConfig::default());
     let mut op_ids: Vec<OpId> = Vec::with_capacity(streams.ops.len());
     for stream in &streams.ops {
         // A fresh trace per replay so the latency budget covers exactly
         // the replay-time work (conformance, assertions, diagnosis).
+        stream.scenario.cloud.obs().set_mode(mode);
         stream
             .scenario
             .cloud
@@ -357,14 +413,69 @@ pub fn replay(streams: &SoakStreams, gateway: &GatewayConfig) -> SoakReport {
 
     let reports = gw.finish();
     let stats = gw.stats();
-    let snapshot = gw.obs().snapshot();
+
+    // Operations a gateway tail-latency exemplar points at: their traces
+    // are keep-worthy even when otherwise healthy, so a p99 read from the
+    // queue-wait histogram always links to a retained trace.
+    let tail_ops: BTreeSet<String> = gw
+        .obs()
+        .log_histogram("gateway.queue_wait_us")
+        .exemplars()
+        .iter()
+        .filter_map(|e| {
+            e.labels
+                .iter()
+                .find(|(k, _)| k == "op")
+                .map(|(_, v)| v.clone())
+        })
+        .collect();
 
     let mut latency = LatencyProfile::new();
     let mut ops = Vec::with_capacity(streams.ops.len());
     let mut leaks = Vec::new();
+    let mut kept_traces = 0usize;
+    let mut discarded_traces = 0usize;
+    let mut incidents_total = 0usize;
     for (i, (stream, report)) in streams.ops.iter().zip(&reports).enumerate() {
-        let spans = stream.scenario.cloud.obs().tracer().finished();
-        latency.record(stream.fault, &stage_self_times(&spans));
+        let obs = stream.scenario.cloud.obs();
+        let trace_id = &stream.scenario.trace_id;
+        // Degradation warnings attributable to this operation: shedding on
+        // its shard and regex step-limit aborts in its own pipeline.
+        let shard_shed = stats.shards.get(report.shard).map_or(0, |s| s.shed);
+        let step_limits = obs.counter("pipeline.regex.step_limit").get();
+        let signals = RunSignals {
+            trace_id: trace_id.clone(),
+            detections: report.summary.detections.len(),
+            errors: report.summary.conformance_errors,
+            warnings: (shard_shed > 0) as usize + (step_limits > 0) as usize,
+            tail_exemplar: tail_ops.contains(trace_id),
+        };
+        let verdict = match mode {
+            TelemetryMode::Sampled => Some(sampler.decide(&signals)),
+            TelemetryMode::Off | TelemetryMode::Full => None,
+        };
+        let retained = match mode {
+            TelemetryMode::Off => false,
+            TelemetryMode::Sampled => verdict.is_some_and(SampleVerdict::keep),
+            TelemetryMode::Full => true,
+        };
+        // Only retained traces pay for latency attribution and incident
+        // reconstruction — that is where sampled mode earns its overhead
+        // budget without ever dropping an incident-relevant run.
+        let mut op_incidents = 0usize;
+        if retained {
+            if let Some(fault) = stream.fault {
+                // Zero-clone accounting: the spans and events are read in
+                // place — deep-copying the rings here would cost more than
+                // the telemetry being measured.
+                latency.record(fault, &obs.tracer().with_finished(stage_self_times));
+            }
+            op_incidents = obs.events().with_records(pod_obs::incident_count);
+            incidents_total += op_incidents;
+            kept_traces += 1;
+        } else if mode == TelemetryMode::Sampled {
+            discarded_traces += 1;
+        }
         let digest = report.summary.digest();
         // Leak check: a detection referencing an instance that only other
         // operations' lines mention means a line crossed operations.
@@ -393,8 +504,14 @@ pub fn replay(streams: &SoakStreams, gateway: &GatewayConfig) -> SoakReport {
             detections: report.summary.detections.len(),
             upgrade_completed: stream.upgrade_completed,
             digest,
+            verdict,
+            incidents: op_incidents,
         });
     }
+    // Snapshot after the sampling pass so `obs.sampler.*` accounting (and
+    // the queue-wait tail exemplars) are part of the report.
+    let snapshot = gw.obs().snapshot();
+    let flight = gw.flight().map(|f| f.dump());
     SoakReport {
         ops,
         stats,
@@ -402,6 +519,11 @@ pub fn replay(streams: &SoakStreams, gateway: &GatewayConfig) -> SoakReport {
         latency,
         lines_total: streams.lines_total,
         leaks,
+        mode,
+        kept_traces,
+        discarded_traces,
+        incidents: incidents_total,
+        flight,
     }
 }
 
@@ -469,6 +591,16 @@ pub fn soak_bench_json(
         .collect();
     doc.set("batch_sweep", Json::Array(rows));
     doc.set("latency_budget", report.latency.bench_json());
+    let mut telemetry = Json::object();
+    telemetry.set("mode", Json::str(report.mode.to_string()));
+    telemetry.set("kept_traces", num(report.kept_traces as u64));
+    telemetry.set("discarded_traces", num(report.discarded_traces as u64));
+    telemetry.set("incidents", num(report.incidents as u64));
+    if let Some(flight) = &report.flight {
+        telemetry.set("flight_frames", num(flight.frames.len() as u64));
+        telemetry.set("flight_incidents", num(flight.incidents.len() as u64));
+    }
+    doc.set("telemetry", telemetry);
     doc
 }
 
@@ -502,7 +634,11 @@ pub fn render_soak_report(report: &SoakReport) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "-- detections by fault type --");
     for fault in FaultType::all() {
-        let ops: Vec<&SoakOpResult> = report.ops.iter().filter(|o| o.fault == fault).collect();
+        let ops: Vec<&SoakOpResult> = report
+            .ops
+            .iter()
+            .filter(|o| o.fault == Some(fault))
+            .collect();
         if ops.is_empty() {
             continue;
         }
@@ -515,8 +651,59 @@ pub fn render_soak_report(report: &SoakReport) -> String {
             det
         );
     }
+    let healthy: Vec<&SoakOpResult> = report.ops.iter().filter(|o| o.fault.is_none()).collect();
+    if !healthy.is_empty() {
+        let det: usize = healthy.iter().map(|o| o.detections).sum();
+        let _ = writeln!(
+            out,
+            "{:<42} {:>3} ops {:>5} detections",
+            "(healthy, no fault injected)",
+            healthy.len(),
+            det
+        );
+    }
     let _ = writeln!(out);
     out.push_str(&crate::report::render_gateway_report(&report.stats));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- telemetry: mode {} --", report.mode);
+    let _ = writeln!(
+        out,
+        "traces retained: {} kept, {} discarded, {} incident chains reconstructed",
+        report.kept_traces, report.discarded_traces, report.incidents
+    );
+    if report.mode == TelemetryMode::Sampled {
+        for reason in ["detection", "error", "warning", "tail-exemplar", "healthy"] {
+            let n = report
+                .snapshot
+                .counter(&format!("obs.sampler.kept.{reason}"));
+            if n > 0 {
+                let _ = writeln!(out, "  kept ({reason}): {n}");
+            }
+        }
+    }
+    let tail = report.snapshot.exemplars("gateway.queue_wait_us");
+    if !tail.is_empty() {
+        let _ = writeln!(out, "queue-wait tail exemplars (worst first):");
+        for e in tail.iter().take(4) {
+            let labels: Vec<String> = e.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(
+                out,
+                "  {:>8} us at {} [{}]",
+                e.value,
+                e.at,
+                labels.join(", ")
+            );
+        }
+    }
+    if let Some(flight) = &report.flight {
+        let _ = writeln!(
+            out,
+            "flight recorder: {} frames, {} incident marks ({} frames evicted)",
+            flight.frames.len(),
+            flight.incidents.len(),
+            flight.evicted_frames
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -618,6 +805,74 @@ mod tests {
             .filter_map(|s| s.get("queue_wait_us"))
             .any(|h| h.get("p99").is_some()));
         assert!(parsed.get("latency_budget").is_some());
+    }
+
+    #[test]
+    fn telemetry_modes_never_change_detections_and_sampling_keeps_incidents() {
+        // Collect fresh (deterministic, seed-identical) streams per mode:
+        // per-operation virtual clocks advance during a replay, so modes
+        // must be compared from identical starting states.
+        let config = GatewayConfig::default();
+        let full = replay(&collect_streams(&small_config()), &config);
+        let sampled = replay_telemetry(
+            &collect_streams(&small_config()),
+            &config,
+            TelemetryMode::Sampled,
+        );
+        let off = replay_telemetry(
+            &collect_streams(&small_config()),
+            &config,
+            TelemetryMode::Off,
+        );
+
+        // The mode gates telemetry, never behavior.
+        assert_eq!(full.digest(), sampled.digest());
+        assert_eq!(full.digest(), off.digest());
+
+        // Full retains every trace and reconstructs incidents for each
+        // detecting operation; Off records nothing on the trace side.
+        assert_eq!(full.mode, TelemetryMode::Full);
+        assert_eq!(full.kept_traces, full.ops.len());
+        assert!(full.incidents > 0, "faulty ops must yield incident chains");
+        assert_eq!(off.kept_traces, 0);
+        assert_eq!(off.incidents, 0);
+        assert!(off.latency.is_empty(), "off mode records no spans");
+
+        // Sampling never discards an incident-relevant operation, and its
+        // accounting covers every decision.
+        for op in &sampled.ops {
+            if op.detections > 0 {
+                let verdict = op.verdict.expect("sampled mode decides every op");
+                assert!(verdict.keep(), "{}: detection discarded", op.trace_id);
+            }
+        }
+        assert_eq!(
+            sampled.kept_traces + sampled.discarded_traces,
+            sampled.ops.len()
+        );
+        assert_eq!(
+            sampled.snapshot.counter("obs.sampler.kept")
+                + sampled.snapshot.counter("obs.sampler.discarded"),
+            sampled.ops.len() as u64
+        );
+
+        // The flight recorder stamped each detection as an incident.
+        let flight = sampled.flight.as_ref().expect("flight on by default");
+        assert!(!flight.frames.is_empty());
+        assert!(
+            !flight.incidents.is_empty(),
+            "detections must stamp incident marks"
+        );
+
+        let text = render_soak_report(&sampled);
+        assert!(text.contains("telemetry: mode sampled"), "{text}");
+        assert!(text.contains("flight recorder:"), "{text}");
+
+        let doc = soak_bench_json(&sampled, &[], 1.0);
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        let tel = parsed.get("telemetry").unwrap();
+        assert_eq!(tel.get("mode").unwrap().as_str(), Some("sampled"));
+        assert!(tel.get("flight_frames").is_some());
     }
 
     #[test]

@@ -20,7 +20,10 @@ use std::fmt;
 
 use pod_core::{PodEngine, RunSummary};
 use pod_log::{parse_line, Json, LineFormat, LogEvent};
-use pod_obs::{Counter, Histogram, HistogramSnapshot, Obs};
+use pod_obs::{
+    Counter, Exemplar, FlightConfig, FlightRecorder, Histogram, HistogramSnapshot, LogHistogram,
+    Obs, ShardCell,
+};
 use pod_sim::{Clock, SimDuration, SimTime};
 
 use crate::queue::{BoundedQueue, OverloadPolicy, PushOutcome, QueuedLine};
@@ -41,6 +44,13 @@ pub trait DiagnosisSink: fmt::Debug {
 
     /// Finalises the operation and returns its summary.
     fn finish(&mut self) -> RunSummary;
+
+    /// Detections raised so far. The gateway polls this after each
+    /// delivered batch to stamp its flight recorder; sinks with no
+    /// detection concept keep the default.
+    fn detections(&self) -> usize {
+        0
+    }
 }
 
 impl DiagnosisSink for PodEngine {
@@ -50,6 +60,10 @@ impl DiagnosisSink for PodEngine {
 
     fn finish(&mut self) -> RunSummary {
         PodEngine::finish(self)
+    }
+
+    fn detections(&self) -> usize {
+        PodEngine::detections(self).len()
     }
 }
 
@@ -74,6 +88,10 @@ pub struct GatewayConfig {
     pub overload: OverloadPolicy,
     /// Admission control: maximum operations per shard. Default 32.
     pub max_ops_per_shard: usize,
+    /// Incident flight recorder: periodic metric frames plus an immediate
+    /// frame per detection (see [`FlightRecorder`]). `None` disables it.
+    /// Default on with [`FlightConfig::default`].
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -87,6 +105,7 @@ impl Default for GatewayConfig {
             per_batch_cost: SimDuration::from_millis(2),
             overload: OverloadPolicy::Block,
             max_ops_per_shard: 32,
+            flight: Some(FlightConfig::default()),
         }
     }
 }
@@ -289,6 +308,8 @@ struct OpSlot {
     instance_id: String,
     shard: usize,
     lines: u64,
+    /// Detection count last seen by the flight recorder.
+    detections_seen: usize,
     sink: Box<dyn DiagnosisSink>,
 }
 
@@ -303,7 +324,9 @@ struct Shard {
     shed: u64,
     batches: u64,
     shed_counter: Counter,
-    queue_wait: Histogram,
+    /// This shard's cache-padded cell of `gateway.lines.processed`.
+    processed: ShardCell,
+    queue_wait: LogHistogram,
 }
 
 /// Per-gateway metric handles, cached so the hot path never locks the
@@ -311,7 +334,6 @@ struct Shard {
 #[derive(Debug)]
 struct Metrics {
     submitted: Counter,
-    processed: Counter,
     batches: Counter,
     shed_oldest: Counter,
     shed_newest: Counter,
@@ -321,8 +343,8 @@ struct Metrics {
     parse_json: Counter,
     parse_plain: Counter,
     parse_unclassified: Counter,
-    queue_wait: Histogram,
-    stall: Histogram,
+    queue_wait: LogHistogram,
+    stall: LogHistogram,
     batch_fill: Histogram,
 }
 
@@ -336,6 +358,7 @@ pub struct Gateway {
     ops: Vec<OpSlot>,
     tallies: Tallies,
     metrics: Metrics,
+    flight: Option<FlightRecorder>,
 }
 
 /// Plain mirrors of the headline counters (cheap to read for stats).
@@ -367,6 +390,7 @@ impl Gateway {
         let clock = Clock::new();
         let obs = Obs::new(clock.clone());
         obs.begin_run("gateway");
+        let processed = obs.sharded_counter("gateway.lines.processed", config.shards);
         let shards = (0..config.shards)
             .map(|i| Shard {
                 queue: BoundedQueue::new(config.queue_capacity),
@@ -376,15 +400,12 @@ impl Gateway {
                 shed: 0,
                 batches: 0,
                 shed_counter: obs.counter(&format!("gateway.shard.{i}.shed")),
-                queue_wait: obs.histogram(
-                    &format!("gateway.shard.{i}.queue_wait_us"),
-                    QUEUE_WAIT_BOUNDS_US,
-                ),
+                processed: processed.cell(i),
+                queue_wait: obs.log_histogram(&format!("gateway.shard.{i}.queue_wait_us")),
             })
             .collect();
         let metrics = Metrics {
             submitted: obs.counter("gateway.lines.submitted"),
-            processed: obs.counter("gateway.lines.processed"),
             batches: obs.counter("gateway.batches"),
             shed_oldest: obs.counter("gateway.shed.oldest"),
             shed_newest: obs.counter("gateway.shed.newest"),
@@ -394,10 +415,13 @@ impl Gateway {
             parse_json: obs.counter("gateway.parse.json"),
             parse_plain: obs.counter("gateway.parse.plain"),
             parse_unclassified: obs.counter("gateway.parse.unclassified"),
-            queue_wait: obs.histogram("gateway.queue_wait_us", QUEUE_WAIT_BOUNDS_US),
-            stall: obs.histogram("gateway.backpressure.stall_us", QUEUE_WAIT_BOUNDS_US),
+            queue_wait: obs.log_histogram("gateway.queue_wait_us"),
+            stall: obs.log_histogram("gateway.backpressure.stall_us"),
             batch_fill: obs.histogram("gateway.batch_fill", &[1, 2, 4, 8, 16, 32, 64, 128]),
         };
+        let flight = config
+            .flight
+            .map(|fc| FlightRecorder::new(clock.clone(), obs.registry().clone(), fc));
         Gateway {
             config,
             clock,
@@ -406,12 +430,18 @@ impl Gateway {
             ops: Vec::new(),
             tallies: Tallies::default(),
             metrics,
+            flight,
         }
     }
 
     /// The gateway's observability handle (metrics live here).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The incident flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
     }
 
     /// The gateway's deterministic clock.
@@ -449,6 +479,7 @@ impl Gateway {
             instance_id,
             shard,
             lines: 0,
+            detections_seen: 0,
             sink,
         });
         Ok(id)
@@ -581,24 +612,31 @@ impl Gateway {
         // causal-ring resolution, timer polling — is paid once per group.
         let batch_len = batch.len();
         let mut groups: Vec<(usize, Vec<LogEvent>)> = Vec::with_capacity(4);
+        // Parse-format tallies accumulate in locals and flush once per
+        // batch: three counter bumps per drain instead of one per line.
+        let (mut n_json, mut n_plain, mut n_unclassified) = (0u64, 0u64, 0u64);
         for line in batch {
             let wait = service_start.duration_since(line.enqueued_at).as_micros();
             self.shards[shard_idx].queue_wait.record(wait);
-            self.metrics.queue_wait.record(wait);
+            // Tail waits carry an exemplar naming the operation and shard,
+            // so a p99 read from the histogram links back to the run (and
+            // its causal chain) that actually waited that long. The label
+            // block only runs for reservoir-worthy values.
+            let op_slot = &self.ops[line.op.0];
+            self.metrics.queue_wait.record_with(wait, || Exemplar {
+                value: wait,
+                at: service_start,
+                event: None,
+                labels: vec![
+                    ("op".to_string(), op_slot.instance_id.clone()),
+                    ("shard".to_string(), shard_idx.to_string()),
+                ],
+            });
             let parsed = parse_line(&line.raw, line.enqueued_at);
             match parsed.format {
-                LineFormat::Json => {
-                    self.tallies.parsed_json += 1;
-                    self.metrics.parse_json.incr();
-                }
-                LineFormat::Plain => {
-                    self.tallies.parsed_plain += 1;
-                    self.metrics.parse_plain.incr();
-                }
-                LineFormat::Unclassified => {
-                    self.tallies.unclassified += 1;
-                    self.metrics.parse_unclassified.incr();
-                }
+                LineFormat::Json => n_json += 1,
+                LineFormat::Plain => n_plain += 1,
+                LineFormat::Unclassified => n_unclassified += 1,
             }
             match groups.iter_mut().find(|(op, _)| *op == line.op.0) {
                 Some((_, events)) => events.push(parsed.event),
@@ -615,13 +653,35 @@ impl Gateway {
                 }
             }
         }
+        if n_json > 0 {
+            self.tallies.parsed_json += n_json;
+            self.metrics.parse_json.add(n_json);
+        }
+        if n_plain > 0 {
+            self.tallies.parsed_plain += n_plain;
+            self.metrics.parse_plain.add(n_plain);
+        }
+        if n_unclassified > 0 {
+            self.tallies.unclassified += n_unclassified;
+            self.metrics.parse_unclassified.add(n_unclassified);
+        }
         for (op, events) in groups {
             let n = events.len() as u64;
             self.ops[op].lines += n;
             self.shards[shard_idx].lines += n;
             self.tallies.processed += n;
-            self.metrics.processed.add(n);
+            self.shards[shard_idx].processed.add(n);
             self.ops[op].sink.ingest_batch(events);
+            if let Some(flight) = &self.flight {
+                let detections = self.ops[op].sink.detections();
+                if detections > self.ops[op].detections_seen {
+                    self.ops[op].detections_seen = detections;
+                    flight.mark_incident(&format!("{} detection", self.ops[op].instance_id));
+                }
+            }
+        }
+        if let Some(flight) = &self.flight {
+            flight.tick();
         }
 
         let shard = &mut self.shards[shard_idx];

@@ -77,6 +77,23 @@ pub trait Stage: fmt::Debug {
     }
 }
 
+/// The captured ingredients of a line's `log.line` causal root event.
+///
+/// The pipeline no longer emits the event eagerly: the vast majority of
+/// acted-on lines produce a fit verdict or a passing assertion and nothing
+/// downstream ever references them. Instead the engine opens a *pending*
+/// cause scope ([`pod_obs::Obs::scope_cause`]) with these ingredients; the
+/// event only materialises in the ring if a verdict, assertion result, or
+/// detection actually emits under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineCause {
+    /// The originating log source (the event name, e.g. `asgard.log`).
+    pub source: String,
+    /// Event attributes: always `message`, plus `step` when the line was
+    /// annotated with an activity.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
 /// The result of pushing one raw line through the whole pipeline.
 #[derive(Debug, Default)]
 pub struct PipelineOutput {
@@ -84,11 +101,12 @@ pub struct PipelineOutput {
     pub forwarded: Vec<LogEvent>,
     /// All triggers raised by any stage.
     pub triggers: Vec<Trigger>,
-    /// The `log.line` causal event emitted for this line, when the line
-    /// raised triggers or was forwarded. The engine scopes all downstream
-    /// work (conformance, assertions, timers) under it so every detection
-    /// chains back to the log line that triggered it.
-    pub cause: Option<pod_obs::EventId>,
+    /// The lazy `log.line` causal root for this line, when the line raised
+    /// triggers or was forwarded (and the telemetry mode records traces).
+    /// The engine scopes all downstream work (conformance, assertions,
+    /// timers) under it so every detection chains back to the log line
+    /// that triggered it — without recording anything for healthy lines.
+    pub cause: Option<LineCause>,
 }
 
 /// An ordered chain of stages.
@@ -124,6 +142,28 @@ pub struct Pipeline {
     /// Last sampled value of the process-wide [`pod_regex::step_limit_hits`]
     /// counter; deltas are attributed to this pipeline's counter.
     step_limit_seen: u64,
+    /// Reusable per-batch counter accumulator: counts collect in plain
+    /// integers during a batch and flush to the shared atomics once, so a
+    /// 64-line batch costs a handful of atomic bumps instead of hundreds.
+    scratch: BatchTallies,
+}
+
+/// Plain per-batch counts, flushed to the cached counters once per batch.
+#[derive(Debug, Default)]
+struct BatchTallies {
+    pushed: u64,
+    forwarded: u64,
+    /// `(processed, dropped)` per stage, by stage index.
+    stages: Vec<(u64, u64)>,
+}
+
+impl BatchTallies {
+    fn reset(&mut self, n_stages: usize) {
+        self.pushed = 0;
+        self.forwarded = 0;
+        self.stages.clear();
+        self.stages.resize(n_stages, (0, 0));
+    }
 }
 
 /// Per-stage throughput/drop counters, cached so `push` stays lock-free.
@@ -162,6 +202,7 @@ impl Pipeline {
             obs,
             stages: Vec::new(),
             stage_metrics: Vec::new(),
+            scratch: BatchTallies::default(),
         }
     }
 
@@ -204,22 +245,50 @@ impl Pipeline {
 
     /// Pushes one event through every stage in order.
     pub fn push(&mut self, event: LogEvent) -> PipelineOutput {
-        let out = self.push_unsampled(event);
+        let mut tallies = std::mem::take(&mut self.scratch);
+        tallies.reset(self.stages.len());
+        let out = self.push_unsampled(event, &mut tallies);
+        self.flush_tallies(&tallies);
+        self.scratch = tallies;
         self.sample_step_limits();
         out
     }
 
     /// Pushes a whole batch through the pipeline, one output per input
     /// event in order. Equivalent to calling [`Pipeline::push`] per event,
-    /// but per-line bookkeeping (step-limit sampling) is amortized over the
-    /// batch — this is the entry point the gateway's batched drain uses.
+    /// but per-line bookkeeping (step-limit sampling, counter bumps) is
+    /// amortized over the batch — counts accumulate in plain locals and hit
+    /// the shared atomics once. This is the entry point the gateway's
+    /// batched drain uses.
     pub fn push_batch(&mut self, events: Vec<LogEvent>) -> Vec<PipelineOutput> {
+        let mut tallies = std::mem::take(&mut self.scratch);
+        tallies.reset(self.stages.len());
         let outs = events
             .into_iter()
-            .map(|event| self.push_unsampled(event))
+            .map(|event| self.push_unsampled(event, &mut tallies))
             .collect();
+        self.flush_tallies(&tallies);
+        self.scratch = tallies;
         self.sample_step_limits();
         outs
+    }
+
+    /// Flushes a batch's accumulated counts to the cached counters.
+    fn flush_tallies(&self, tallies: &BatchTallies) {
+        if tallies.pushed > 0 {
+            self.pushed.add(tallies.pushed);
+        }
+        if tallies.forwarded > 0 {
+            self.forwarded.add(tallies.forwarded);
+        }
+        for (metrics, &(processed, dropped)) in self.stage_metrics.iter().zip(&tallies.stages) {
+            if processed > 0 {
+                metrics.processed.add(processed);
+            }
+            if dropped > 0 {
+                metrics.dropped.add(dropped);
+            }
+        }
     }
 
     /// Attributes any new process-wide regex step-limit aborts to this
@@ -234,41 +303,50 @@ impl Pipeline {
         }
     }
 
-    /// The per-event stage loop, without step-limit sampling.
-    fn push_unsampled(&mut self, event: LogEvent) -> PipelineOutput {
-        self.pushed.incr();
-        let source = event.source.clone();
-        let message = event.message.clone();
+    /// The per-event stage loop, without step-limit sampling; counts land
+    /// in `tallies`, not the shared counters.
+    fn push_unsampled(&mut self, event: LogEvent, tallies: &mut BatchTallies) -> PipelineOutput {
+        tallies.pushed += 1;
+        // The stage loop consumes the event, so its origin is saved up
+        // front — but only when tracing can use it: the off baseline must
+        // not pay for strings it will never record.
+        let origin = self
+            .obs
+            .mode()
+            .records_traces()
+            .then(|| (event.source.clone(), event.message.clone()));
         let mut out = PipelineOutput::default();
         let mut current = Some(event);
-        for (stage, metrics) in self.stages.iter_mut().zip(&self.stage_metrics) {
+        for (stage, counts) in self.stages.iter_mut().zip(tallies.stages.iter_mut()) {
             let Some(event) = current.take() else { break };
-            metrics.processed.incr();
+            counts.0 += 1;
             let result = stage.process(event);
             out.triggers.extend(result.triggers);
             current = result.event;
             if current.is_none() {
-                metrics.dropped.incr();
+                counts.1 += 1;
             }
         }
         if let Some(event) = current {
             out.forwarded.push(event);
-            self.forwarded.incr();
+            tallies.forwarded += 1;
         }
-        // Lines the pipeline acted on become causal roots; pure noise does
-        // not pollute the event ring.
+        // Lines the pipeline acted on become (lazy) causal roots; pure
+        // noise does not even capture its strings.
         if !out.triggers.is_empty() || !out.forwarded.is_empty() {
-            let emitted = self.obs.event("log.line", &source);
-            emitted.attr("message", &message);
-            if let Some(step) = out
-                .forwarded
-                .first()
-                .and_then(|e| e.context.as_ref())
-                .and_then(|c| c.step_id.as_deref())
-            {
-                emitted.attr("step", step);
+            if let Some((source, message)) = origin {
+                let mut attrs = Vec::with_capacity(2);
+                attrs.push(("message", message));
+                if let Some(step) = out
+                    .forwarded
+                    .first()
+                    .and_then(|e| e.context.as_ref())
+                    .and_then(|c| c.step_id.as_deref())
+                {
+                    attrs.push(("step", step.to_string()));
+                }
+                out.cause = Some(LineCause { source, attrs });
             }
-            out.cause = Some(emitted.id());
         }
         out
     }
@@ -599,7 +677,7 @@ mod tests {
     }
 
     #[test]
-    fn acted_on_lines_emit_a_causal_root_event() {
+    fn acted_on_lines_capture_a_lazy_causal_root() {
         let obs = Obs::detached();
         obs.begin_run("run-1");
         let mut p = Pipeline::new();
@@ -614,30 +692,58 @@ mod tests {
         p.add_stage(Box::new(ImportantLineForwarder));
         p.set_obs(&obs);
 
-        // Noise: no causal event.
+        // Noise: no causal root, nothing captured.
         let out = p.push(event("jvm gc pause 12ms"));
         assert!(out.cause.is_none());
         assert!(obs.events().is_empty());
 
-        // Known activity: log.line event with message and step attrs.
+        // Known activity: a lazy root with message and step attrs — and
+        // crucially *nothing* recorded in the ring yet.
         let out = p.push(event("Instance i-aa is ready for use"));
         let cause = out.cause.expect("forwarded line has a cause");
+        assert!(obs.events().is_empty(), "lazy root must not record eagerly");
+        assert_eq!(cause.source, "asgard.log");
+        assert!(cause
+            .attrs
+            .contains(&("message", "Instance i-aa is ready for use".to_string())));
+        assert!(cause
+            .attrs
+            .contains(&("step", "new-instance-ready".to_string())));
+
+        // Scoped under the pending root, a downstream emission
+        // materialises the log.line and chains to it.
+        {
+            let _scope = obs.scope_cause("log.line", cause.source, cause.attrs);
+            obs.event("conformance.verdict", "conformance:unfit");
+        }
         let records = obs.events().records();
-        assert_eq!(records.len(), 1);
-        assert_eq!(records[0].id, cause.get());
+        assert_eq!(records.len(), 2);
         assert_eq!(records[0].kind, "log.line");
         assert_eq!(records[0].name, "asgard.log");
-        assert!(records[0].attrs.contains(&(
-            "message".to_string(),
-            "Instance i-aa is ready for use".to_string()
-        )));
-        assert!(records[0]
-            .attrs
-            .contains(&("step".to_string(), "new-instance-ready".to_string())));
+        assert_eq!(records[1].parent, Some(records[0].id));
 
         // Trigger-only (unknown but relevant) lines also get a cause.
         let out = p.push(event("upgrade hit unexpected state"));
         assert!(out.cause.is_some());
+    }
+
+    #[test]
+    fn off_mode_captures_no_cause() {
+        let obs = Obs::detached();
+        obs.set_mode(pod_obs::TelemetryMode::Off);
+        let mut p = Pipeline::new();
+        p.add_stage(Box::new(ProcessAnnotator::new(
+            rules(),
+            "rolling-upgrade",
+            "run-1",
+        )));
+        p.set_obs(&obs);
+        let out = p.push(event("Instance i-aa is ready for use"));
+        assert!(!out.triggers.is_empty());
+        assert!(
+            out.cause.is_none(),
+            "off mode must not capture origin strings"
+        );
     }
 
     /// A stage that deliberately runs a catastrophic pattern on the legacy

@@ -32,6 +32,7 @@
 //! assert_eq!(verdict.id().get(), 1);
 //! ```
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -66,6 +67,10 @@ pub enum Parent {
 }
 
 /// One recorded causal event.
+///
+/// `kind` and attribute keys are `&'static str`: every call site names
+/// them with literals, and the hot path (one event per acted-on log line)
+/// must not allocate for strings the binary already contains.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventRecord {
     /// Unique id within the trace (ascending in emission order).
@@ -77,11 +82,33 @@ pub struct EventRecord {
     /// Virtual-clock emission time.
     pub at: SimTime,
     /// Hand-off kind, e.g. `log.line`, `conformance.verdict`, `detection`.
-    pub kind: String,
-    /// Short label, e.g. the verdict tag or the fault-tree node id.
-    pub name: String,
+    pub kind: &'static str,
+    /// Short label, e.g. the verdict tag or the fault-tree node id. A
+    /// `Cow` so static labels (verdict tags) record without allocating.
+    pub name: Cow<'static, str>,
     /// Key/value attributes in insertion order.
-    pub attrs: Vec<(String, String)>,
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// A cause that has been scoped but not yet recorded: the captured
+/// ingredients of a `log.line`-style root event, materialised into the
+/// ring only if a descendant event is actually emitted under it.
+#[derive(Debug)]
+struct PendingCause {
+    kind: &'static str,
+    name: Cow<'static, str>,
+    attrs: Vec<(&'static str, String)>,
+    span: Option<u64>,
+    at: SimTime,
+}
+
+/// One frame of the ambient cause stack.
+#[derive(Debug)]
+enum CauseFrame {
+    /// An already-recorded event id.
+    Resolved(u64),
+    /// A lazy root: recorded on first use as an ambient parent.
+    Pending(PendingCause),
 }
 
 #[derive(Debug, Default)]
@@ -90,7 +117,51 @@ struct EventLogInner {
     next_id: u64,
     ring: VecDeque<EventRecord>,
     dropped: u64,
-    causes: Vec<u64>,
+    causes: Vec<CauseFrame>,
+}
+
+impl EventLogInner {
+    fn push(&mut self, record: EventRecord) {
+        if self.ring.len() >= EVENT_CAP {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(record);
+    }
+
+    /// Resolves the innermost ambient cause, materialising any pending
+    /// frames (bottom-up, so a pending frame's own parent is the frame
+    /// beneath it) into real ring records first.
+    fn resolve_ambient(&mut self) -> Option<u64> {
+        for i in 0..self.causes.len() {
+            if matches!(self.causes[i], CauseFrame::Pending(_)) {
+                let parent = match i.checked_sub(1).map(|j| &self.causes[j]) {
+                    Some(CauseFrame::Resolved(id)) => Some(*id),
+                    _ => None,
+                };
+                let id = self.next_id;
+                self.next_id += 1;
+                let CauseFrame::Pending(pending) =
+                    std::mem::replace(&mut self.causes[i], CauseFrame::Resolved(id))
+                else {
+                    unreachable!("checked above");
+                };
+                self.push(EventRecord {
+                    id,
+                    parent,
+                    span: pending.span,
+                    at: pending.at,
+                    kind: pending.kind,
+                    name: pending.name,
+                    attrs: pending.attrs,
+                });
+            }
+        }
+        self.causes.last().map(|frame| match frame {
+            CauseFrame::Resolved(id) => *id,
+            CauseFrame::Pending(_) => unreachable!("all pending frames resolved above"),
+        })
+    }
 }
 
 /// The shared causal event log. Cloning shares the buffer and cause stack.
@@ -129,33 +200,53 @@ impl EventLog {
     /// `span` is the id of the span the event belongs to (callers going
     /// through [`crate::Obs::event`] get the innermost open span filled in
     /// automatically).
-    pub fn emit(&self, kind: &str, name: &str, parent: Parent, span: Option<u64>) -> Emitted {
+    pub fn emit(
+        &self,
+        kind: &'static str,
+        name: &str,
+        parent: Parent,
+        span: Option<u64>,
+    ) -> Emitted {
+        let id = self.emit_with(kind, name.to_string(), parent, span, Vec::new());
+        Emitted {
+            log: Some(self.clone()),
+            id,
+        }
+    }
+
+    /// Emits one event with its attributes attached in a single lock
+    /// acquisition and without constructing a handle — the hot-path
+    /// variant of [`EventLog::emit`] for per-line call sites (the log
+    /// pipeline, the conformance checker). `name` and attribute values are
+    /// moved in, so a caller that already owns them pays no extra clone.
+    pub fn emit_with(
+        &self,
+        kind: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        parent: Parent,
+        span: Option<u64>,
+        attrs: Vec<(&'static str, String)>,
+    ) -> EventId {
+        let name = name.into();
         let at = self.clock.now();
         let mut inner = self.inner.lock();
-        let id = inner.next_id;
-        inner.next_id += 1;
         let parent = match parent {
-            Parent::Ambient => inner.causes.last().copied(),
+            Parent::Ambient => inner.resolve_ambient(),
             Parent::None => None,
             Parent::Of(p) => Some(p.get()),
         };
-        if inner.ring.len() >= EVENT_CAP {
-            inner.ring.pop_front();
-            inner.dropped += 1;
-        }
-        inner.ring.push_back(EventRecord {
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.push(EventRecord {
             id,
             parent,
             span,
             at,
-            kind: kind.to_string(),
-            name: name.to_string(),
-            attrs: Vec::new(),
+            kind,
+            name,
+            attrs,
         });
-        Emitted {
-            log: self.clone(),
-            id: EventId(id),
-        }
+        EventId(id)
     }
 
     /// Pushes `cause` (when present) onto the ambient cause stack; the
@@ -163,7 +254,10 @@ impl EventLog {
     /// call sites can thread `Option<EventId>` without branching.
     pub fn scope(&self, cause: Option<EventId>) -> CauseScope {
         if let Some(cause) = cause {
-            self.inner.lock().causes.push(cause.get());
+            self.inner
+                .lock()
+                .causes
+                .push(CauseFrame::Resolved(cause.get()));
         }
         CauseScope {
             log: self.clone(),
@@ -171,14 +265,61 @@ impl EventLog {
         }
     }
 
-    /// The innermost ambient cause, if a scope is active.
+    /// Pushes a *pending* cause: the ingredients of a root event (kind,
+    /// name, attrs, the current span and clock time) captured now but
+    /// recorded only if some event is actually emitted under the scope
+    /// with [`Parent::Ambient`].
+    ///
+    /// This keeps healthy hot paths silent: the log pipeline scopes every
+    /// forwarded line as a pending `log.line`, yet only the handful of
+    /// lines whose triggers produce a verdict, assertion result, or
+    /// detection ever materialise into the ring. When nothing emits under
+    /// the scope, dropping the guard discards the frame — no id, no ring
+    /// slot, no allocation beyond the moved-in strings.
+    pub fn scope_pending(
+        &self,
+        kind: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        attrs: Vec<(&'static str, String)>,
+        span: Option<u64>,
+    ) -> CauseScope {
+        let at = self.clock.now();
+        self.inner
+            .lock()
+            .causes
+            .push(CauseFrame::Pending(PendingCause {
+                kind,
+                name: name.into(),
+                attrs,
+                span,
+                at,
+            }));
+        CauseScope {
+            log: self.clone(),
+            active: true,
+        }
+    }
+
+    /// The innermost ambient cause, if a scope is active. Resolving the
+    /// cause to a concrete id materialises pending frames, exactly as an
+    /// ambient emission would.
     pub fn current_cause(&self) -> Option<EventId> {
-        self.inner.lock().causes.last().copied().map(EventId)
+        self.inner.lock().resolve_ambient().map(EventId)
     }
 
     /// All retained events, in emission order.
     pub fn records(&self) -> Vec<EventRecord> {
         self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Runs `f` over the retained events without cloning them — the
+    /// accounting path ([`crate::incident_count`], journal rendering
+    /// decisions) reads thousands of records per run, and a deep copy of
+    /// every `String` in the ring would dwarf the cost being measured.
+    pub fn with_records<R>(&self, f: impl FnOnce(&[EventRecord]) -> R) -> R {
+        let mut inner = self.inner.lock();
+        // O(1) unless the ring wrapped, which only happens past EVENT_CAP.
+        f(inner.ring.make_contiguous())
     }
 
     /// The number of retained events.
@@ -196,30 +337,45 @@ impl EventLog {
         self.inner.lock().dropped
     }
 
-    fn set_attr(&self, id: u64, key: &str, value: String) {
+    fn set_attr(&self, id: u64, key: &'static str, value: String) {
         let mut inner = self.inner.lock();
         // The ring is ordered by id; an evicted event is silently skipped.
         if let Some(record) = inner.ring.iter_mut().rev().find(|e| e.id == id) {
-            record.attrs.push((key.to_string(), value));
+            record.attrs.push((key, value));
         }
     }
 }
 
 /// Handle to a just-emitted event.
+///
+/// When telemetry is off ([`crate::TelemetryMode::Off`]) the handle is
+/// inert: it holds no log, `attr` is a no-op and `id` is a dummy, so call
+/// sites need no mode checks of their own.
 #[derive(Debug)]
 pub struct Emitted {
-    log: EventLog,
+    log: Option<EventLog>,
     id: EventId,
 }
 
 impl Emitted {
+    /// An inert handle recording nothing (telemetry off).
+    pub(crate) fn disabled() -> Emitted {
+        Emitted {
+            log: None,
+            id: EventId(u64::MAX),
+        }
+    }
+
     /// Attaches a key/value attribute to the event.
-    pub fn attr(&self, key: &str, value: impl std::fmt::Display) -> &Emitted {
-        self.log.set_attr(self.id.get(), key, value.to_string());
+    pub fn attr(&self, key: &'static str, value: impl std::fmt::Display) -> &Emitted {
+        if let Some(log) = &self.log {
+            log.set_attr(self.id.get(), key, value.to_string());
+        }
         self
     }
 
-    /// The event's id, for explicit parent links.
+    /// The event's id, for explicit parent links (`u64::MAX` for an inert
+    /// handle).
     pub fn id(&self) -> EventId {
         self.id
     }
@@ -286,6 +442,94 @@ mod tests {
     }
 
     #[test]
+    fn pending_scope_records_nothing_when_unused() {
+        let log = log();
+        {
+            let _scope = log.scope_pending("log.line", "asgard.log", Vec::new(), None);
+            // Nothing emitted under the scope: the frame is discarded.
+        }
+        assert!(log.is_empty());
+        // Ids were never consumed either.
+        let ev = log.emit("e", "e", Parent::Ambient, None);
+        assert_eq!(ev.id().get(), 0);
+    }
+
+    #[test]
+    fn pending_scope_materialises_on_first_ambient_emit() {
+        let clock = Clock::new();
+        let log = EventLog::new(clock.clone());
+        log.begin_trace("t");
+        clock.advance(pod_sim::SimDuration::from_millis(5));
+        let _scope = log.scope_pending(
+            "log.line",
+            "asgard.log",
+            vec![("message", "Instance i-aa is ready".to_string())],
+            Some(3),
+        );
+        clock.advance(pod_sim::SimDuration::from_millis(10));
+        let child = log.emit(
+            "conformance.verdict",
+            "conformance:unfit",
+            Parent::Ambient,
+            None,
+        );
+        let records = log.records();
+        // The root landed first, with the capture-time timestamp and span.
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, "log.line");
+        assert_eq!(records[0].at, SimTime::from_millis(5));
+        assert_eq!(records[0].span, Some(3));
+        assert_eq!(
+            records[0].attrs,
+            vec![("message", "Instance i-aa is ready".to_string())]
+        );
+        assert_eq!(records[1].parent, Some(records[0].id));
+        assert!(records[0].id < child.id().get());
+        // A second emission reuses the already-materialised id.
+        log.emit("detection", "conformance-unfit", Parent::Ambient, None);
+        assert_eq!(log.records()[2].parent, Some(records[0].id));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn nested_pending_frames_materialise_bottom_up() {
+        let log = log();
+        let _outer = log.scope_pending("log.line", "outer", Vec::new(), None);
+        let _inner = log.scope_pending("log.line", "inner", Vec::new(), None);
+        log.emit("detection", "d", Parent::Ambient, None);
+        let records = log.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "outer");
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[1].name, "inner");
+        assert_eq!(records[1].parent, Some(records[0].id));
+        assert_eq!(records[2].parent, Some(records[1].id));
+    }
+
+    #[test]
+    fn current_cause_resolves_pending_frames() {
+        let log = log();
+        let _scope = log.scope_pending("log.line", "asgard.log", Vec::new(), None);
+        let cause = log.current_cause().expect("scope is active");
+        // Resolving materialised the root; later ambient emits chain to it.
+        assert_eq!(log.len(), 1);
+        log.emit("assertion.result", "late", Parent::Ambient, None);
+        assert_eq!(log.records()[1].parent, Some(cause.get()));
+    }
+
+    #[test]
+    fn explicit_parent_leaves_pending_frames_untouched() {
+        let log = log();
+        let a = log.emit("a", "a", Parent::Ambient, None);
+        let _scope = log.scope_pending("log.line", "asgard.log", Vec::new(), None);
+        log.emit("b", "b", Parent::Of(a.id()), None);
+        log.emit("c", "c", Parent::None, None);
+        // Neither explicit-parent nor root emissions consult the stack.
+        assert_eq!(log.len(), 3);
+        assert!(log.records().iter().all(|r| r.kind != "log.line"));
+    }
+
+    #[test]
     fn none_scope_is_a_no_op() {
         let log = log();
         {
@@ -305,8 +549,8 @@ mod tests {
         assert_eq!(
             records[0].attrs,
             vec![
-                ("outcome".to_string(), "failed".to_string()),
-                ("attempts".to_string(), "3".to_string()),
+                ("outcome", "failed".to_string()),
+                ("attempts", "3".to_string())
             ]
         );
     }

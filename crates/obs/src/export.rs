@@ -36,7 +36,7 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-fn args_object(pairs: &[(String, String)], extra: &[(&str, String)]) -> String {
+fn args_object(pairs: &[(&'static str, String)], extra: &[(&str, String)]) -> String {
     let mut parts: Vec<String> = Vec::with_capacity(pairs.len() + extra.len());
     for (k, v) in pairs {
         parts.push(format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
@@ -85,7 +85,7 @@ pub fn chrome_trace(trace_id: &str, spans: &[SpanRecord], events: &[EventRecord]
              \"cat\":\"span\",\"args\":{}}}",
             span.start.as_micros(),
             span.duration().as_micros(),
-            escape_json(&span.name),
+            escape_json(span.name),
             args_object(&span.attrs, &extra),
         ));
     }
@@ -102,7 +102,7 @@ pub fn chrome_trace(trace_id: &str, spans: &[SpanRecord], events: &[EventRecord]
              \"cat\":\"{}\",\"s\":\"t\",\"args\":{}}}",
             event.at.as_micros(),
             escape_json(&event.name),
-            escape_json(&event.kind),
+            escape_json(event.kind),
             args_object(&event.attrs, &extra),
         ));
     }
@@ -149,13 +149,13 @@ fn otlp_trace_id(trace_id: &str) -> String {
     format!("{hi:016x}{lo:016x}")
 }
 
-fn otlp_attrs(pairs: &[(String, String)]) -> String {
+fn otlp_attrs<K: AsRef<str>>(pairs: &[(K, String)]) -> String {
     let parts: Vec<String> = pairs
         .iter()
         .map(|(k, v)| {
             format!(
                 "{{\"key\":\"{}\",\"value\":{{\"stringValue\":\"{}\"}}}}",
-                escape_json(k),
+                escape_json(k.as_ref()),
                 escape_json(v)
             )
         })
@@ -184,11 +184,11 @@ pub fn otlp_json(trace_id: &str, spans: &[SpanRecord], events: &[EventRecord]) -
     let trace_hex = otlp_trace_id(trace_id);
     let nanos = |us: u64| us.saturating_mul(1000);
     let event_json = |event: &EventRecord| -> String {
-        let mut attrs = vec![("event.kind".to_string(), event.kind.clone())];
+        let mut attrs: Vec<(&'static str, String)> = vec![("event.kind", event.kind.to_string())];
         if let Some(parent) = event.parent {
-            attrs.push(("event.cause".to_string(), parent.to_string()));
+            attrs.push(("event.cause", parent.to_string()));
         }
-        attrs.push(("event.id".to_string(), event.id.to_string()));
+        attrs.push(("event.id", event.id.to_string()));
         attrs.extend(event.attrs.iter().cloned());
         format!(
             "{{\"timeUnixNano\":\"{}\",\"name\":\"{}\",\"attributes\":{}}}",
@@ -215,7 +215,7 @@ pub fn otlp_json(trace_id: &str, spans: &[SpanRecord], events: &[EventRecord]) -
             span.parent
                 .map(|p| format!("{:016x}", p + 1))
                 .unwrap_or_default(),
-            escape_json(&span.name),
+            escape_json(span.name),
             nanos(span.start.as_micros()),
             nanos(span.end.as_micros()),
             otlp_attrs(&span.attrs),

@@ -1,0 +1,390 @@
+//! The incident flight recorder: a black box for the diagnosis pipeline.
+//!
+//! Aggregate metrics tell you *that* something went wrong; by the time an
+//! operator looks, the interesting window is gone. The [`FlightRecorder`]
+//! keeps a bounded ring of periodic virtual-time [`FlightFrame`]s (full
+//! metric snapshots) and stamps an [`IncidentMark`] — plus an immediate
+//! extra frame — whenever the pipeline reports a detection. Dumping the
+//! ring yields the last N frames *around* each incident, like an aircraft
+//! black box, without unbounded memory: old frames are evicted and
+//! counted.
+//!
+//! [`render_dashboard`] turns a dump into an ASCII dashboard — one
+//! sparkline per metric over the frame window, with incident marks aligned
+//! under the frame columns — used live by the gateway soak example.
+//!
+//! The recorder is metrics-side telemetry: it runs in every
+//! [`TelemetryMode`](crate::TelemetryMode) (including `Off`) so the
+//! overhead baseline pays the same frame cost as the full configuration.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pod_sim::{Clock, SimDuration, SimTime};
+
+use crate::metrics::{Registry, Snapshot};
+
+/// Upper bound on retained incident marks per recorder.
+const INCIDENT_CAP: usize = 256;
+
+/// Flight-recorder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Frames retained in the ring.
+    pub capacity: usize,
+    /// Minimum virtual time between periodic frames ([`FlightRecorder::tick`]
+    /// is rate-limited to this; incident frames bypass it).
+    pub interval: SimDuration,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig {
+            capacity: 64,
+            interval: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// One periodic snapshot frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightFrame {
+    /// Virtual time the frame was taken.
+    pub at: SimTime,
+    /// Full metric snapshot at that instant.
+    pub snapshot: Snapshot,
+}
+
+/// One incident stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentMark {
+    /// Virtual time of the incident.
+    pub at: SimTime,
+    /// Label, e.g. the operation instance that detected.
+    pub label: String,
+}
+
+/// Everything the recorder holds at dump time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlightDump {
+    /// Retained frames, oldest first.
+    pub frames: Vec<FlightFrame>,
+    /// Retained incident marks, oldest first.
+    pub incidents: Vec<IncidentMark>,
+    /// Frames evicted from the ring before the dump.
+    pub evicted_frames: u64,
+    /// Incident marks dropped after [`INCIDENT_CAP`].
+    pub dropped_incidents: u64,
+}
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    frames: VecDeque<FlightFrame>,
+    incidents: Vec<IncidentMark>,
+    evicted_frames: u64,
+    dropped_incidents: u64,
+    last_frame: Option<SimTime>,
+}
+
+/// Bounded ring of periodic metric snapshots with on-incident stamping.
+/// Cloning shares the ring.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    clock: Clock,
+    registry: Registry,
+    config: FlightConfig,
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder snapshotting `registry` on `clock` time.
+    pub fn new(clock: Clock, registry: Registry, config: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            clock,
+            registry,
+            config: FlightConfig {
+                capacity: config.capacity.max(2),
+                ..config
+            },
+            inner: Arc::new(Mutex::new(FlightInner::default())),
+        }
+    }
+
+    /// Records a periodic frame if at least [`FlightConfig::interval`] has
+    /// passed since the last one. Returns whether a frame was recorded.
+    /// Cheap to call once per drained batch.
+    pub fn tick(&self) -> bool {
+        let now = self.clock.now();
+        {
+            let inner = self.inner.lock();
+            if let Some(last) = inner.last_frame {
+                if now.duration_since(last) < self.config.interval {
+                    return false;
+                }
+            }
+        }
+        self.force_frame();
+        true
+    }
+
+    /// Records a frame right now, bypassing the interval gate.
+    pub fn force_frame(&self) {
+        let frame = FlightFrame {
+            at: self.clock.now(),
+            snapshot: self.registry.snapshot(),
+        };
+        let mut inner = self.inner.lock();
+        inner.last_frame = Some(frame.at);
+        if inner.frames.len() >= self.config.capacity {
+            inner.frames.pop_front();
+            inner.evicted_frames += 1;
+        }
+        inner.frames.push_back(frame);
+    }
+
+    /// Stamps an incident and records an immediate frame, so the dump
+    /// always holds the metric state at the moment of detection.
+    pub fn mark_incident(&self, label: &str) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.incidents.len() >= INCIDENT_CAP {
+                inner.dropped_incidents += 1;
+            } else {
+                let at = self.clock.now();
+                inner.incidents.push(IncidentMark {
+                    at,
+                    label: label.to_string(),
+                });
+            }
+        }
+        self.force_frame();
+    }
+
+    /// The number of retained frames.
+    pub fn frames_len(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// The number of retained incident marks.
+    pub fn incidents_len(&self) -> usize {
+        self.inner.lock().incidents.len()
+    }
+
+    /// Copies the black box out.
+    pub fn dump(&self) -> FlightDump {
+        let inner = self.inner.lock();
+        FlightDump {
+            frames: inner.frames.iter().cloned().collect(),
+            incidents: inner.incidents.clone(),
+            evicted_frames: inner.evicted_frames,
+            dropped_incidents: inner.dropped_incidents,
+        }
+    }
+}
+
+/// Sparkline alphabet, lowest to highest.
+const SPARK: &[u8] = b" .:-=+*#%@";
+
+fn sparkline(series: &[u64]) -> String {
+    let peak = series.iter().copied().max().unwrap_or(0);
+    series
+        .iter()
+        .map(|&v| {
+            if peak == 0 {
+                ' '
+            } else {
+                let level = ((v as f64 / peak as f64) * (SPARK.len() - 1) as f64).round() as usize;
+                SPARK[level.min(SPARK.len() - 1)] as char
+            }
+        })
+        .collect()
+}
+
+/// Renders a dump as an ASCII dashboard: one sparkline per requested
+/// metric across the frame window, scaled to its own peak.
+///
+/// Counters plot the **per-frame delta** (rate shape); gauges plot the
+/// instantaneous value; histograms plot the cumulative p99. A final
+/// `incidents` row marks the frame column each incident landed in with
+/// `!`, followed by one line per mark.
+pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
+    let mut out = String::new();
+    let frames = &dump.frames;
+    if frames.is_empty() {
+        return "flight recorder: no frames recorded\n".to_string();
+    }
+    let _ = writeln!(
+        out,
+        "flight recorder: {} frames [{} .. {}], {} incident mark{}{}",
+        frames.len(),
+        frames.first().unwrap().at,
+        frames.last().unwrap().at,
+        dump.incidents.len(),
+        if dump.incidents.len() == 1 { "" } else { "s" },
+        if dump.evicted_frames > 0 {
+            format!(", {} frames evicted", dump.evicted_frames)
+        } else {
+            String::new()
+        },
+    );
+    for &name in metrics {
+        let (series, last_text): (Vec<u64>, String) = if frames
+            .iter()
+            .any(|f| f.snapshot.histograms.contains_key(name))
+        {
+            let series: Vec<u64> = frames
+                .iter()
+                .map(|f| {
+                    f.snapshot
+                        .histogram(name)
+                        .and_then(|h| h.quantile(0.99))
+                        .unwrap_or(0)
+                })
+                .collect();
+            let last = *series.last().unwrap();
+            let text = if name.ends_with("_us") {
+                format!("p99 {}", SimDuration::from_micros(last))
+            } else {
+                format!("p99 {last}")
+            };
+            (series, text)
+        } else if frames.iter().any(|f| f.snapshot.gauges.contains_key(name)) {
+            let series: Vec<u64> = frames
+                .iter()
+                .map(|f| f.snapshot.gauges.get(name).copied().unwrap_or(0).max(0) as u64)
+                .collect();
+            let text = series.last().unwrap().to_string();
+            (series, text)
+        } else {
+            // Counter: plot the per-frame delta so the sparkline shows
+            // the rate shape, not a monotone ramp.
+            let totals: Vec<u64> = frames.iter().map(|f| f.snapshot.counter(name)).collect();
+            let series: Vec<u64> = totals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if i == 0 { v } else { v - totals[i - 1].min(v) })
+                .collect();
+            (series, format!("total {}", totals.last().unwrap()))
+        };
+        let _ = writeln!(out, "{:<38} |{}| {}", name, sparkline(&series), last_text);
+    }
+    if !dump.incidents.is_empty() {
+        let marks: String = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let window_start = if i == 0 { None } else { Some(frames[i - 1].at) };
+                let hit = dump
+                    .incidents
+                    .iter()
+                    .any(|inc| inc.at <= f.at && window_start.map(|s| inc.at > s).unwrap_or(true));
+                if hit {
+                    '!'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{:<38} |{}|", "incidents", marks);
+        for inc in &dump.incidents {
+            let _ = writeln!(out, "  ! {} {}", inc.at, inc.label);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(capacity: usize, interval_ms: u64) -> (Clock, Registry, FlightRecorder) {
+        let clock = Clock::new();
+        let registry = Registry::new();
+        let rec = FlightRecorder::new(
+            clock.clone(),
+            registry.clone(),
+            FlightConfig {
+                capacity,
+                interval: SimDuration::from_millis(interval_ms),
+            },
+        );
+        (clock, registry, rec)
+    }
+
+    #[test]
+    fn tick_is_interval_gated_and_the_ring_is_bounded() {
+        let (clock, _reg, rec) = recorder(4, 10);
+        assert!(rec.tick(), "first tick always records");
+        assert!(!rec.tick(), "no virtual time passed");
+        for _ in 0..10 {
+            clock.advance(SimDuration::from_millis(10));
+            assert!(rec.tick());
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.frames.len(), 4);
+        assert_eq!(dump.evicted_frames, 7);
+        assert!(
+            dump.frames.windows(2).all(|w| w[0].at < w[1].at),
+            "frames stay ordered oldest-first"
+        );
+    }
+
+    #[test]
+    fn incidents_stamp_a_frame_immediately() {
+        let (clock, reg, rec) = recorder(8, 1_000);
+        rec.tick();
+        clock.advance(SimDuration::from_millis(3));
+        reg.counter("engine.detections").incr();
+        rec.mark_incident("i-0042 detection");
+        let dump = rec.dump();
+        assert_eq!(dump.frames.len(), 2, "interval gate bypassed");
+        assert_eq!(dump.incidents.len(), 1);
+        assert_eq!(dump.incidents[0].at, SimTime::from_millis(3));
+        assert_eq!(
+            dump.frames
+                .last()
+                .unwrap()
+                .snapshot
+                .counter("engine.detections"),
+            1,
+            "the incident frame holds the state at detection time"
+        );
+    }
+
+    #[test]
+    fn dashboard_renders_sparklines_and_incident_marks() {
+        let (clock, reg, rec) = recorder(16, 10);
+        let c = reg.counter("gateway.lines.processed");
+        let h = reg.log_histogram("gateway.queue_wait_us");
+        for i in 0..6u64 {
+            c.add(i * 100);
+            h.record(1_000 * (i + 1));
+            if i == 3 {
+                rec.mark_incident("i-0003 detection");
+            }
+            rec.tick();
+            clock.advance(SimDuration::from_millis(10));
+        }
+        let dump = rec.dump();
+        let text = render_dashboard(
+            &dump,
+            &[
+                "gateway.lines.processed",
+                "gateway.queue_wait_us",
+                "missing",
+            ],
+        );
+        assert!(text.contains("flight recorder:"), "got:\n{text}");
+        assert!(text.contains("gateway.lines.processed"), "got:\n{text}");
+        assert!(text.contains("p99"), "got:\n{text}");
+        assert!(text.contains("incidents"), "got:\n{text}");
+        assert!(text.contains('!'), "got:\n{text}");
+        assert!(text.contains("i-0003 detection"), "got:\n{text}");
+        assert!(
+            render_dashboard(&FlightDump::default(), &[]).contains("no frames"),
+            "empty dump renders a placeholder"
+        );
+    }
+}

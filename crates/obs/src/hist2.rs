@@ -1,0 +1,323 @@
+//! Log-scale (HDR-style) histograms with tail exemplars.
+//!
+//! The fixed-bucket [`Histogram`](crate::Histogram) needs its bounds chosen
+//! up front; at gateway scale the interesting latencies span five orders of
+//! magnitude and the fixed bounds either waste buckets or lose the tail. A
+//! [`LogHistogram`] instead uses base-2 buckets with 8 linear sub-buckets
+//! per octave: bucket index is computed from the value's bit pattern in
+//! O(1) (no bounds search), the relative quantile error is bounded by
+//! 1/8 = 12.5% everywhere, and the layout is identical for every instance,
+//! so snapshots always merge losslessly.
+//!
+//! Tail observations can carry an **exemplar** — the virtual timestamp,
+//! the causal event id and free-form labels (operation, instance, shard) of
+//! one concrete observation — so a p99 read from the histogram links
+//! straight back to the run that produced it. Exemplar capture is guarded
+//! by an atomic floor: observations below the smallest retained exemplar
+//! value never take the lock or build labels.
+//!
+//! Snapshots are exported as ordinary [`HistogramSnapshot`]s (the log-scale
+//! bounds are just a particular bounds vector), so every existing renderer,
+//! diff and merge path works unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use pod_sim::SimTime;
+
+use crate::metrics::HistogramSnapshot;
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave (8 → ≤ 12.5% relative error).
+const SUB: u64 = 1 << SUB_BITS;
+/// Octaves above the exact range; the top bound is `(2*SUB << 36) - 1`
+/// ≈ 2^40 µs ≈ 12.7 virtual days — far beyond any virtual-time latency.
+const OCTAVES: u32 = 37;
+/// Bounded buckets (one more overflow bucket follows).
+const NUM_BOUNDS: usize = SUB as usize + (OCTAVES as usize) * SUB as usize;
+/// Retained tail exemplars per histogram.
+pub const EXEMPLAR_CAP: usize = 8;
+
+/// The shared log-scale bounds: inclusive upper bounds of every bounded
+/// bucket. Identical for all [`LogHistogram`]s, so their snapshots always
+/// merge on the fast path.
+pub fn log_bounds() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = Vec::with_capacity(NUM_BOUNDS);
+        // Values 0..SUB are exact (unit-width buckets).
+        for v in 0..SUB {
+            bounds.push(v);
+        }
+        for octave in 0..OCTAVES {
+            for m in 0..SUB {
+                bounds.push(((SUB + m + 1) << octave) - 1);
+            }
+        }
+        bounds
+    })
+}
+
+/// The bucket a value lands in, computed from its bit pattern.
+fn index_for(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = msb - SUB_BITS;
+    if octave >= OCTAVES {
+        return NUM_BOUNDS; // overflow bucket
+    }
+    let offset = ((value >> octave) - SUB) as usize;
+    SUB as usize + octave as usize * SUB as usize + offset
+}
+
+/// One concrete tail observation retained alongside a histogram, linking an
+/// aggregate quantile back to the run that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram).
+    pub value: u64,
+    /// Virtual time of the observation.
+    pub at: SimTime,
+    /// The causal event the observation belongs to, when known — the hook
+    /// into [`crate::incidents`] timelines.
+    pub event: Option<u64>,
+    /// Free-form labels, e.g. `op`, `instance`, `shard`.
+    pub labels: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct LogHistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    /// Values below this floor cannot enter the exemplar reservoir; once
+    /// the reservoir is full this is the smallest retained value, so the
+    /// hot path skips the lock (and label building) for non-tail values.
+    tail_floor: AtomicU64,
+    exemplars: Mutex<Vec<Exemplar>>,
+}
+
+/// A log-scale histogram of `u64` observations with a bounded reservoir of
+/// tail [`Exemplar`]s. Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct LogHistogram(Arc<LogHistogramInner>);
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram(Arc::new(LogHistogramInner {
+            buckets: (0..=NUM_BOUNDS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            tail_floor: AtomicU64::new(0),
+            exemplars: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Records one observation (no exemplar).
+    pub fn record(&self, value: u64) {
+        let h = &self.0;
+        h.buckets[index_for(value)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.min.fetch_min(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one observation and offers it to the tail-exemplar
+    /// reservoir. `exemplar` is only called when the value is large enough
+    /// to enter the reservoir, so label allocation stays off the common
+    /// path.
+    pub fn record_with<F: FnOnce() -> Exemplar>(&self, value: u64, exemplar: F) {
+        self.record(value);
+        if value < self.0.tail_floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut pool = self.0.exemplars.lock();
+        if pool.len() >= EXEMPLAR_CAP {
+            // Evict the smallest retained exemplar; equal values keep the
+            // earlier one (stable under re-observation of the same tail).
+            let (weakest, weakest_value) = pool
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.value))
+                .min_by_key(|&(_, v)| v)
+                .expect("reservoir is non-empty at capacity");
+            if value <= weakest_value {
+                return;
+            }
+            pool.swap_remove(weakest);
+        }
+        pool.push(exemplar());
+        if pool.len() >= EXEMPLAR_CAP {
+            let floor = pool.iter().map(|e| e.value).min().unwrap_or(0);
+            self.0.tail_floor.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// The retained tail exemplars, largest value first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let mut out = self.0.exemplars.lock().clone();
+        out.sort_by(|a, b| b.value.cmp(&a.value).then(a.at.cmp(&b.at)));
+        out
+    }
+
+    /// Copies the current state as an ordinary [`HistogramSnapshot`] over
+    /// the shared log-scale bounds.
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let h = &self.0;
+        HistogramSnapshot {
+            bounds: log_bounds().to_vec(),
+            buckets: h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            min: h.min.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_ascend_and_match_the_index_function() {
+        let bounds = log_bounds();
+        assert_eq!(bounds.len(), NUM_BOUNDS);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        // index_for must agree with the generic partition_point placement
+        // used by the fixed-bucket histogram.
+        for value in (0..4096u64)
+            .chain((0..50).map(|i| 1u64 << (i % 40)))
+            .chain([u64::MAX, (SUB << 36) * 2 - 1])
+        {
+            let expected = bounds.partition_point(|&b| b < value);
+            assert_eq!(index_for(value), expected, "value {value}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_an_eighth() {
+        let bounds = log_bounds();
+        for value in [8u64, 100, 999, 70_000, 1_290_000, 10_440_000] {
+            let bound = bounds[index_for(value)];
+            assert!(bound >= value);
+            let err = (bound - value) as f64 / value as f64;
+            assert!(err <= 0.125, "value {value} bound {bound} err {err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_quantiles_track_the_tail() {
+        let h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((1_000..=1_125).contains(&p50), "p50 {p50}");
+        // Rank 99 of 100 is still a 1 ms observation; only the very last
+        // rank reaches the 1 s outlier.
+        let p99 = snap.quantile(0.99).unwrap();
+        assert!((1_000..=1_125).contains(&p99), "p99 {p99}");
+        assert_eq!(snap.quantile(0.995), Some(1_000_000));
+        assert_eq!(snap.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_observations() {
+        let h = LogHistogram::new();
+        let mut built = 0u32;
+        for v in (0..100u64).rev() {
+            h.record_with(v * 10, || {
+                built += 1;
+                Exemplar {
+                    value: v * 10,
+                    at: SimTime::from_micros(v),
+                    event: Some(v),
+                    labels: vec![("op".to_string(), format!("i-{v}"))],
+                }
+            });
+        }
+        let tail = h.exemplars();
+        assert_eq!(tail.len(), EXEMPLAR_CAP);
+        assert_eq!(tail[0].value, 990);
+        assert!(tail.iter().all(|e| e.value >= 920), "{tail:?}");
+        // The floor keeps label construction off the common path: once the
+        // reservoir is full, below-floor values never build an exemplar.
+        assert!(
+            (built as usize) < 100,
+            "floor never engaged: {built} exemplars built"
+        );
+        let h2 = LogHistogram::new();
+        h2.record_with(5, || Exemplar {
+            value: 5,
+            at: SimTime::ZERO,
+            event: None,
+            labels: Vec::new(),
+        });
+        assert_eq!(h2.exemplars().len(), 1);
+    }
+
+    #[test]
+    fn overflow_values_land_in_the_overflow_bucket() {
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[NUM_BOUNDS], 1);
+        assert_eq!(snap.quantile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let h = LogHistogram::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_with(t * 1000 + i, || Exemplar {
+                            value: t * 1000 + i,
+                            at: SimTime::from_micros(i),
+                            event: None,
+                            labels: Vec::new(),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(h.exemplars().len(), EXEMPLAR_CAP);
+    }
+}

@@ -61,18 +61,27 @@
 
 mod event;
 mod export;
+mod flight;
+mod hist2;
 mod metrics;
 mod obs;
 mod render;
+mod sampler;
 mod span;
 mod timeline;
 
 pub use event::{CauseScope, Emitted, EventId, EventLog, EventRecord, Parent};
 pub use export::{chrome_trace, otlp_json};
-pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_US,
+pub use flight::{
+    render_dashboard, FlightConfig, FlightDump, FlightFrame, FlightRecorder, IncidentMark,
 };
-pub use obs::Obs;
+pub use hist2::{log_bounds, Exemplar, LogHistogram, EXEMPLAR_CAP};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, ShardCell, ShardedCounter, Snapshot,
+    LATENCY_BOUNDS_US,
+};
+pub use obs::{Obs, TelemetryMode};
 pub use render::render_summary;
+pub use sampler::{RunSignals, SampleVerdict, SamplerConfig, TailSampler};
 pub use span::{SpanGuard, SpanRecord, Tracer};
-pub use timeline::{incidents, render_timeline, render_timelines, IncidentChain};
+pub use timeline::{incident_count, incidents, render_timeline, render_timelines, IncidentChain};

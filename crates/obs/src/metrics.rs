@@ -1,11 +1,14 @@
-//! The metrics registry: counters, gauges, fixed-bucket histograms, and
-//! point-in-time snapshots with diff/merge support.
+//! The metrics registry: counters (plain and sharded), gauges, fixed-bucket
+//! and log-scale histograms, and point-in-time snapshots with diff/merge
+//! support.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::hist2::{Exemplar, LogHistogram, EXEMPLAR_CAP};
 
 /// Default histogram bounds for virtual-time latencies, in microseconds:
 /// roughly exponential from 100 µs to 60 s. The paper's interesting
@@ -35,6 +38,68 @@ impl Counter {
     /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One cache line per shard so concurrent bumps from different shards
+/// never contend on the same line (the local crossbeam shim has no
+/// `CachePadded`).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// A monotonically increasing counter split across per-shard cache-padded
+/// cells. Each gateway shard bumps its own [`ShardCell`] lock-free with no
+/// false sharing; [`Registry::snapshot`] folds the cells into one total
+/// under the counter's name, so renderers, diff and merge see an ordinary
+/// counter. Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct ShardedCounter {
+    cells: Arc<Vec<PaddedCell>>,
+}
+
+impl ShardedCounter {
+    fn new(shards: usize) -> ShardedCounter {
+        ShardedCounter {
+            cells: Arc::new((0..shards.max(1)).map(|_| PaddedCell::default()).collect()),
+        }
+    }
+
+    /// The number of cells.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cheap per-shard handle; `shard` wraps modulo the cell count.
+    pub fn cell(&self, shard: usize) -> ShardCell {
+        ShardCell {
+            cells: Arc::clone(&self.cells),
+            idx: shard % self.cells.len(),
+        }
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A handle bound to one cell of a [`ShardedCounter`].
+#[derive(Debug, Clone)]
+pub struct ShardCell {
+    cells: Arc<Vec<PaddedCell>>,
+    idx: usize,
+}
+
+impl ShardCell {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cells[self.idx].0.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -152,10 +217,20 @@ impl HistogramSnapshot {
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the buckets.
     ///
-    /// The estimate is the upper bound of the bucket containing the target
-    /// rank, clamped to the observed `[min, max]` — so it is monotone in
-    /// `q` and always bounded by real observations. Returns `None` when
-    /// the histogram is empty.
+    /// **Semantics:** the estimate is the *inclusive upper bound* of the
+    /// bucket containing the target rank, clamped to the observed
+    /// `[min, max]` — so it is monotone in `q`, never under-reports, and is
+    /// always bounded by real observations. `q = 0` returns the exact
+    /// `min`, `q = 1` the exact `max`.
+    ///
+    /// **Error bound:** the estimate exceeds the true quantile by at most
+    /// one bucket's width. For the log-scale layout used by
+    /// [`LogHistogram`](crate::LogHistogram) (8 sub-buckets per octave)
+    /// that is a relative error ≤ 1/8 = 12.5%; for fixed bounds such as
+    /// [`LATENCY_BOUNDS_US`] it is the gap to the next configured bound
+    /// (values past the last bound fall in the overflow bucket, where the
+    /// estimate is the observed `max`). Returns `None` when the histogram
+    /// is empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -204,10 +279,28 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Merges another snapshot with identical bounds into this one
-    /// (campaign aggregation across runs).
-    fn merge(&mut self, other: &HistogramSnapshot) {
-        debug_assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+    /// Merges another snapshot into this one (campaign aggregation across
+    /// runs).
+    ///
+    /// Identical bounds merge bucket-by-bucket. Mismatched bounds **widen**:
+    /// both sides are re-bucketed onto the union of the two bounds vectors,
+    /// which is lossless at bucket granularity (every source bucket's upper
+    /// bound appears in the union, so no count ever moves to a different
+    /// bound than it was recorded under). Release builds therefore can no
+    /// longer silently add buckets of incompatible layouts positionally.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds != other.bounds {
+            let mut union = Vec::with_capacity(self.bounds.len().max(other.bounds.len()));
+            union.extend_from_slice(&self.bounds);
+            union.extend_from_slice(&other.bounds);
+            union.sort_unstable();
+            union.dedup();
+            *self = self.rebucket(&union);
+            let other = other.rebucket(&union);
+            debug_assert_eq!(self.bounds, other.bounds);
+            self.merge(&other);
+            return;
+        }
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
@@ -216,17 +309,46 @@ impl HistogramSnapshot {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Re-expresses this snapshot over `bounds`, a superset of
+    /// `self.bounds`: each bucket's count moves to the bucket whose upper
+    /// bound equals its own; the overflow bucket stays overflow.
+    fn rebucket(&self, bounds: &[u64]) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; bounds.len() + 1];
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let slot = match self.bounds.get(i) {
+                Some(&bound) => bounds.partition_point(|&b| b < bound),
+                None => bounds.len(), // overflow stays overflow
+            };
+            buckets[slot] += n;
+        }
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
 }
 
 /// Point-in-time copy of every metric in a [`Registry`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
-    /// Counter values by name.
+    /// Counter values by name (sharded counters are folded into their
+    /// per-name totals here).
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, i64>,
-    /// Histogram states by name.
+    /// Histogram states by name (log-scale histograms export over their
+    /// shared log-scale bounds).
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Tail exemplars by histogram name, largest value first.
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
 impl Snapshot {
@@ -261,11 +383,17 @@ impl Snapshot {
             .sum()
     }
 
+    /// The named histogram's tail exemplars (empty when absent).
+    pub fn exemplars(&self, name: &str) -> &[Exemplar] {
+        self.exemplars.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.values().all(|&v| v == 0)
             && self.gauges.is_empty()
             && self.histograms.values().all(|h| h.count == 0)
+            && self.exemplars.is_empty()
     }
 
     /// The change from `earlier` to `self`: counters and histogram
@@ -288,11 +416,15 @@ impl Snapshot {
             counters,
             gauges: self.gauges.clone(),
             histograms,
+            exemplars: self.exemplars.clone(),
         }
     }
 
     /// Accumulates `other` into this snapshot (campaign aggregation):
-    /// counters and histograms add; gauges keep the latest value.
+    /// counters and histograms add (mismatched histogram bounds widen onto
+    /// their union instead of being silently replaced); gauges keep the
+    /// latest value; exemplar reservoirs combine and keep the largest
+    /// values.
     pub fn merge(&mut self, other: &Snapshot) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -302,11 +434,18 @@ impl Snapshot {
         }
         for (k, h) in &other.histograms {
             match self.histograms.get_mut(k) {
-                Some(mine) if mine.bounds == h.bounds => mine.merge(h),
-                _ => {
+                Some(mine) => mine.merge(h),
+                None => {
                     self.histograms.insert(k.clone(), h.clone());
                 }
             }
+        }
+        for (k, tail) in &other.exemplars {
+            let mine = self.exemplars.entry(k.clone()).or_default();
+            mine.extend(tail.iter().cloned());
+            mine.sort_by(|a, b| b.value.cmp(&a.value).then(a.at.cmp(&b.at)));
+            mine.dedup();
+            mine.truncate(EXEMPLAR_CAP);
         }
     }
 }
@@ -314,8 +453,10 @@ impl Snapshot {
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
+    sharded: BTreeMap<String, ShardedCounter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    log_histograms: BTreeMap<String, LogHistogram>,
 }
 
 /// The shared metrics registry. Cloning shares the same metric set;
@@ -344,6 +485,20 @@ impl Registry {
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
+    /// The sharded counter registered under `name`, created on first use
+    /// with `shards` cells. Later callers get the existing counter
+    /// regardless of the shard count they pass. Snapshots fold the cells
+    /// into one total under `name` (added to any plain counter of the same
+    /// name).
+    pub fn sharded_counter(&self, name: &str, shards: usize) -> ShardedCounter {
+        let mut inner = self.inner.lock();
+        inner
+            .sharded
+            .entry(name.to_string())
+            .or_insert_with(|| ShardedCounter::new(shards))
+            .clone()
+    }
+
     /// The histogram registered under `name`, created on first use with
     /// `bounds` (ascending inclusive upper bounds). Later callers get the
     /// existing histogram regardless of the bounds they pass.
@@ -356,25 +511,53 @@ impl Registry {
             .clone()
     }
 
+    /// The log-scale histogram registered under `name`, created on first
+    /// use. Snapshots export it as an ordinary [`HistogramSnapshot`] over
+    /// the shared log-scale bounds, plus its tail exemplars under
+    /// [`Snapshot::exemplars`]. On a name collision with a fixed-bucket
+    /// histogram, the log-scale one wins in the snapshot.
+    pub fn log_histogram(&self, name: &str) -> LogHistogram {
+        let mut inner = self.inner.lock();
+        inner
+            .log_histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
     /// Copies every metric's current value.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock();
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        for (k, s) in &inner.sharded {
+            *counters.entry(k.clone()).or_insert(0) += s.total();
+        }
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        let mut exemplars = BTreeMap::new();
+        for (k, h) in &inner.log_histograms {
+            histograms.insert(k.clone(), h.snapshot());
+            let tail = h.exemplars();
+            if !tail.is_empty() {
+                exemplars.insert(k.clone(), tail);
+            }
+        }
         Snapshot {
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, c)| (k.clone(), c.get()))
-                .collect(),
+            counters,
             gauges: inner
                 .gauges
                 .iter()
                 .map(|(k, g)| (k.clone(), g.get()))
                 .collect(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
-                .collect(),
+            histograms,
+            exemplars,
         }
     }
 }
@@ -471,6 +654,121 @@ mod tests {
         let reg = Registry::new();
         reg.histogram("lat", &[10]);
         assert_eq!(reg.snapshot().histogram("lat").unwrap().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_are_pinned_on_known_distributions() {
+        // Uniform 1..=100 over decade-wide fixed buckets: every estimate is
+        // the upper bound of the rank's bucket, so the error is at most one
+        // bucket width (10 here).
+        let reg = Registry::new();
+        let h = reg.histogram("fixed", &[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("fixed").unwrap();
+        assert_eq!(hs.quantile(0.50), Some(50));
+        assert_eq!(hs.quantile(0.95), Some(100));
+        assert_eq!(hs.quantile(0.99), Some(100));
+
+        // Uniform 1..=1000 over the log-scale layout: estimates stay within
+        // the documented 12.5% relative error of the true quantile.
+        let lh = reg.log_histogram("log");
+        for v in 1..=1000 {
+            lh.record(v);
+        }
+        let snap = reg.snapshot();
+        let ls = snap.histogram("log").unwrap();
+        assert_eq!(ls.quantile(0.50), Some(511));
+        assert_eq!(ls.quantile(0.95), Some(959));
+        assert_eq!(ls.quantile(0.99), Some(1000), "clamped to observed max");
+        for (q, truth) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = ls.quantile(q).unwrap();
+            assert!(est >= truth, "upper-bound semantics");
+            assert!(
+                (est - truth) as f64 / truth as f64 <= 0.125,
+                "q={q}: est {est} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_widens_mismatched_bounds_instead_of_replacing() {
+        let a_reg = Registry::new();
+        let ah = a_reg.histogram("lat", &[10, 100]);
+        ah.record(5);
+        ah.record(90);
+        let b_reg = Registry::new();
+        let bh = b_reg.histogram("lat", &[50, 1000]);
+        bh.record(40);
+        bh.record(900);
+        bh.record(5000); // overflow on b's layout
+        let mut total = a_reg.snapshot();
+        total.merge(&b_reg.snapshot());
+        let h = total.histogram("lat").unwrap();
+        assert_eq!(h.bounds, vec![10, 50, 100, 1000], "union of both layouts");
+        assert_eq!(h.count, 5, "nothing replaced, everything merged");
+        assert_eq!(h.sum, 5 + 90 + 40 + 900 + 5000);
+        // Counts stay under the bound they were recorded under: a's ≤10
+        // bucket maps to the union's ≤10, a's ≤100 to ≤100, b's ≤50 to ≤50,
+        // b's ≤1000 to ≤1000, b's overflow to overflow.
+        assert_eq!(h.buckets, vec![1, 1, 1, 1, 1]);
+        assert_eq!((h.min, h.max), (5, 5000));
+    }
+
+    #[test]
+    fn sharded_counter_folds_into_the_snapshot_total() {
+        let reg = Registry::new();
+        let sc = reg.sharded_counter("gateway.lines.processed", 4);
+        assert_eq!(sc.shards(), 4);
+        let cells: Vec<_> = (0..4).map(|i| sc.cell(i)).collect();
+        let handles: Vec<_> = cells
+            .into_iter()
+            .map(|cell| {
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        cell.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        sc.cell(7).add(2); // wraps to cell 3
+        assert_eq!(sc.total(), 40_002);
+        assert_eq!(reg.snapshot().counter("gateway.lines.processed"), 40_002);
+        // A plain counter of the same name adds to the folded total.
+        reg.counter("gateway.lines.processed").add(8);
+        assert_eq!(reg.snapshot().counter("gateway.lines.processed"), 40_010);
+        // Re-registration shares cells regardless of the shard count asked.
+        let again = reg.sharded_counter("gateway.lines.processed", 16);
+        assert_eq!(again.shards(), 4);
+    }
+
+    #[test]
+    fn snapshot_carries_log_histogram_exemplars() {
+        use crate::hist2::Exemplar;
+        use pod_sim::SimTime;
+        let reg = Registry::new();
+        let h = reg.log_histogram("gateway.queue_wait_us");
+        h.record(10);
+        h.record_with(9_000, || Exemplar {
+            value: 9_000,
+            at: SimTime::from_micros(42),
+            event: Some(7),
+            labels: vec![("op".into(), "i-0042".into())],
+        });
+        let snap = reg.snapshot();
+        let tail = snap.exemplars("gateway.queue_wait_us");
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].value, 9_000);
+        assert_eq!(snap.histogram("gateway.queue_wait_us").unwrap().count, 2);
+        // merge keeps the largest exemplars from both sides.
+        let mut total = snap.clone();
+        total.merge(&snap);
+        assert_eq!(total.exemplars("gateway.queue_wait_us").len(), 1, "deduped");
     }
 
     #[test]

@@ -1,32 +1,100 @@
 //! The [`Obs`] handle bundling clock, metrics registry, tracer and the
-//! causal event log.
+//! causal event log, gated by a [`TelemetryMode`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use pod_sim::Clock;
 
-use crate::event::{Emitted, EventId, EventLog, Parent};
-use crate::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use crate::event::{CauseScope, Emitted, EventId, EventLog, Parent};
+use crate::hist2::LogHistogram;
+use crate::metrics::{Counter, Gauge, Histogram, Registry, ShardedCounter, Snapshot};
 use crate::span::{SpanGuard, Tracer};
+
+/// How much telemetry an [`Obs`] context records.
+///
+/// Metrics (counters, gauges, histograms) are always on — they are cheap,
+/// lock-free and required for correctness accounting. The mode gates the
+/// *trace* side (spans and causal events), which allocates strings per
+/// record and is what tail-based sampling decides to keep or discard:
+///
+/// - `Off` — spans and events become no-ops; the baseline for overhead
+///   measurement.
+/// - `Sampled` — spans/events are recorded per run and retained only when
+///   the run's tail-sampling verdict says so (see
+///   [`TailSampler`](crate::TailSampler)).
+/// - `Full` — everything recorded and retained.
+///
+/// The mode never changes what the engine *does* — detections and
+/// diagnoses are byte-identical across modes under a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// Record nothing on the trace side.
+    Off,
+    /// Record per run, retain by tail-sampling verdict.
+    Sampled,
+    /// Record and retain everything.
+    #[default]
+    Full,
+}
+
+impl TelemetryMode {
+    fn from_u8(v: u8) -> TelemetryMode {
+        match v {
+            0 => TelemetryMode::Off,
+            1 => TelemetryMode::Sampled,
+            _ => TelemetryMode::Full,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            TelemetryMode::Off => 0,
+            TelemetryMode::Sampled => 1,
+            TelemetryMode::Full => 2,
+        }
+    }
+
+    /// Whether spans/events are recorded at all in this mode.
+    pub fn records_traces(self) -> bool {
+        self != TelemetryMode::Off
+    }
+}
+
+impl std::fmt::Display for TelemetryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TelemetryMode::Off => "off",
+            TelemetryMode::Sampled => "sampled",
+            TelemetryMode::Full => "full",
+        })
+    }
+}
 
 /// One observability context: a metrics [`Registry`], a [`Tracer`] and a
 /// causal [`EventLog`], all timestamped from the same virtual [`Clock`].
-/// Cloning is cheap and shares all state, so a single `Obs` created next
-/// to the `Cloud` can be handed to every layer of the pipeline.
+/// Cloning is cheap and shares all state (including the telemetry mode),
+/// so a single `Obs` created next to the `Cloud` can be handed to every
+/// layer of the pipeline.
 #[derive(Debug, Clone)]
 pub struct Obs {
     clock: Clock,
     registry: Registry,
     tracer: Tracer,
     events: EventLog,
+    mode: Arc<AtomicU8>,
 }
 
 impl Obs {
-    /// Creates an observability context on `clock`.
+    /// Creates an observability context on `clock` (mode
+    /// [`TelemetryMode::Full`]).
     pub fn new(clock: Clock) -> Obs {
         Obs {
             tracer: Tracer::new(clock.clone()),
             events: EventLog::new(clock.clone()),
             registry: Registry::new(),
             clock,
+            mode: Arc::new(AtomicU8::new(TelemetryMode::Full.as_u8())),
         }
     }
 
@@ -57,22 +125,81 @@ impl Obs {
         &self.events
     }
 
+    /// The current telemetry mode.
+    pub fn mode(&self) -> TelemetryMode {
+        TelemetryMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Sets the telemetry mode, shared by every clone of this context.
+    pub fn set_mode(&self, mode: TelemetryMode) {
+        self.mode.store(mode.as_u8(), Ordering::Relaxed);
+    }
+
     /// Emits a causal event parented to the innermost ambient cause and
-    /// correlated with the innermost open span.
-    pub fn event(&self, kind: &str, name: &str) -> Emitted {
+    /// correlated with the innermost open span. A no-op (inert handle)
+    /// when the mode is [`TelemetryMode::Off`].
+    pub fn event(&self, kind: &'static str, name: &str) -> Emitted {
+        if !self.mode().records_traces() {
+            return Emitted::disabled();
+        }
         self.events
             .emit(kind, name, Parent::Ambient, self.tracer.current_span_id())
     }
 
     /// Emits a causal event with an explicit parent (still correlated with
-    /// the innermost open span).
-    pub fn event_under(&self, parent: EventId, kind: &str, name: &str) -> Emitted {
+    /// the innermost open span). A no-op when the mode is
+    /// [`TelemetryMode::Off`].
+    pub fn event_under(&self, parent: EventId, kind: &'static str, name: &str) -> Emitted {
+        if !self.mode().records_traces() {
+            return Emitted::disabled();
+        }
         self.events.emit(
             kind,
             name,
             Parent::Of(parent),
             self.tracer.current_span_id(),
         )
+    }
+
+    /// Hot-path event emission: name and attribute values are moved in and
+    /// the event lands in the ring under a single lock, with no `Emitted`
+    /// handle constructed. Returns `None` (recording nothing) when the
+    /// mode is [`TelemetryMode::Off`] — callers should build `name`/`attrs`
+    /// only after checking [`Obs::mode`] so the off baseline pays nothing.
+    pub fn event_with(
+        &self,
+        kind: &'static str,
+        name: impl Into<std::borrow::Cow<'static, str>>,
+        attrs: Vec<(&'static str, String)>,
+    ) -> Option<EventId> {
+        if !self.mode().records_traces() {
+            return None;
+        }
+        Some(self.events.emit_with(
+            kind,
+            name,
+            Parent::Ambient,
+            self.tracer.current_span_id(),
+            attrs,
+        ))
+    }
+
+    /// Opens a *pending* cause scope (see [`EventLog::scope_pending`]): the
+    /// event's ingredients are captured now, but it is only recorded if a
+    /// descendant actually emits under the scope. The lazy counterpart of
+    /// scoping an [`Obs::event_with`] id — healthy lines leave no trace.
+    /// Returns a no-op scope when the mode is [`TelemetryMode::Off`].
+    pub fn scope_cause(
+        &self,
+        kind: &'static str,
+        name: impl Into<std::borrow::Cow<'static, str>>,
+        attrs: Vec<(&'static str, String)>,
+    ) -> CauseScope {
+        if !self.mode().records_traces() {
+            return self.events.scope(None);
+        }
+        self.events
+            .scope_pending(kind, name, attrs, self.tracer.current_span_id())
     }
 
     /// Starts a fresh run: resets both the tracer and the event log to a
@@ -97,8 +224,39 @@ impl Obs {
         self.registry.histogram(name, bounds)
     }
 
-    /// Opens a span (see [`Tracer::span`]).
-    pub fn span(&self, name: &str) -> SpanGuard {
+    /// Log-scale histogram accessor (see [`Registry::log_histogram`]).
+    pub fn log_histogram(&self, name: &str) -> LogHistogram {
+        self.registry.log_histogram(name)
+    }
+
+    /// Sharded counter accessor (see [`Registry::sharded_counter`]).
+    pub fn sharded_counter(&self, name: &str, shards: usize) -> ShardedCounter {
+        self.registry.sharded_counter(name, shards)
+    }
+
+    /// Retroactively records a completed span (see
+    /// [`Tracer::record_span`]): the outcome-conditional pattern where a
+    /// hot path notes its start time, and only materialises the span when
+    /// the outcome is anomalous. Returns `None` (recording nothing) when
+    /// the mode is [`TelemetryMode::Off`].
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        started_at: pod_sim::SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) -> Option<u64> {
+        if !self.mode().records_traces() {
+            return None;
+        }
+        Some(self.tracer.record_span(name, started_at, attrs))
+    }
+
+    /// Opens a span (see [`Tracer::span`]). Returns an inert guard when
+    /// the mode is [`TelemetryMode::Off`].
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.mode().records_traces() {
+            return SpanGuard::disabled();
+        }
         self.tracer.span(name)
     }
 
@@ -154,6 +312,29 @@ mod tests {
         assert_eq!(obs.tracer().finished().len(), 0);
         assert!(obs.events().is_empty());
         assert_eq!(obs.events().trace_id(), "b");
+    }
+
+    #[test]
+    fn off_mode_disables_traces_but_not_metrics() {
+        let obs = Obs::detached();
+        obs.begin_run("t");
+        obs.set_mode(TelemetryMode::Off);
+        assert_eq!(obs.clone().mode(), TelemetryMode::Off, "clones share mode");
+        {
+            let span = obs.span("s");
+            span.attr("k", "v");
+            assert_eq!(span.id(), u64::MAX);
+            let ev = obs.event("detection", "x");
+            ev.attr("k", "v");
+            obs.event_under(ev.id(), "diagnosis.cause", "y");
+        }
+        assert_eq!(obs.tracer().finished().len(), 0);
+        assert!(obs.events().is_empty());
+        obs.counter("c").incr();
+        assert_eq!(obs.snapshot().counter("c"), 1, "metrics stay on");
+        obs.set_mode(TelemetryMode::Full);
+        drop(obs.span("s2"));
+        assert_eq!(obs.tracer().finished().len(), 1);
     }
 
     #[test]

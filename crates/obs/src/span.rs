@@ -13,6 +13,10 @@ use pod_sim::{Clock, SimDuration, SimTime};
 const SPAN_CAP: usize = 4096;
 
 /// A completed span.
+///
+/// `name` and attribute keys are `&'static str`: every call site names
+/// them with literals, and per-line spans (`conformance.replay`) must not
+/// allocate for strings the binary already contains.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Unique id within the trace (ascending in start order).
@@ -20,13 +24,13 @@ pub struct SpanRecord {
     /// The enclosing span, if any.
     pub parent: Option<u64>,
     /// Span name, e.g. `faulttree.walk` or `cloud.api.call`.
-    pub name: String,
+    pub name: &'static str,
     /// Virtual-clock start.
     pub start: SimTime,
     /// Virtual-clock end.
     pub end: SimTime,
     /// Key/value attributes in insertion order.
-    pub attrs: Vec<(String, String)>,
+    pub attrs: Vec<(&'static str, String)>,
 }
 
 impl SpanRecord {
@@ -40,9 +44,9 @@ impl SpanRecord {
 struct OpenSpan {
     id: u64,
     parent: Option<u64>,
-    name: String,
+    name: &'static str,
     start: SimTime,
-    attrs: Vec<(String, String)>,
+    attrs: Vec<(&'static str, String)>,
 }
 
 #[derive(Debug, Default)]
@@ -90,7 +94,7 @@ impl Tracer {
 
     /// Opens a span nested under the innermost open span. The span closes
     /// when the returned guard drops.
-    pub fn span(&self, name: &str) -> SpanGuard {
+    pub fn span(&self, name: &'static str) -> SpanGuard {
         let start = self.clock.now();
         let mut inner = self.inner.lock();
         let id = inner.next_id;
@@ -99,21 +103,58 @@ impl Tracer {
         inner.open.push(OpenSpan {
             id,
             parent,
-            name: name.to_string(),
+            name,
             start,
             attrs: Vec::new(),
         });
         inner.stack.push(id);
         SpanGuard {
-            tracer: self.clone(),
+            tracer: Some(self.clone()),
             id,
         }
     }
 
-    fn set_attr(&self, id: u64, key: &str, value: String) {
+    /// Records an already-completed span retroactively: it starts at
+    /// `started_at`, ends now, and nests under the innermost *open* span.
+    ///
+    /// This is the cheap half of outcome-conditional tracing: a hot path
+    /// notes its virtual start time (a clock read, no lock, no
+    /// allocation), runs to completion, and only materialises the span
+    /// when the outcome turns out to be anomalous. Because spans measure
+    /// *virtual* time, the retroactive record is exactly what an eagerly
+    /// opened span would have captured — minus the two lock round-trips
+    /// and the allocation every healthy call would otherwise pay.
+    /// Returns the span id.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        started_at: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) -> u64 {
+        let end = self.clock.now();
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let parent = inner.stack.last().copied();
+        if inner.finished.len() >= SPAN_CAP {
+            inner.dropped += 1;
+            return id;
+        }
+        inner.finished.push(SpanRecord {
+            id,
+            parent,
+            name,
+            start: started_at,
+            end,
+            attrs,
+        });
+        id
+    }
+
+    fn set_attr(&self, id: u64, key: &'static str, value: String) {
         let mut inner = self.inner.lock();
         if let Some(open) = inner.open.iter_mut().find(|s| s.id == id) {
-            open.attrs.push((key.to_string(), value));
+            open.attrs.push((key, value));
         }
     }
 
@@ -143,6 +184,13 @@ impl Tracer {
     /// All finished spans, in completion order.
     pub fn finished(&self) -> Vec<SpanRecord> {
         self.inner.lock().finished.clone()
+    }
+
+    /// Runs `f` over the finished spans without cloning them — the
+    /// latency-budget accounting reads every span of a run, and a deep
+    /// copy per read would dwarf the cost being measured.
+    pub fn with_finished<R>(&self, f: impl FnOnce(&[SpanRecord]) -> R) -> R {
+        f(&self.inner.lock().finished)
     }
 
     /// The id of the innermost open span, if any — used to correlate
@@ -244,7 +292,7 @@ impl Tracer {
         for span in &spans {
             let total = span.duration().as_micros();
             let own = total.saturating_sub(child_time.get(&span.id).copied().unwrap_or(0));
-            let agg = by_name.entry(&span.name).or_insert(Agg {
+            let agg = by_name.entry(span.name).or_insert(Agg {
                 count: 0,
                 total_us: 0,
                 self_us: 0,
@@ -280,19 +328,33 @@ impl Tracer {
 
 /// RAII guard for an open span; dropping it closes the span at the
 /// clock's current virtual time.
+///
+/// When telemetry is off ([`crate::TelemetryMode::Off`]) the guard is
+/// inert: it holds no tracer, and `attr`/drop are no-ops, so call sites
+/// need no mode checks of their own.
 #[derive(Debug)]
 pub struct SpanGuard {
-    tracer: Tracer,
+    tracer: Option<Tracer>,
     id: u64,
 }
 
 impl SpanGuard {
-    /// Attaches a key/value attribute to the span.
-    pub fn attr(&self, key: &str, value: impl std::fmt::Display) {
-        self.tracer.set_attr(self.id, key, value.to_string());
+    /// An inert guard recording nothing (telemetry off).
+    pub(crate) fn disabled() -> SpanGuard {
+        SpanGuard {
+            tracer: None,
+            id: u64::MAX,
+        }
     }
 
-    /// The span's id within the trace.
+    /// Attaches a key/value attribute to the span.
+    pub fn attr(&self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(tracer) = &self.tracer {
+            tracer.set_attr(self.id, key, value.to_string());
+        }
+    }
+
+    /// The span's id within the trace (`u64::MAX` for an inert guard).
     pub fn id(&self) -> u64 {
         self.id
     }
@@ -300,7 +362,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        self.tracer.finish(self.id);
+        if let Some(tracer) = &self.tracer {
+            tracer.finish(self.id);
+        }
     }
 }
 
@@ -336,7 +400,7 @@ mod tests {
         assert_eq!(spans[0].parent, Some(spans[1].id));
         assert_eq!(spans[0].duration(), SimDuration::from_millis(5));
         assert_eq!(spans[1].duration(), SimDuration::from_millis(16));
-        assert_eq!(spans[0].attrs, vec![("k".to_string(), "3".to_string())]);
+        assert_eq!(spans[0].attrs, vec![("k", "3".to_string())]);
         assert_eq!(tracer.open_count(), 0);
     }
 

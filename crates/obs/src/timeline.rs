@@ -59,6 +59,14 @@ impl IncidentChain {
     }
 }
 
+/// The number of incident chains [`incidents`] would reconstruct — one
+/// per `detection` event — without building them. The per-run accounting
+/// in a soak only needs the count, and full reconstruction clones every
+/// hop's strings.
+pub fn incident_count(records: &[EventRecord]) -> usize {
+    records.iter().filter(|e| e.kind == "detection").count()
+}
+
 /// Reconstructs one [`IncidentChain`] per `detection` event in `records`.
 pub fn incidents(records: &[EventRecord]) -> Vec<IncidentChain> {
     let by_id: BTreeMap<u64, &EventRecord> = records.iter().map(|e| (e.id, e)).collect();

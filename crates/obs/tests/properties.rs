@@ -1,7 +1,20 @@
 //! Property-based tests for the pod-obs metrics layer.
 
-use pod_obs::Registry;
+use pod_obs::{Registry, RunSignals, SampleVerdict, SamplerConfig, TailSampler};
 use proptest::prelude::*;
+
+/// An arbitrary completed-run signal set for the tail sampler.
+fn arb_signals() -> impl Strategy<Value = RunSignals> {
+    (0usize..4, 0usize..4, 0usize..4, any::<bool>()).prop_map(
+        |(detections, errors, warnings, tail_exemplar)| RunSignals {
+            trace_id: "op".to_string(),
+            detections,
+            errors,
+            warnings,
+            tail_exemplar,
+        },
+    )
+}
 
 proptest! {
     /// Percentile estimates are monotone in q and always bounded by the
@@ -56,5 +69,63 @@ proptest! {
         let mut rebuilt = mid.clone();
         rebuilt.merge(&delta);
         prop_assert_eq!(rebuilt.counter("c"), end.counter("c"));
+    }
+
+    /// Tail-sampler accounting never loses a decision: whatever mix of
+    /// runs arrives and whatever keep rate is configured,
+    /// `kept + discarded` equals the number of decisions and the
+    /// per-reason breakdown sums exactly to `kept`.
+    #[test]
+    fn sampler_accounts_for_every_decision(
+        runs in prop::collection::vec(arb_signals(), 1..100),
+        keep_one_in in 0u64..20,
+    ) {
+        let reg = Registry::new();
+        let sampler = TailSampler::new(&reg, SamplerConfig { keep_one_in });
+        for signals in &runs {
+            sampler.decide(signals);
+        }
+        prop_assert_eq!(
+            sampler.kept() + sampler.discarded(),
+            runs.len() as u64,
+            "decisions lost: kept {} + discarded {} != {} runs",
+            sampler.kept(), sampler.discarded(), runs.len()
+        );
+        let snap = reg.snapshot();
+        prop_assert_eq!(
+            snap.sum_counters("obs.sampler.kept."),
+            snap.counter("obs.sampler.kept"),
+            "per-reason breakdown does not sum to the kept total"
+        );
+    }
+
+    /// Incident-relevant runs — any detection, error verdict, or
+    /// degradation warning — are never sampled away, even at the most
+    /// aggressive keep rate (`keep_one_in: 0` discards every healthy run).
+    /// This is the property behind the flight-recorder guarantee that a
+    /// detection's causal chain survives sampling.
+    #[test]
+    fn detections_and_warnings_are_never_discarded(
+        runs in prop::collection::vec(arb_signals(), 1..100),
+        keep_one_in in 0u64..20,
+    ) {
+        let reg = Registry::new();
+        let sampler = TailSampler::new(&reg, SamplerConfig { keep_one_in });
+        for signals in &runs {
+            let verdict = sampler.decide(signals);
+            if signals.incident_relevant() {
+                prop_assert!(
+                    verdict.keep(),
+                    "incident-relevant run discarded: {signals:?} -> {verdict:?}"
+                );
+            }
+            if signals.detections > 0 {
+                prop_assert_eq!(verdict, SampleVerdict::KeptDetection);
+            } else if signals.errors > 0 {
+                prop_assert_eq!(verdict, SampleVerdict::KeptError);
+            } else if signals.warnings > 0 {
+                prop_assert_eq!(verdict, SampleVerdict::KeptWarning);
+            }
+        }
     }
 }

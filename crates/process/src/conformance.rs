@@ -159,19 +159,38 @@ impl ConformanceChecker {
     /// just made, remembering its id for [`last_verdict_event`].
     ///
     /// [`last_verdict_event`]: ConformanceChecker::last_verdict_event
-    fn emit_verdict(&mut self, trace_id: &str, activity: Option<&str>, verdict: &Conformance) {
-        let emitted = self.obs.event("conformance.verdict", verdict.tag());
-        emitted.attr("trace", trace_id);
+    fn emit_verdict(&mut self, activity: Option<&str>, verdict: &Conformance) {
+        // Per-line hot path: check the mode before building any strings,
+        // and land the event in a single lock via the batched emitter. No
+        // `trace` attribute: the event ring is per-trace already (see
+        // `EventLog::begin_trace`), so repeating the id per verdict only
+        // burned an allocation per line.
+        if !self.obs.mode().records_traces() {
+            self.last_event = None;
+            return;
+        }
+        // Outcome-conditional tracing: fit verdicts — the overwhelming
+        // majority at fleet scale — are already counted (`conformance.fit`
+        // in the replay path), so they are not traced. Detections only
+        // ever parent on non-fit verdicts (`Conformance::is_error`), so
+        // every incident chain stays complete.
+        if !verdict.is_error() {
+            self.last_event = None;
+            return;
+        }
+        let mut attrs = Vec::with_capacity(2);
         if let Some(activity) = activity {
-            emitted.attr("activity", activity);
+            attrs.push(("activity", activity.to_string()));
         }
         if let Conformance::Unfit { expected, skipped } = verdict {
-            emitted.attr("expected", expected.join("|"));
+            attrs.push(("expected", expected.join("|")));
             if !skipped.is_empty() {
-                emitted.attr("skipped", skipped.join("|"));
+                attrs.push(("skipped", skipped.join("|")));
             }
         }
-        self.last_event = Some(emitted.id());
+        self.last_event = self
+            .obs
+            .event_with("conformance.verdict", verdict.tag(), attrs);
     }
 
     /// The causal event of the most recent verdict (replay or recorded
@@ -219,7 +238,7 @@ impl ConformanceChecker {
                 Conformance::Unfit { expected, skipped }
             }
         };
-        self.emit_verdict(trace_id, Some(activity), &verdict);
+        self.emit_verdict(Some(activity), &verdict);
         verdict
     }
 
@@ -274,7 +293,7 @@ impl ConformanceChecker {
             self.metrics.unclassified.incr();
             Conformance::Unclassified
         };
-        self.emit_verdict(trace_id, None, &verdict);
+        self.emit_verdict(None, &verdict);
         verdict
     }
 
@@ -428,22 +447,24 @@ mod tests {
         let mut ch = checker().with_obs(&obs);
         let line = obs.event("log.line", "asgard.log");
         let _scope = obs.events().scope(Some(line.id()));
+        // Outcome-conditional tracing: a fit replay is counted, not traced.
         ch.replay("t", "a");
-        let verdict_event = ch.last_verdict_event().expect("replay emits an event");
+        assert_eq!(ch.last_verdict_event(), None);
+        assert_eq!(obs.snapshot().counter("conformance.fit"), 1);
         match ch.replay("t", "c") {
             Conformance::Unfit { .. } => {}
             other => panic!("expected unfit, got {other:?}"),
         }
-        assert_ne!(ch.last_verdict_event(), Some(verdict_event));
+        let verdict_event = ch
+            .last_verdict_event()
+            .expect("unfit replay emits an event");
         let records = obs.events().records();
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].id, verdict_event.get());
         assert_eq!(records[1].kind, "conformance.verdict");
-        assert_eq!(records[1].name, "conformance:fit");
+        assert_eq!(records[1].name, "conformance:unfit");
         assert_eq!(records[1].parent, Some(line.id().get()));
-        assert_eq!(records[2].name, "conformance:unfit");
-        assert!(records[2]
-            .attrs
-            .contains(&("expected".to_string(), "b".to_string())));
+        assert!(records[1].attrs.contains(&("expected", "b".to_string())));
     }
 
     #[test]

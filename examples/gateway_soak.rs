@@ -14,13 +14,16 @@
 //! - `BENCH_gateway.json` — lines/sec (wall and virtual), the batch-size
 //!   sweep, per-shard p50/p95/p99 queue waits and the replay latency budget;
 //! - `JOURNAL_gateway.json` — the gateway's pod-obs snapshot plus the
-//!   gateway/gateway-shard records for the main and stress replays.
+//!   gateway/gateway-shard records for the main and stress replays;
+//! - `FLIGHT_gateway-soak.json` — the flight recorder's black box: every
+//!   periodic frame with counters/gauges/quantiles plus incident marks.
 
 use pod_diagnosis::eval::{
-    collect_streams, gateway_lines, render_gateway_report, render_journal, render_soak_report,
-    replay, snapshot_lines, soak_bench_json, sweep_batches, SoakConfig,
+    collect_streams, flight_json, gateway_lines, render_gateway_report, render_journal,
+    render_soak_report, replay, snapshot_lines, soak_bench_json, sweep_batches, SoakConfig,
 };
 use pod_diagnosis::gateway::{GatewayConfig, OverloadPolicy};
+use pod_diagnosis::obs::render_dashboard;
 use pod_diagnosis::sim::SimDuration;
 
 fn main() {
@@ -66,6 +69,24 @@ fn main() {
         "cross-operation leakage detected: {:?}",
         report.leaks
     );
+
+    // The flight recorder's live view: one sparkline per key metric across
+    // the frame window, with `!` marks where incidents landed.
+    if let Some(flight) = &report.flight {
+        println!("-- flight dashboard --");
+        println!(
+            "{}",
+            render_dashboard(
+                flight,
+                &[
+                    "gateway.lines.processed",
+                    "gateway.batches",
+                    "gateway.deferred",
+                    "gateway.queue_wait_us",
+                ],
+            )
+        );
+    }
 
     eprintln!("batch-size sweep...");
     let sweep = sweep_batches(&streams, &base, &[1, 4, 16, 64]);
@@ -117,5 +138,16 @@ fn main() {
             "wrote {} journal records to JOURNAL_gateway.json",
             lines.len()
         );
+
+        if let Some(flight) = &report.flight {
+            let doc = flight_json("gateway-soak", flight).to_string();
+            std::fs::write("FLIGHT_gateway-soak.json", doc + "\n")
+                .expect("write FLIGHT_gateway-soak.json");
+            eprintln!(
+                "wrote {} flight frames ({} incident marks) to FLIGHT_gateway-soak.json",
+                flight.frames.len(),
+                flight.incidents.len()
+            );
+        }
     }
 }

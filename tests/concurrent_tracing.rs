@@ -129,11 +129,11 @@ fn interleaved_upgrades_do_not_cross_link() {
     assert!(incidents_b.iter().any(|c| c.complete()));
     let causes_a: BTreeSet<String> = incidents_a
         .iter()
-        .flat_map(|c| c.root_causes.iter().map(|r| r.name.clone()))
+        .flat_map(|c| c.root_causes.iter().map(|r| r.name.to_string()))
         .collect();
     let causes_b: BTreeSet<String> = incidents_b
         .iter()
-        .flat_map(|c| c.root_causes.iter().map(|r| r.name.clone()))
+        .flat_map(|c| c.root_causes.iter().map(|r| r.name.to_string()))
         .collect();
     assert!(
         causes_a.contains("lc-wrong-ami"),
