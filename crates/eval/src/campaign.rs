@@ -11,6 +11,9 @@ use pod_obs::{EventRecord, SpanRecord};
 use pod_orchestrator::{
     FaultInjector, FaultType, Interference, RollingUpgrade, UpgradeObserver, UpgradeOutcome,
 };
+use pod_recovery::{
+    conformance_check, ConformanceReport, RecoveryConfig, RecoveryExecutor, RecoveryRequest,
+};
 use pod_sim::{SimDuration, SimRng, SimTime};
 
 use crate::metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
@@ -44,6 +47,10 @@ pub struct CampaignConfig {
     pub test_order: TestOrder,
     /// The interference kinds to draw from.
     pub interference_kinds: Vec<Interference>,
+    /// Close the loop: after each run, hand every diagnosed detection to
+    /// `pod-recovery` and record the repair (MTTR, escalations, the
+    /// self-conformance verdict).
+    pub recovery: bool,
 }
 
 impl Default for CampaignConfig {
@@ -68,6 +75,7 @@ impl Default for CampaignConfig {
                 Interference::RandomTermination,
                 Interference::OtherTeamCapacityPressure,
             ],
+            recovery: false,
         }
     }
 }
@@ -87,6 +95,18 @@ pub struct RunPlan {
     pub reinject_after: Option<SimDuration>,
     /// Interference operations and their times.
     pub interferences: Vec<(SimTime, Interference)>,
+    /// Run the recovery stage after the upgrade finishes.
+    pub recovery: bool,
+}
+
+/// One recovery attempt of the campaign's recovery stage, with its
+/// self-conformance verdict.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// The executed recovery run (outcome, transcript, MTTR).
+    pub run: pod_recovery::RecoveryRun,
+    /// The run replayed against its own process model.
+    pub conformance: ConformanceReport,
 }
 
 /// A compact summary of one reconstructed incident chain (see
@@ -144,6 +164,9 @@ pub struct RunRecord {
     pub spans_dropped: u64,
     /// Causal events evicted from the ring during this run.
     pub events_dropped: u64,
+    /// The recovery stage: one record per diagnosed detection (empty when
+    /// the stage is disabled).
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 /// Conformance-checking statistics across the campaign (§V.D).
@@ -191,6 +214,65 @@ pub struct CampaignReport {
     pub incidents_total: usize,
     /// …of which were unbroken (log-line anchor through to verdict).
     pub incidents_complete: usize,
+    /// The recovery stage aggregated (zeroes when disabled).
+    pub recovery: RecoveryStats,
+}
+
+/// Aggregated recovery-stage statistics for one fault type.
+#[derive(Debug, Clone)]
+pub struct FaultRecoveryStats {
+    /// Recovery runs attempted.
+    pub attempted: usize,
+    /// …ending `Recovered` with a passing re-check.
+    pub recovered: usize,
+    /// …ending `Escalated { to_operator }`.
+    pub escalated: usize,
+    /// …whose self-conformance replay was fit.
+    pub conformance_fit: usize,
+    /// MTTR distribution (detection → verified repair) of recovered runs.
+    pub mttr: TimingStats,
+}
+
+impl Default for FaultRecoveryStats {
+    fn default() -> FaultRecoveryStats {
+        FaultRecoveryStats {
+            attempted: 0,
+            recovered: 0,
+            escalated: 0,
+            conformance_fit: 0,
+            mttr: TimingStats::new(Vec::new()),
+        }
+    }
+}
+
+/// Aggregated recovery-stage statistics (closed-loop MTTR evaluation).
+#[derive(Debug, Clone)]
+pub struct RecoveryStats {
+    /// All recovery runs attempted across the campaign.
+    pub attempted: usize,
+    /// …recovered (verified repair).
+    pub recovered: usize,
+    /// …escalated to the operator.
+    pub escalated: usize,
+    /// …conformance-fit against the recovery process model.
+    pub conformance_fit: usize,
+    /// Overall MTTR distribution of recovered runs.
+    pub mttr: TimingStats,
+    /// Per-fault-type breakdown.
+    pub per_fault: Vec<(FaultType, FaultRecoveryStats)>,
+}
+
+impl Default for RecoveryStats {
+    fn default() -> RecoveryStats {
+        RecoveryStats {
+            attempted: 0,
+            recovered: 0,
+            escalated: 0,
+            conformance_fit: 0,
+            mttr: TimingStats::new(Vec::new()),
+            per_fault: Vec::new(),
+        }
+    }
 }
 
 /// The campaign runner.
@@ -258,6 +340,7 @@ impl Campaign {
             transient_after,
             reinject_after,
             interferences,
+            recovery: self.config.recovery,
         }
     }
 
@@ -320,6 +403,7 @@ fn summarise(records: Vec<RunRecord>, last_trace: Option<TraceDump>) -> Campaign
             }
         }
     }
+    let recovery = aggregate_recovery(&records);
     let interference_applied = records.iter().map(|r| r.truth.interferences.len()).sum();
     CampaignReport {
         interference_applied,
@@ -335,7 +419,60 @@ fn summarise(records: Vec<RunRecord>, last_trace: Option<TraceDump>) -> Campaign
         events_dropped,
         incidents_total,
         incidents_complete,
+        recovery,
     }
+}
+
+fn aggregate_recovery(records: &[RunRecord]) -> RecoveryStats {
+    let mut stats = RecoveryStats::default();
+    let mut all_mttr = Vec::new();
+    let mut per_fault: Vec<(FaultType, usize, usize, usize, usize, Vec<SimDuration>)> =
+        FaultType::all()
+            .into_iter()
+            .map(|f| (f, 0, 0, 0, 0, Vec::new()))
+            .collect();
+    for r in records {
+        let slot = per_fault
+            .iter_mut()
+            .find(|(f, ..)| *f == r.plan.fault)
+            .expect("all fault types present");
+        for rec in &r.recoveries {
+            stats.attempted += 1;
+            slot.1 += 1;
+            if rec.run.outcome.is_recovered() {
+                stats.recovered += 1;
+                slot.2 += 1;
+                if let Some(mttr) = rec.run.mttr() {
+                    all_mttr.push(mttr);
+                    slot.5.push(mttr);
+                }
+            } else {
+                stats.escalated += 1;
+                slot.3 += 1;
+            }
+            if rec.conformance.fit {
+                stats.conformance_fit += 1;
+                slot.4 += 1;
+            }
+        }
+    }
+    stats.mttr = TimingStats::new(all_mttr);
+    stats.per_fault = per_fault
+        .into_iter()
+        .map(|(f, attempted, recovered, escalated, fit, mttr)| {
+            (
+                f,
+                FaultRecoveryStats {
+                    attempted,
+                    recovered,
+                    escalated,
+                    conformance_fit: fit,
+                    mttr: TimingStats::new(mttr),
+                },
+            )
+        })
+        .collect();
+    stats
 }
 
 /// Executes one planned run and classifies its detections. If the sampled
@@ -377,6 +514,14 @@ fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
     );
     let report = upgrade.run(&mut observer);
     let summary = observer.engine.finish();
+    // The recovery stage runs before the trace/metric capture so the whole
+    // detection → diagnosis → recovery → verification arc lands in one
+    // causal-event ring and one metric snapshot.
+    let recoveries = if plan.recovery {
+        run_recovery_stage(&scenario, &summary.detections)
+    } else {
+        Vec::new()
+    };
     let run_obs = scenario.cloud.obs();
     let obs = run_obs.snapshot().diff(&obs_baseline);
     let dump = TraceDump {
@@ -416,8 +561,50 @@ fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
         incidents,
         spans_dropped: run_obs.tracer().dropped(),
         events_dropped: run_obs.events().dropped(),
+        recoveries,
     };
     (record, dump)
+}
+
+/// The recovery stage: every diagnosed detection is handed to the recovery
+/// executor, then the finished run is conformance-checked against the
+/// recovery process model. Detections whose diagnosis was suppressed by the
+/// cooldown are skipped (their episode is already being repaired);
+/// diagnoses that identified no root cause still produce an (escalated)
+/// run — nothing is silently dropped.
+fn run_recovery_stage(
+    scenario: &Scenario,
+    detections: &[pod_core::Detection],
+) -> Vec<RecoveryRecord> {
+    let executor = RecoveryExecutor::new(
+        scenario.cloud.clone(),
+        scenario.storage.clone(),
+        RecoveryConfig::default(),
+    );
+    let mut records = Vec::new();
+    for (i, d) in detections.iter().enumerate() {
+        let Some(report) = &d.diagnosis else {
+            continue;
+        };
+        let (root_cause, description) = report
+            .root_causes
+            .first()
+            .map(|c| (c.node_id.clone(), c.description.clone()))
+            .unwrap_or_else(|| ("none".to_string(), "no root cause identified".to_string()));
+        let request = RecoveryRequest {
+            task_id: format!("{}-r{}", scenario.trace_id, i),
+            root_cause,
+            description,
+            detected_at: d.at,
+            instance: d.instance.clone(),
+            env: scenario.env.snapshot(),
+            parent_event: d.event,
+        };
+        let run = executor.recover(&request);
+        let conformance = conformance_check(&scenario.cloud, &run);
+        records.push(RecoveryRecord { run, conformance });
+    }
+    records
 }
 
 /// The observer that feeds the engine and executes the injection /
@@ -723,6 +910,78 @@ mod tests {
         );
         assert!(!record.incidents.is_empty());
         assert_eq!(record.events_dropped, 0);
+    }
+
+    #[test]
+    fn recovery_stage_closes_the_loop_for_every_fault_type() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            recovery: true,
+            ..CampaignConfig::default()
+        });
+        let report = c.run();
+        let stats = &report.recovery;
+        assert!(stats.attempted > 0);
+        // Every diagnosed incident ends recovered or escalated — never
+        // silently dropped.
+        assert_eq!(stats.recovered + stats.escalated, stats.attempted);
+        for r in &report.records {
+            assert_eq!(
+                r.recoveries.len(),
+                r.outcome.diagnosis_times.len(),
+                "one recovery per diagnosed detection ({:?})",
+                r.plan.fault
+            );
+        }
+        // Every recovery run conforms to its own process model.
+        assert_eq!(
+            stats.conformance_fit, stats.attempted,
+            "every recovery run must fit the recovery model"
+        );
+        // Every injected fault type has a mapped plan, so each must show at
+        // least one verified repair, with its MTTR sampled.
+        for (fault, fs) in &stats.per_fault {
+            assert!(fs.attempted > 0, "no recovery attempted for {fault:?}");
+            assert!(
+                fs.recovered > 0,
+                "no verified repair for {fault:?} ({} escalated)",
+                fs.escalated
+            );
+            assert!(!fs.mttr.is_empty());
+        }
+        assert!(!stats.mttr.is_empty());
+    }
+
+    #[test]
+    fn recovery_stage_is_deterministic() {
+        let c = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            recovery: true,
+            ..CampaignConfig::default()
+        });
+        let plan = &c.plans()[0];
+        let digests = |r: &RunRecord| {
+            r.recoveries
+                .iter()
+                .map(|rec| rec.run.digest())
+                .collect::<Vec<_>>()
+        };
+        let first = execute_run(plan);
+        let second = execute_run(plan);
+        assert!(!first.recoveries.is_empty());
+        assert_eq!(
+            digests(&first),
+            digests(&second),
+            "same seed must give byte-identical recovery transcripts"
+        );
     }
 
     #[test]

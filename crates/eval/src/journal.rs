@@ -10,7 +10,9 @@
 use pod_log::Json;
 use pod_obs::{EventRecord, FlightDump, IncidentChain, Snapshot, SpanRecord};
 
+use crate::campaign::{FaultRecoveryStats, RecoveryStats};
 use crate::metrics::MetricSet;
+use crate::timing::TimingStats;
 
 fn num(n: u64) -> Json {
     Json::Number(n as f64)
@@ -292,6 +294,82 @@ pub fn gateway_lines(run: &str, stats: &pod_gateway::GatewayStats) -> Vec<Json> 
     out
 }
 
+fn set_recovery_counts(
+    o: &mut Json,
+    attempted: usize,
+    recovered: usize,
+    escalated: usize,
+    conformance_fit: usize,
+    mttr: &TimingStats,
+) {
+    o.set("attempted", num(attempted as u64));
+    o.set("recovered", num(recovered as u64));
+    o.set("escalated", num(escalated as u64));
+    o.set("conformance_fit", num(conformance_fit as u64));
+    if attempted > 0 {
+        o.set(
+            "success_rate",
+            Json::Number(recovered as f64 / attempted as f64),
+        );
+        o.set(
+            "escalation_rate",
+            Json::Number(escalated as f64 / attempted as f64),
+        );
+    }
+    if !mttr.is_empty() {
+        o.set("mttr_count", num(mttr.len() as u64));
+        o.set("mttr_mean_us", num(mttr.mean().as_micros()));
+        o.set("mttr_p50_us", num(mttr.percentile(0.5).as_micros()));
+        o.set("mttr_p95_us", num(mttr.percentile(0.95).as_micros()));
+        o.set("mttr_max_us", num(mttr.max().as_micros()));
+    }
+}
+
+/// One "recovery" summary record plus one "recovery-fault" record per fault
+/// type: success/escalation rates and the MTTR distribution (detection →
+/// verified repair) — the `BENCH_recovery.json` content.
+pub fn recovery_lines(run: &str, stats: &RecoveryStats) -> Vec<Json> {
+    let mut out = Vec::new();
+    let mut o = Json::object();
+    o.set("record", Json::str("recovery"));
+    o.set("run", Json::str(run));
+    set_recovery_counts(
+        &mut o,
+        stats.attempted,
+        stats.recovered,
+        stats.escalated,
+        stats.conformance_fit,
+        &stats.mttr,
+    );
+    out.push(o);
+    for (fault, f) in &stats.per_fault {
+        let FaultRecoveryStats {
+            attempted,
+            recovered,
+            escalated,
+            conformance_fit,
+            mttr,
+        } = f;
+        if *attempted == 0 {
+            continue;
+        }
+        let mut o = Json::object();
+        o.set("record", Json::str("recovery-fault"));
+        o.set("run", Json::str(run));
+        o.set("fault", Json::str(fault.to_string()));
+        set_recovery_counts(
+            &mut o,
+            *attempted,
+            *recovered,
+            *escalated,
+            *conformance_fit,
+            mttr,
+        );
+        out.push(o);
+    }
+    out
+}
+
 /// The Table-I metrics of one metric set as a single record.
 pub fn metrics_line(label: &str, m: &MetricSet) -> Json {
     let mut o = Json::object();
@@ -513,6 +591,58 @@ mod tests {
             incidents[0].get("label").unwrap().as_str(),
             Some("i-0001 detection")
         );
+    }
+
+    #[test]
+    fn recovery_records_carry_rates_and_mttr_quantiles() {
+        let mttr = TimingStats::new(vec![
+            pod_sim::SimDuration::from_millis(100),
+            pod_sim::SimDuration::from_millis(300),
+        ]);
+        let stats = RecoveryStats {
+            attempted: 3,
+            recovered: 2,
+            escalated: 1,
+            conformance_fit: 3,
+            mttr: mttr.clone(),
+            per_fault: vec![
+                (
+                    pod_orchestrator::FaultType::AmiUnavailable,
+                    FaultRecoveryStats {
+                        attempted: 2,
+                        recovered: 2,
+                        escalated: 0,
+                        conformance_fit: 2,
+                        mttr,
+                    },
+                ),
+                (
+                    pod_orchestrator::FaultType::ElbUnavailable,
+                    FaultRecoveryStats::default(),
+                ),
+            ],
+        };
+        let lines = recovery_lines("run-3", &stats);
+        assert_eq!(lines.len(), 2, "summary + one per attempted fault type");
+        let parsed = Json::parse(&lines[0].to_string()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("recovery"));
+        assert_eq!(parsed.get("attempted").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            parsed.get("escalation_rate").unwrap().as_f64(),
+            Some(1.0 / 3.0)
+        );
+        assert_eq!(parsed.get("mttr_p95_us").unwrap().as_f64(), Some(300_000.0));
+        let parsed = Json::parse(&lines[1].to_string()).unwrap();
+        assert_eq!(
+            parsed.get("record").unwrap().as_str(),
+            Some("recovery-fault")
+        );
+        assert_eq!(
+            parsed.get("fault").unwrap().as_str(),
+            Some("AMI is unavailable during upgrade")
+        );
+        assert_eq!(parsed.get("success_rate").unwrap().as_f64(), Some(1.0));
+        assert_eq!(parsed.get("mttr_p50_us").unwrap().as_f64(), Some(100_000.0));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   soak: many interleaved faulty upgrades serialized to raw lines, then
 //!   replayed through one `pod-gateway` with per-operation engines (the
 //!   `BENCH_gateway.json` content);
+//! - [`RecoveryStats`] / [`recovery_lines`] — the recovery loop: the
+//!   campaign's optional remediation stage hands every diagnosed root cause
+//!   to `pod-recovery`, and the per-fault MTTR distribution plus
+//!   success/escalation rates land in the report and `BENCH_recovery.json`;
 //! - [`replay_telemetry`] — the same soak under an explicit
 //!   `TelemetryMode` (off/sampled/full), with tail-based trace sampling,
 //!   queue-wait tail exemplars and the gateway's flight-recorder dump (the
@@ -41,11 +45,12 @@ mod timing;
 
 pub use campaign::{
     execute_run, execute_run_traced, Campaign, CampaignConfig, CampaignReport, ConformanceStats,
-    IncidentSummary, RunPlan, RunRecord, TraceDump,
+    FaultRecoveryStats, IncidentSummary, RecoveryRecord, RecoveryStats, RunPlan, RunRecord,
+    TraceDump,
 };
 pub use journal::{
     event_lines, exemplar_lines, flight_json, gateway_lines, incident_lines, metrics_line,
-    render_journal, snapshot_lines, span_lines,
+    recovery_lines, render_journal, snapshot_lines, span_lines,
 };
 pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
 pub use profile::{stage_self_times, LatencyProfile};

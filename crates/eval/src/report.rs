@@ -139,6 +139,50 @@ pub fn render_report(report: &CampaignReport) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
+        "-- Recovery loop: automated remediation of diagnosed root causes --"
+    );
+    let rec = &report.recovery;
+    if rec.attempted == 0 {
+        let _ = writeln!(out, "(recovery stage disabled)");
+    } else {
+        let _ = writeln!(
+            out,
+            "recoveries: {} attempted — {} recovered (verified), {} escalated to operator, \
+             {} conformance-fit against the recovery model",
+            rec.attempted, rec.recovered, rec.escalated, rec.conformance_fit
+        );
+        let _ = writeln!(
+            out,
+            "MTTR (detection -> verified repair): n = {}, p50 = {}, p95 = {}, max = {}",
+            rec.mttr.len(),
+            rec.mttr.percentile(0.5),
+            rec.mttr.percentile(0.95),
+            rec.mttr.max()
+        );
+        let _ = writeln!(
+            out,
+            "{:<42} {:>9} {:>9} {:>9} {:>12} {:>12}",
+            "fault type", "attempted", "recovered", "escalated", "MTTR p50", "MTTR p95"
+        );
+        for (fault, fs) in &rec.per_fault {
+            if fs.attempted == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<42} {:>9} {:>9} {:>9} {:>12} {:>12}",
+                fault.to_string(),
+                fs.attempted,
+                fs.recovered,
+                fs.escalated,
+                fs.mttr.percentile(0.5).to_string(),
+                fs.mttr.percentile(0.95).to_string(),
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
         "-- Latency budget: per-stage self time, p50/p95/p99 per fault type --"
     );
     out.push_str(&report.latency.render());
@@ -272,6 +316,36 @@ mod tests {
         for fault in pod_orchestrator::FaultType::all() {
             assert!(text.contains(&fault.to_string()), "missing {fault}");
         }
+    }
+
+    #[test]
+    fn report_covers_the_recovery_stage() {
+        let disabled = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            large_cluster_every: 0,
+            ..CampaignConfig::default()
+        })
+        .run();
+        let text = render_report(&disabled);
+        assert!(text.contains("(recovery stage disabled)"), "{text}");
+
+        let enabled = Campaign::new(CampaignConfig {
+            runs_per_fault: 1,
+            interference_fraction: 0.0,
+            transient_fraction: 0.0,
+            reinject_fraction: 0.0,
+            large_cluster_every: 0,
+            recovery: true,
+            ..CampaignConfig::default()
+        })
+        .run();
+        let text = render_report(&enabled);
+        assert!(text.contains("Recovery loop"), "{text}");
+        assert!(
+            text.contains("MTTR (detection -> verified repair)"),
+            "{text}"
+        );
+        assert!(text.contains("MTTR p95"), "{text}");
     }
 
     #[test]

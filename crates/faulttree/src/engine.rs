@@ -683,6 +683,69 @@ mod tests {
     }
 
     #[test]
+    fn cost_order_is_never_more_expensive_on_library_trees() {
+        // Library-wide contract between the two sibling orders: on every
+        // tree of the shipped repository, cheapest-test-first must reach the
+        // same verdict and the same root causes as the paper's
+        // probability-first default, without running more diagnostic tests.
+        let repository = crate::library::rolling_upgrade_repository(true);
+        for scenario in ["healthy", "lc-wrong-ami", "ami-unavailable"] {
+            let (engine, ctx, cloud, _storage) = setup();
+            match scenario {
+                "lc-wrong-ami" => {
+                    let rogue = cloud.admin_create_ami("app", "0.9");
+                    cloud.admin_update_launch_config(
+                        &ctx.env.launch_config,
+                        pod_cloud::LaunchConfigUpdate {
+                            ami: Some(rogue),
+                            ..pod_cloud::LaunchConfigUpdate::default()
+                        },
+                    );
+                }
+                "ami-unavailable" => {
+                    cloud.admin_set_ami_available(&ctx.env.expected_ami, false);
+                }
+                _ => {}
+            }
+            for tree in repository.trees() {
+                let by_cost = engine
+                    .clone()
+                    .with_order(TestOrder::ByCost)
+                    .diagnose(tree, &ctx);
+                let by_probability = engine
+                    .clone()
+                    .with_order(TestOrder::ByProbability)
+                    .diagnose(tree, &ctx);
+                assert_eq!(
+                    by_cost.verdict(),
+                    by_probability.verdict(),
+                    "verdicts diverge on tree {} under {scenario}",
+                    tree.assertion_key
+                );
+                let causes = |r: &DiagnosisReport| {
+                    let mut ids: Vec<String> =
+                        r.root_causes.iter().map(|c| c.node_id.clone()).collect();
+                    ids.sort();
+                    ids
+                };
+                assert_eq!(
+                    causes(&by_cost),
+                    causes(&by_probability),
+                    "root causes diverge on tree {} under {scenario}",
+                    tree.assertion_key
+                );
+                assert!(
+                    by_cost.tests_run <= by_probability.tests_run,
+                    "ByCost ran {} tests but ByProbability only {} on tree {} under {scenario}",
+                    by_cost.tests_run,
+                    by_probability.tests_run,
+                    tree.assertion_key
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cost_order_runs_cheap_tests_first() {
         let (engine, ctx, _cloud, storage) = setup();
         let tree = FaultTree::new(

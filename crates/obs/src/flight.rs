@@ -270,6 +270,37 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
         };
         let _ = writeln!(out, "{:<38} |{}| {}", name, sparkline(&series), last_text);
     }
+    // Overload during bursts (recovery storms, replay floods) must be
+    // visible alongside the incident marks even when the caller did not ask
+    // for it: append every gateway shed/admission counter the frames saw.
+    let last_frame = frames.last().unwrap();
+    let overload: Vec<&str> = last_frame
+        .snapshot
+        .counters
+        .keys()
+        .filter(|name| {
+            (name.starts_with("gateway.shed.")
+                || name.starts_with("gateway.admission.")
+                || name.starts_with("gateway.backpressure."))
+                && !metrics.contains(&name.as_str())
+        })
+        .map(|name| name.as_str())
+        .collect();
+    for name in overload {
+        let totals: Vec<u64> = frames.iter().map(|f| f.snapshot.counter(name)).collect();
+        let series: Vec<u64> = totals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i == 0 { v } else { v - totals[i - 1].min(v) })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<38} |{}| total {}",
+            name,
+            sparkline(&series),
+            totals.last().unwrap()
+        );
+    }
     if !dump.incidents.is_empty() {
         let marks: String = frames
             .iter()
@@ -385,6 +416,38 @@ mod tests {
         assert!(
             render_dashboard(&FlightDump::default(), &[]).contains("no frames"),
             "empty dump renders a placeholder"
+        );
+    }
+
+    #[test]
+    fn dashboard_surfaces_gateway_overload_counters_unasked() {
+        let (clock, reg, rec) = recorder(16, 10);
+        let shed = reg.counter("gateway.shed.oldest");
+        let denied = reg.counter("gateway.admission.denied");
+        let healthy = reg.counter("gateway.lines.processed");
+        for i in 0..4u64 {
+            healthy.add(100);
+            if i >= 2 {
+                shed.add(7);
+                denied.incr();
+            }
+            rec.tick();
+            clock.advance(SimDuration::from_millis(10));
+        }
+        let text = render_dashboard(&rec.dump(), &[]);
+        assert!(text.contains("gateway.shed.oldest"), "got:\n{text}");
+        assert!(text.contains("gateway.admission.denied"), "got:\n{text}");
+        assert!(text.contains("total 14"), "got:\n{text}");
+        assert!(
+            !text.contains("gateway.lines.processed"),
+            "healthy-path counters stay opt-in, got:\n{text}"
+        );
+
+        let asked = render_dashboard(&rec.dump(), &["gateway.shed.oldest"]);
+        assert_eq!(
+            asked.matches("gateway.shed.oldest").count(),
+            1,
+            "explicitly requested overload counters are not repeated, got:\n{asked}"
         );
     }
 }

@@ -1,0 +1,979 @@
+//! The recovery executor: runs plan steps against the cloud through the
+//! consistent API layer, verifies the repair closed-loop, and escalates
+//! along the plan ladder when budgets run out.
+
+use pod_assert::{AssertionOutcome, ConsistentApi, ConsistentError, ExpectedEnv, RetryPolicy};
+use pod_cloud::{ApiError, AsgUpdate, Cloud, Instance, InstanceId, InstanceState};
+use pod_log::{LogEvent, LogStorage, Severity};
+use pod_obs::{Counter, EventId, LogHistogram, Obs};
+use pod_sim::{SimDuration, SimTime};
+
+use crate::plan::{PlanLibrary, RecoveryPlan, RecoveryStep, ResourceKind};
+
+/// Budgets for the executor.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Retry policy for individual repair calls (one consistent-layer call
+    /// per step action).
+    pub step_policy: RetryPolicy,
+    /// Retry policy for convergence waits ([`RecoveryStep::WaitAsgSteady`]
+    /// and terminate confirmation) — long, because instance relaunches
+    /// take minutes of virtual time.
+    pub wait_policy: RetryPolicy,
+    /// How many times a failed step is re-attempted before the plan is
+    /// abandoned (fallback or escalation).
+    pub max_step_attempts: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            step_policy: RetryPolicy {
+                max_retries: 4,
+                base_backoff: SimDuration::from_millis(200),
+                multiplier: 2.0,
+                timeout: SimDuration::from_secs(30),
+            },
+            wait_policy: RetryPolicy {
+                max_retries: 60,
+                base_backoff: SimDuration::from_secs(2),
+                multiplier: 1.2,
+                timeout: SimDuration::from_secs(600),
+            },
+            max_step_attempts: 2,
+        }
+    }
+}
+
+/// What a recovery is asked to repair: one confirmed root cause plus the
+/// context the diagnosing detection carried.
+#[derive(Debug, Clone)]
+pub struct RecoveryRequest {
+    /// Task id of this recovery operation (also its trace id for
+    /// self-conformance-checking).
+    pub task_id: String,
+    /// The confirmed root-cause node id (e.g. `lc-wrong-ami`).
+    pub root_cause: String,
+    /// Instantiated root-cause description, for the log.
+    pub description: String,
+    /// When the underlying error was detected — MTTR counts from here.
+    pub detected_at: SimTime,
+    /// The offending instance, when the detection carried one.
+    pub instance: Option<InstanceId>,
+    /// The expected environment to repair towards.
+    pub env: ExpectedEnv,
+    /// The causal event of the detection (or diagnosis) this recovery
+    /// answers; the whole repair chains under it in the event log.
+    pub parent_event: Option<EventId>,
+}
+
+/// Terminal state of a recovery run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The repair executed and the closed-loop re-check passed.
+    Recovered,
+    /// The run was handed to a human.
+    Escalated {
+        /// Whether an operator page was raised (always true today; kept
+        /// explicit so quieter escalation channels stay representable).
+        to_operator: bool,
+        /// Why automation gave up.
+        reason: String,
+    },
+}
+
+impl RecoveryOutcome {
+    /// Whether the run ended repaired and verified.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, RecoveryOutcome::Recovered)
+    }
+
+    /// Canonical tag (`recovered` / `escalated`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecoveryOutcome::Recovered => "recovered",
+            RecoveryOutcome::Escalated { .. } => "escalated",
+        }
+    }
+}
+
+/// One executed (or exhausted) plan step.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// The plan the step belongs to.
+    pub plan: String,
+    /// Step name.
+    pub step: String,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether the step eventually succeeded.
+    pub ok: bool,
+    /// Success detail or final error.
+    pub detail: String,
+    /// Virtual time the step finished.
+    pub at: SimTime,
+}
+
+/// One re-checked assertion of the closed-loop verification.
+#[derive(Debug, Clone)]
+pub struct VerifyRecord {
+    /// The assertion key (matches the fault-tree selector keys).
+    pub key: String,
+    /// Whether the re-check passed.
+    pub passed: bool,
+}
+
+/// The full, deterministic record of one recovery run.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// Task id (= trace id of the self-monitoring process instance).
+    pub task_id: String,
+    /// The root cause this run repaired.
+    pub root_cause: String,
+    /// Terminal state.
+    pub outcome: RecoveryOutcome,
+    /// Plan ids in ladder order (primary first).
+    pub plans_tried: Vec<String>,
+    /// Executed steps.
+    pub steps: Vec<StepRecord>,
+    /// Closed-loop verification results, across all plans tried.
+    pub verifications: Vec<VerifyRecord>,
+    /// When the underlying error was detected.
+    pub detected_at: SimTime,
+    /// When recovery started executing.
+    pub started_at: SimTime,
+    /// When the run reached its terminal state (for a recovered run, the
+    /// moment the re-check passed).
+    pub finished_at: SimTime,
+    /// The environment the run repaired towards.
+    pub env: ExpectedEnv,
+    /// The Asgard-style log lines the run emitted — the input to
+    /// [`crate::monitor::conformance_check`].
+    pub log: Vec<LogEvent>,
+}
+
+impl RecoveryRun {
+    /// Mean-time-to-repair contribution: detection to verified repair.
+    /// `None` for escalated runs (their repair time is human-bound).
+    pub fn mttr(&self) -> Option<SimDuration> {
+        self.outcome
+            .is_recovered()
+            .then(|| self.finished_at.duration_since(self.detected_at))
+    }
+
+    /// Canonical transcript: one line per emitted log event, stamped with
+    /// virtual time. Same seed ⇒ byte-identical transcript.
+    pub fn transcript(&self) -> String {
+        self.log
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}us|{}|{}",
+                    e.timestamp.as_micros(),
+                    self.task_id,
+                    e.message
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Determinism digest over transcript and outcome.
+    pub fn digest(&self) -> String {
+        format!("{}\n=> {}", self.transcript(), self.outcome.tag())
+    }
+}
+
+/// Cached handles for the `recovery.*` metrics.
+#[derive(Debug, Clone)]
+struct RecoveryMetrics {
+    runs: Counter,
+    recovered: Counter,
+    escalated: Counter,
+    steps_applied: Counter,
+    steps_retried: Counter,
+    fallbacks: Counter,
+    verify_failures: Counter,
+    mttr_us: LogHistogram,
+}
+
+impl RecoveryMetrics {
+    fn new(obs: &Obs) -> RecoveryMetrics {
+        RecoveryMetrics {
+            runs: obs.counter("recovery.runs"),
+            recovered: obs.counter("recovery.recovered"),
+            escalated: obs.counter("recovery.escalated"),
+            steps_applied: obs.counter("recovery.steps_applied"),
+            steps_retried: obs.counter("recovery.steps_retried"),
+            fallbacks: obs.counter("recovery.fallbacks"),
+            verify_failures: obs.counter("recovery.verify_failures"),
+            mttr_us: obs.log_histogram("recovery.mttr_us"),
+        }
+    }
+}
+
+/// The recovery executor. One executor serves many runs against one cloud.
+#[derive(Debug, Clone)]
+pub struct RecoveryExecutor {
+    api: ConsistentApi,
+    wait_api: ConsistentApi,
+    library: PlanLibrary,
+    config: RecoveryConfig,
+    storage: LogStorage,
+    metrics: RecoveryMetrics,
+}
+
+impl RecoveryExecutor {
+    /// Builds an executor appending its operation log to `storage`.
+    pub fn new(cloud: Cloud, storage: LogStorage, config: RecoveryConfig) -> RecoveryExecutor {
+        let metrics = RecoveryMetrics::new(cloud.obs());
+        RecoveryExecutor {
+            api: ConsistentApi::new(cloud.clone(), config.step_policy.clone()),
+            wait_api: ConsistentApi::new(cloud, config.wait_policy.clone()),
+            library: PlanLibrary::new(),
+            config,
+            storage,
+            metrics,
+        }
+    }
+
+    /// The plan library this executor selects from.
+    pub fn library(&self) -> &PlanLibrary {
+        &self.library
+    }
+
+    fn now(&self) -> SimTime {
+        self.api.cloud().clock().now()
+    }
+
+    /// Executes the recovery for one diagnosed root cause: plan selection,
+    /// step execution with bounded retries, closed-loop verification, and
+    /// the fallback/escalation ladder. Always returns a terminal run —
+    /// escalations are explicit, never dropped.
+    pub fn recover(&self, req: &RecoveryRequest) -> RecoveryRun {
+        let obs = self.api.cloud().obs().clone();
+        self.metrics.runs.incr();
+        let started_at = self.now();
+        let start_event = match req.parent_event {
+            Some(parent) => obs.event_under(parent, "recovery.start", &req.root_cause),
+            None => obs.event("recovery.start", &req.root_cause),
+        };
+        start_event.attr("task", &req.task_id);
+        // Everything the run does — repair calls, consistent-layer
+        // retries, verification — chains under the start event.
+        let _scope = obs.events().scope(Some(start_event.id()));
+
+        let mut run = RecoveryRun {
+            task_id: req.task_id.clone(),
+            root_cause: req.root_cause.clone(),
+            outcome: RecoveryOutcome::Escalated {
+                to_operator: true,
+                reason: "not executed".to_string(),
+            },
+            plans_tried: Vec::new(),
+            steps: Vec::new(),
+            verifications: Vec::new(),
+            detected_at: req.detected_at,
+            started_at,
+            finished_at: started_at,
+            env: req.env.clone(),
+            log: Vec::new(),
+        };
+        let mut seq = 0u32;
+
+        self.log(
+            &mut run,
+            &mut seq,
+            Severity::Info,
+            format!(
+                "Started recovery task {} for root cause {}: {}",
+                req.task_id, req.root_cause, req.description
+            ),
+        );
+
+        let mut next = self
+            .library
+            .plan_for(&req.root_cause, &req.env, req.instance.as_ref());
+        if next.is_none() {
+            let reason = format!("no recovery plan mapped for root cause {}", req.root_cause);
+            self.escalate(&mut run, &mut seq, reason);
+            self.finish(&obs, &mut run);
+            return run;
+        }
+
+        while let Some(plan) = next.take() {
+            run.plans_tried.push(plan.id.clone());
+            self.log(
+                &mut run,
+                &mut seq,
+                Severity::Info,
+                format!(
+                    "Selected recovery plan {} with {} step(s)",
+                    plan.id,
+                    plan.steps.len()
+                ),
+            );
+            obs.event("recovery.plan", &plan.id)
+                .attr("steps", plan.steps.len());
+
+            match self.run_steps(&plan, req, &mut run, &mut seq) {
+                Err((step_name, error)) => {
+                    if let Some(fallback) = plan.fallback {
+                        self.metrics.fallbacks.incr();
+                        next = Some(*fallback);
+                    } else {
+                        let reason = format!(
+                            "step {step_name} of plan {} exhausted its retry budget: {error}",
+                            plan.id
+                        );
+                        self.escalate(&mut run, &mut seq, reason);
+                        break;
+                    }
+                }
+                Ok(()) => {
+                    // Closed-loop verification: re-evaluate the plan's
+                    // assertions through the same assertion machinery that
+                    // detected the fault.
+                    let failing = self.verify(&plan, &req.env, &mut run);
+                    let verify_event = obs.event("recovery.verify", &plan.id);
+                    verify_event.attr("checked", plan.verify.len());
+                    verify_event.attr("failing", failing.len());
+                    if failing.is_empty() {
+                        self.log(
+                            &mut run,
+                            &mut seq,
+                            Severity::Info,
+                            format!(
+                                "Re-checked {} assertion(s) after plan {}: all passed",
+                                plan.verify.len(),
+                                plan.id
+                            ),
+                        );
+                        self.log(
+                            &mut run,
+                            &mut seq,
+                            Severity::Info,
+                            format!(
+                                "Recovery task {} completed; root cause {} repaired",
+                                req.task_id, req.root_cause
+                            ),
+                        );
+                        run.outcome = RecoveryOutcome::Recovered;
+                        break;
+                    }
+                    self.metrics.verify_failures.incr();
+                    self.log(
+                        &mut run,
+                        &mut seq,
+                        Severity::Warn,
+                        format!(
+                            "Re-checked {} assertion(s) after plan {}: {} still failing ({})",
+                            plan.verify.len(),
+                            plan.id,
+                            failing.len(),
+                            failing.join(", ")
+                        ),
+                    );
+                    if let Some(fallback) = plan.fallback {
+                        self.metrics.fallbacks.incr();
+                        next = Some(*fallback);
+                    } else {
+                        let reason = format!(
+                            "verification failed after plan {}: {} still failing",
+                            plan.id,
+                            failing.join(", ")
+                        );
+                        self.escalate(&mut run, &mut seq, reason);
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.finish(&obs, &mut run);
+        run
+    }
+
+    /// Runs the plan's steps in order with bounded per-step attempts.
+    /// Returns the failing step and error when the budget is exhausted.
+    fn run_steps(
+        &self,
+        plan: &RecoveryPlan,
+        req: &RecoveryRequest,
+        run: &mut RecoveryRun,
+        seq: &mut u32,
+    ) -> Result<(), (String, String)> {
+        for step in &plan.steps {
+            let name = step.name();
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                match self.execute_step(step, req) {
+                    Ok(detail) => {
+                        self.metrics.steps_applied.incr();
+                        run.steps.push(StepRecord {
+                            plan: plan.id.clone(),
+                            step: name.clone(),
+                            attempts,
+                            ok: true,
+                            detail: detail.clone(),
+                            at: self.now(),
+                        });
+                        let step_event = self.api.cloud().obs().event("recovery.step", &name);
+                        step_event.attr("plan", &plan.id);
+                        step_event.attr("attempts", attempts);
+                        self.log(
+                            run,
+                            seq,
+                            Severity::Info,
+                            format!("Applied recovery step {name}: {detail}"),
+                        );
+                        break;
+                    }
+                    Err(error) if attempts < self.config.max_step_attempts => {
+                        self.metrics.steps_retried.incr();
+                        // Deliberately phrased to stay outside the
+                        // relevance patterns: retries are noise to the
+                        // recovery process model.
+                        self.log(
+                            run,
+                            seq,
+                            Severity::Warn,
+                            format!(
+                                "Recovery attempt {attempts} of step {name} failed: {error}; \
+                                 backing off"
+                            ),
+                        );
+                    }
+                    Err(error) => {
+                        run.steps.push(StepRecord {
+                            plan: plan.id.clone(),
+                            step: name.clone(),
+                            attempts,
+                            ok: false,
+                            detail: error.clone(),
+                            at: self.now(),
+                        });
+                        self.log(
+                            run,
+                            seq,
+                            Severity::Warn,
+                            format!(
+                                "Recovery plan {} abandoned: step {name} failed after \
+                                 {attempts} attempt(s): {error}",
+                                plan.id
+                            ),
+                        );
+                        return Err((name, error));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates the plan's verification assertions; returns the keys
+    /// still failing.
+    fn verify(&self, plan: &RecoveryPlan, env: &ExpectedEnv, run: &mut RecoveryRun) -> Vec<String> {
+        let mut failing = Vec::new();
+        for assertion in &plan.verify {
+            let passed = matches!(assertion.evaluate(&self.api, env), AssertionOutcome::Passed);
+            run.verifications.push(VerifyRecord {
+                key: assertion.key().to_string(),
+                passed,
+            });
+            if !passed {
+                failing.push(assertion.key().to_string());
+            }
+        }
+        failing
+    }
+
+    fn escalate(&self, run: &mut RecoveryRun, seq: &mut u32, reason: String) {
+        self.log(
+            run,
+            seq,
+            Severity::Error,
+            format!(
+                "Recovery task {} escalated to operator: {reason}",
+                run.task_id
+            ),
+        );
+        run.outcome = RecoveryOutcome::Escalated {
+            to_operator: true,
+            reason,
+        };
+    }
+
+    /// Stamps the terminal state: outcome event, outcome counters, MTTR.
+    fn finish(&self, obs: &Obs, run: &mut RecoveryRun) {
+        run.finished_at = self.now();
+        let outcome_event = obs.event("recovery.outcome", run.outcome.tag());
+        outcome_event.attr("task", &run.task_id);
+        outcome_event.attr("cause", &run.root_cause);
+        match &run.outcome {
+            RecoveryOutcome::Recovered => {
+                self.metrics.recovered.incr();
+                if let Some(mttr) = run.mttr() {
+                    outcome_event.attr("mttr_ms", mttr.as_millis());
+                    self.metrics.mttr_us.record(mttr.as_micros());
+                }
+            }
+            RecoveryOutcome::Escalated { reason, .. } => {
+                self.metrics.escalated.incr();
+                outcome_event.attr("reason", reason);
+            }
+        }
+    }
+
+    /// Emits one Asgard-style log line for the recovery's own process
+    /// model: collected on the run (for conformance checking) and appended
+    /// to the shared operation log.
+    fn log(&self, run: &mut RecoveryRun, seq: &mut u32, severity: Severity, message: String) {
+        *seq += 1;
+        let event = LogEvent::new(self.now(), "recovery.log", message)
+            .with_type("recovery")
+            .with_severity(severity)
+            .with_field("taskid", run.task_id.clone())
+            .with_field("seq", seq.to_string());
+        run.log.push(event.clone());
+        self.storage.append(event);
+    }
+
+    /// Executes one step through the consistent API layer. Returns a
+    /// human-readable success detail, or the error that exhausted the
+    /// call's own retry budget.
+    fn execute_step(&self, step: &RecoveryStep, req: &RecoveryRequest) -> Result<String, String> {
+        let env = &req.env;
+        match step {
+            RecoveryStep::RepairLaunchConfig => {
+                let name = env.launch_config.clone();
+                // Delete the corrupted configuration (tolerating a repair
+                // retry that already removed it), then re-create it under
+                // the same name from the expected values.
+                match self.api.execute(|c| c.delete_launch_config(&name)) {
+                    Ok(()) | Err(ConsistentError::Api(ApiError::NotFound { .. })) => {}
+                    Err(e) => return Err(e.to_string()),
+                }
+                self.api
+                    .execute(|c| {
+                        c.create_launch_config(
+                            name.to_string(),
+                            env.expected_ami.clone(),
+                            env.expected_instance_type.clone(),
+                            env.expected_key_pair.clone(),
+                            env.expected_security_group.clone(),
+                        )
+                    })
+                    .map_err(|e| e.to_string())?;
+                self.api
+                    .execute(|c| {
+                        c.update_asg(
+                            &env.asg,
+                            AsgUpdate {
+                                launch_config: Some(name.clone()),
+                                ..AsgUpdate::default()
+                            },
+                        )
+                    })
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "rolled launch configuration {name} back to the expected configuration"
+                ))
+            }
+            RecoveryStep::SwitchLaunchConfig => {
+                let fresh =
+                    pod_cloud::LaunchConfigName::new(format!("{}-recovery", env.launch_config));
+                // A retried switch may find the replacement half-created.
+                match self.api.execute(|c| c.delete_launch_config(&fresh)) {
+                    Ok(()) | Err(ConsistentError::Api(ApiError::NotFound { .. })) => {}
+                    Err(e) => return Err(e.to_string()),
+                }
+                self.api
+                    .execute(|c| {
+                        c.create_launch_config(
+                            fresh.to_string(),
+                            env.expected_ami.clone(),
+                            env.expected_instance_type.clone(),
+                            env.expected_key_pair.clone(),
+                            env.expected_security_group.clone(),
+                        )
+                    })
+                    .map_err(|e| e.to_string())?;
+                self.api
+                    .execute(|c| {
+                        c.update_asg(
+                            &env.asg,
+                            AsgUpdate {
+                                launch_config: Some(fresh.clone()),
+                                ..AsgUpdate::default()
+                            },
+                        )
+                    })
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "switched {} to replacement launch configuration {fresh}",
+                    env.asg
+                ))
+            }
+            RecoveryStep::RestoreResource(kind) => {
+                self.restore_resource(*kind, env)?;
+                Ok(format!(
+                    "restored availability of the expected {}",
+                    kind.label()
+                ))
+            }
+            RecoveryStep::ReregisterInstances => {
+                let instances = self.list_instances(env)?;
+                let lost: Vec<InstanceId> = instances
+                    .iter()
+                    .filter(|i| i.state == InstanceState::InService && !i.registered_with_elb)
+                    .map(|i| i.id.clone())
+                    .collect();
+                for id in &lost {
+                    self.api
+                        .execute(|c| c.register_with_elb(&env.elb, id))
+                        .map_err(|e| e.to_string())?;
+                }
+                Ok(format!(
+                    "re-registered {} instance(s) with load balancer {}",
+                    lost.len(),
+                    env.elb
+                ))
+            }
+            RecoveryStep::ReplaceMismatchedInstances => {
+                let instances = self.list_instances(env)?;
+                let mismatched: Vec<InstanceId> = instances
+                    .iter()
+                    .filter(|i| i.state.is_active() && !matches_env(i, env))
+                    .map(|i| i.id.clone())
+                    .collect();
+                for id in &mismatched {
+                    // Deregistration is best-effort: the instance may never
+                    // have registered, or the balancer may be the fault.
+                    let _ = self.api.execute(|c| c.deregister_from_elb(&env.elb, id));
+                    self.api
+                        .execute(|c| c.terminate_instance(id, false))
+                        .map_err(|e| e.to_string())?;
+                }
+                Ok(format!(
+                    "terminated {} mismatched instance(s) for relaunch from the repaired \
+                     configuration",
+                    mismatched.len()
+                ))
+            }
+            RecoveryStep::WaitAsgSteady => {
+                let needed = env.expected_count as usize;
+                self.wait_api
+                    .read_until(
+                        |c| c.describe_asg_instances(&env.asg),
+                        |instances| {
+                            instances
+                                .iter()
+                                .filter(|i| {
+                                    i.state == InstanceState::InService && matches_env(i, env)
+                                })
+                                .count()
+                                >= needed
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "auto scaling group {} steady with {} in-service instance(s) at version {}",
+                    env.asg, env.expected_count, env.expected_version
+                ))
+            }
+            RecoveryStep::TerminateInstance(id) => {
+                self.api
+                    .execute(|c| c.terminate_instance(id, false))
+                    .map_err(|e| e.to_string())?;
+                self.wait_api
+                    .read_until(
+                        |c| c.describe_instance(id),
+                        |i| {
+                            matches!(
+                                i.state,
+                                InstanceState::Terminating | InstanceState::Terminated
+                            )
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("re-issued terminate for instance {id}"))
+            }
+            RecoveryStep::RegisterInstanceWithElb(id) => {
+                self.api
+                    .execute(|c| c.register_with_elb(&env.elb, id))
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "registered instance {id} with load balancer {}",
+                    env.elb
+                ))
+            }
+        }
+    }
+
+    /// Flips the resource back to available (operator-credential action,
+    /// still metered through the consistent layer) and waits until reads
+    /// observe it.
+    fn restore_resource(&self, kind: ResourceKind, env: &ExpectedEnv) -> Result<(), String> {
+        match kind {
+            ResourceKind::Ami => {
+                self.api
+                    .execute(|c| {
+                        c.admin_set_ami_available(&env.expected_ami, true);
+                        Ok(())
+                    })
+                    .map_err(|e| e.to_string())?;
+                self.api
+                    .read_until(|c| c.describe_ami(&env.expected_ami), |a| a.available)
+                    .map_err(|e| e.to_string())?;
+            }
+            ResourceKind::KeyPair => {
+                self.api
+                    .execute(|c| {
+                        c.admin_set_key_pair_available(&env.expected_key_pair, true);
+                        Ok(())
+                    })
+                    .map_err(|e| e.to_string())?;
+                self.api
+                    .read_until(
+                        |c| c.describe_key_pair(&env.expected_key_pair),
+                        |k| k.available,
+                    )
+                    .map_err(|e| e.to_string())?;
+            }
+            ResourceKind::SecurityGroup => {
+                self.api
+                    .execute(|c| {
+                        c.admin_set_security_group_available(&env.expected_security_group, true);
+                        Ok(())
+                    })
+                    .map_err(|e| e.to_string())?;
+                self.api
+                    .read_until(
+                        |c| c.describe_security_group(&env.expected_security_group),
+                        |s| s.available,
+                    )
+                    .map_err(|e| e.to_string())?;
+            }
+            ResourceKind::Elb => {
+                self.api
+                    .execute(|c| {
+                        c.admin_set_elb_available(&env.elb, true);
+                        Ok(())
+                    })
+                    .map_err(|e| e.to_string())?;
+                self.api
+                    .read_until(|c| c.describe_elb(&env.elb), |e| e.available)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn list_instances(&self, env: &ExpectedEnv) -> Result<Vec<Instance>, String> {
+        self.api
+            .execute(|c| c.describe_asg_instances(&env.asg))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Whether an instance matches the expected configuration (version and
+/// every launch parameter).
+fn matches_env(instance: &Instance, env: &ExpectedEnv) -> bool {
+    instance.version == env.expected_version
+        && instance.ami == env.expected_ami
+        && instance.key_pair == env.expected_key_pair
+        && instance.security_group == env.expected_security_group
+        && instance.instance_type == env.expected_instance_type
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_cloud::{CloudConfig, LaunchConfigUpdate};
+    use pod_sim::{Clock, SimRng};
+
+    use crate::monitor;
+
+    /// A two-instance group behind a load balancer, matching the
+    /// fault-tree test environment. Returns the cloud and the expectation.
+    fn setup(seed: u64, elb_available: bool) -> (Cloud, ExpectedEnv) {
+        let cloud = Cloud::new(
+            Clock::new(),
+            SimRng::seed_from(seed),
+            CloudConfig {
+                stale_read_prob: 0.0,
+                ..CloudConfig::default()
+            },
+        );
+        let ami = cloud.admin_create_ami("app", "2.0");
+        let sg = cloud.admin_create_security_group("web", &[80]);
+        let kp = cloud.admin_create_key_pair("prod");
+        let elb = cloud.admin_create_elb("front");
+        if !elb_available {
+            cloud.admin_set_elb_available(&elb, false);
+        }
+        let lc =
+            cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
+        let env = ExpectedEnv {
+            asg,
+            elb,
+            launch_config: lc,
+            expected_ami: ami,
+            expected_version: "2.0".into(),
+            expected_key_pair: kp,
+            expected_security_group: sg,
+            expected_instance_type: "m1.small".into(),
+            expected_count: 2,
+        };
+        (cloud, env)
+    }
+
+    fn request(env: &ExpectedEnv, cause: &str, instance: Option<InstanceId>) -> RecoveryRequest {
+        RecoveryRequest {
+            task_id: "run-1-r0".to_string(),
+            root_cause: cause.to_string(),
+            description: format!("diagnosed {cause}"),
+            detected_at: SimTime::ZERO,
+            instance,
+            env: env.clone(),
+            parent_event: None,
+        }
+    }
+
+    fn executor(cloud: &Cloud) -> RecoveryExecutor {
+        RecoveryExecutor::new(cloud.clone(), LogStorage::new(), RecoveryConfig::default())
+    }
+
+    #[test]
+    fn repairs_a_corrupted_launch_config_and_verifies() {
+        let (cloud, env) = setup(21, true);
+        let old = cloud.admin_create_ami("app-old", "1.0");
+        cloud.admin_update_launch_config(
+            &env.launch_config,
+            LaunchConfigUpdate {
+                ami: Some(old),
+                ..LaunchConfigUpdate::default()
+            },
+        );
+
+        let run = executor(&cloud).recover(&request(&env, "lc-wrong-ami", None));
+
+        assert_eq!(run.outcome, RecoveryOutcome::Recovered);
+        assert!(run.verifications.iter().all(|v| v.passed));
+        assert_eq!(run.plans_tried, vec!["rollback-launch-config"]);
+        assert!(run.mttr().is_some());
+        let lc = cloud
+            .admin_describe_launch_config(&env.launch_config)
+            .expect("launch config re-created");
+        assert_eq!(lc.ami, env.expected_ami);
+        let report = monitor::conformance_check(&cloud, &run);
+        assert!(report.fit, "recovered run must conform: {report:?}");
+    }
+
+    #[test]
+    fn unmapped_cause_escalates_and_still_conforms() {
+        let (cloud, env) = setup(22, true);
+        let run = executor(&cloud).recover(&request(&env, "concurrent-scale-in", None));
+
+        match &run.outcome {
+            RecoveryOutcome::Escalated {
+                to_operator,
+                reason,
+            } => {
+                assert!(*to_operator);
+                assert!(reason.contains("no recovery plan mapped"), "{reason}");
+            }
+            other => panic!("expected escalation, got {other:?}"),
+        }
+        assert!(run.plans_tried.is_empty());
+        assert!(run.mttr().is_none());
+        let report = monitor::conformance_check(&cloud, &run);
+        assert!(report.fit, "escalated run must conform: {report:?}");
+    }
+
+    #[test]
+    fn falls_back_to_restoring_the_elb_before_registering() {
+        let (cloud, env) = setup(23, false);
+        let instance = cloud
+            .describe_asg_instances(&env.asg)
+            .unwrap()
+            .first()
+            .expect("asg launched instances")
+            .id
+            .clone();
+
+        let run = executor(&cloud).recover(&request(
+            &env,
+            "instance-not-registered",
+            Some(instance.clone()),
+        ));
+
+        assert_eq!(run.outcome, RecoveryOutcome::Recovered);
+        assert_eq!(
+            run.plans_tried,
+            vec!["register-instance", "restore-elb-and-register"]
+        );
+        assert!(
+            cloud
+                .describe_instance(&instance)
+                .unwrap()
+                .registered_with_elb
+        );
+        let report = monitor::conformance_check(&cloud, &run);
+        assert!(report.fit, "fallback run must conform: {report:?}");
+    }
+
+    #[test]
+    fn exhausted_step_without_fallback_escalates() {
+        let (cloud, env) = setup(24, true);
+        // A terminate plan for an instance that does not exist: the step
+        // fails non-retryably, the plan has no fallback, the run must end
+        // escalated — never dropped.
+        let ghost = InstanceId::new("i-deadbeef");
+        let run = executor(&cloud).recover(&request(&env, "instance-still-running", Some(ghost)));
+
+        match &run.outcome {
+            RecoveryOutcome::Escalated { reason, .. } => {
+                assert!(reason.contains("terminate-instance"), "{reason}");
+            }
+            other => panic!("expected escalation, got {other:?}"),
+        }
+        assert_eq!(run.steps.iter().filter(|s| s.ok).count(), 0);
+        let report = monitor::conformance_check(&cloud, &run);
+        assert!(report.fit, "escalated run must conform: {report:?}");
+    }
+
+    #[test]
+    fn same_seed_produces_byte_identical_transcripts() {
+        let mut digests = Vec::new();
+        for _ in 0..2 {
+            let (cloud, env) = setup(25, true);
+            let old = cloud.admin_create_ami("app-old", "1.0");
+            cloud.admin_update_launch_config(
+                &env.launch_config,
+                LaunchConfigUpdate {
+                    ami: Some(old),
+                    ..LaunchConfigUpdate::default()
+                },
+            );
+            let run = executor(&cloud).recover(&request(&env, "lc-wrong-ami", None));
+            assert_eq!(run.outcome, RecoveryOutcome::Recovered);
+            digests.push(run.digest());
+        }
+        assert_eq!(digests[0], digests[1], "recovery must be deterministic");
+        assert!(digests[0].contains("Started recovery task run-1-r0"));
+    }
+
+    #[test]
+    fn recovery_metrics_are_recorded() {
+        let (cloud, env) = setup(26, true);
+        executor(&cloud).recover(&request(&env, "concurrent-scale-in", None));
+        let snapshot = cloud.obs().snapshot();
+        assert_eq!(snapshot.counter("recovery.runs"), 1);
+        assert_eq!(snapshot.counter("recovery.escalated"), 1);
+        assert_eq!(snapshot.counter("recovery.recovered"), 0);
+    }
+}

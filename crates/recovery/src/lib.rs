@@ -1,0 +1,43 @@
+//! Automated remediation of diagnosed root causes — the "POD-Recovery"
+//! follow-up the paper defers to future work.
+//!
+//! POD-Diagnosis walks a fault tree to a confirmed root cause and stops.
+//! This crate closes the loop: a [`DiagnosisReport`] root cause becomes an
+//! executed, verified repair. Four layers:
+//!
+//! 1. **Plan library** ([`PlanLibrary`]) — maps each diagnosable root cause
+//!    in `pod_faulttree::library` (wrong launch-configuration values,
+//!    unavailable resources, stuck or unregistered instances) to a
+//!    parameterised [`RecoveryPlan`], instantiated from the diagnosis
+//!    context ([`pod_assert::ExpectedEnv`] plus the offending instance).
+//! 2. **Executor** ([`RecoveryExecutor`]) — runs plan steps against
+//!    [`pod_cloud::Cloud`] through the consistent API layer
+//!    ([`pod_assert::ConsistentApi`]): per-step timeout, exponential
+//!    backoff, bounded retries. A step that exhausts its budget escalates
+//!    to the plan's fallback, and finally to
+//!    [`RecoveryOutcome::Escalated`] — never silently dropped.
+//! 3. **Closed-loop verification** — after execution the plan's assertions
+//!    are re-evaluated via `pod-assert`; only a passing re-check yields
+//!    [`RecoveryOutcome::Recovered`].
+//! 4. **Self-monitoring** ([`monitor`]) — recovery operations are
+//!    themselves sporadic operations, so each run emits Asgard-style log
+//!    lines for its own process model and `pod-core` conformance-checks
+//!    the repair like any other operation. The whole arc (detection →
+//!    diagnosis → recovery → verification) is one causal chain in
+//!    `pod-obs`, under new `recovery.*` metrics.
+//!
+//! Everything runs in virtual time: same seed ⇒ byte-identical recovery
+//! transcripts ([`RecoveryRun::transcript`]).
+//!
+//! [`DiagnosisReport`]: pod_faulttree::DiagnosisReport
+
+mod executor;
+pub mod monitor;
+mod plan;
+
+pub use executor::{
+    RecoveryConfig, RecoveryExecutor, RecoveryOutcome, RecoveryRequest, RecoveryRun, StepRecord,
+    VerifyRecord,
+};
+pub use monitor::{conformance_check, recovery_model, recovery_pod_config, ConformanceReport};
+pub use plan::{PlanLibrary, RecoveryPlan, RecoveryStep, ResourceKind};

@@ -36,5 +36,6 @@ pub use pod_mining as mining;
 pub use pod_obs as obs;
 pub use pod_orchestrator as orchestrator;
 pub use pod_process as process;
+pub use pod_recovery as recovery;
 pub use pod_regex as regex;
 pub use pod_sim as sim;
