@@ -71,6 +71,13 @@ pub enum CloudAssertion {
     },
     /// The ASG points at the expected launch configuration.
     AsgLaunchConfigCorrect,
+    /// Every active instance launched from the expected launch
+    /// configuration matches the full expected configuration (version, AMI,
+    /// key pair, security group, instance type). This is the fault-scoped
+    /// repair check: it ignores instances from older launch configurations
+    /// that a still-running operation has yet to replace, so it can pass
+    /// mid-operation — unlike the whole-ASG count assertions.
+    LaunchConfigInstancesConsistent,
     /// The launch configuration uses the expected AMI.
     LaunchConfigUsesAmi,
     /// The launch configuration uses the expected key pair.
@@ -134,6 +141,7 @@ impl CloudAssertion {
             CloudAssertion::AsgDesiredCapacity { .. } => "asg-desired-capacity",
             CloudAssertion::AsgActiveCountAtLeast { .. } => "asg-active-count-at-least",
             CloudAssertion::AsgLaunchConfigCorrect => "asg-launch-config-correct",
+            CloudAssertion::LaunchConfigInstancesConsistent => "launch-config-instances-consistent",
             CloudAssertion::LaunchConfigUsesAmi => "launch-config-uses-ami",
             CloudAssertion::LaunchConfigUsesKeyPair => "launch-config-uses-key-pair",
             CloudAssertion::LaunchConfigUsesSecurityGroup => "launch-config-uses-security-group",
@@ -184,6 +192,10 @@ impl CloudAssertion {
             CloudAssertion::AsgLaunchConfigCorrect => format!(
                 "the ASG {} uses launch configuration {}",
                 env.asg, env.launch_config
+            ),
+            CloudAssertion::LaunchConfigInstancesConsistent => format!(
+                "every active instance launched from {} matches the expected configuration",
+                env.launch_config
             ),
             CloudAssertion::LaunchConfigUsesAmi => format!(
                 "the launch configuration {} uses AMI {}",
@@ -286,6 +298,24 @@ impl CloudAssertion {
             CloudAssertion::AsgLaunchConfigCorrect => map(api.read_until(
                 |c| c.describe_asg(&env.asg),
                 |g| g.launch_config == env.launch_config,
+            )),
+            CloudAssertion::LaunchConfigInstancesConsistent => map(api.read_until(
+                |c| c.describe_asg_instances(&env.asg),
+                |instances| {
+                    instances
+                        .iter()
+                        .filter(|i| {
+                            i.state.is_active()
+                                && i.launch_config.as_ref() == Some(&env.launch_config)
+                        })
+                        .all(|i| {
+                            i.version == env.expected_version
+                                && i.ami == env.expected_ami
+                                && i.key_pair == env.expected_key_pair
+                                && i.security_group == env.expected_security_group
+                                && i.instance_type == env.expected_instance_type
+                        })
+                },
             )),
             CloudAssertion::LaunchConfigUsesAmi => map(api.read_until(
                 |c| c.describe_launch_config(&env.launch_config),

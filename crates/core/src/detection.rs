@@ -57,6 +57,9 @@ pub struct Detection {
     pub description: String,
     /// The process step the error is associated with, if known.
     pub step: Option<String>,
+    /// The assertion key that selects the fault tree for this detection
+    /// (the master-tree key when the detection did not name an assertion).
+    pub key: String,
     /// The cloud instance implicated, if known.
     pub instance: Option<InstanceId>,
     /// The diagnosis report; `None` when diagnosis was suppressed by the
@@ -107,6 +110,45 @@ impl Detection {
         }
         out
     }
+}
+
+/// A notice fired synchronously by the engine's optional detection hook
+/// (see `PodEngine::set_detection_hook`) the moment something happens, so a
+/// recovery dispatcher can react eagerly instead of sweeping detections at
+/// the end of the run.
+#[derive(Debug, Clone)]
+pub enum EngineNotice {
+    /// An error was just detected (and, when `dispatched`, a diagnosis was
+    /// scheduled). `candidates` lists the still-plausible root-cause node
+    /// ids of the selected fault tree, most probable first — the speculation
+    /// set for plan pre-staging.
+    Detected {
+        /// Index of the detection in `RunSummary::detections`.
+        detection_index: usize,
+        /// Detection time.
+        at: SimTime,
+        /// The detecting mechanism.
+        source: DetectionSource,
+        /// The fault-tree selection key.
+        key: String,
+        /// The process step, if known.
+        step: Option<String>,
+        /// The implicated instance, if known.
+        instance: Option<InstanceId>,
+        /// Whether a diagnosis was scheduled (false when suppressed by the
+        /// per-key cooldown).
+        dispatched: bool,
+        /// Plausible root causes, ordered by prior probability descending.
+        candidates: Vec<String>,
+    },
+    /// A scheduled diagnosis just completed; `detection` carries the filled
+    /// report.
+    Diagnosed {
+        /// Index of the detection in `RunSummary::detections`.
+        detection_index: usize,
+        /// The detection, including its completed `diagnosis`.
+        detection: Detection,
+    },
 }
 
 /// Summary statistics of one monitored operation run.
@@ -169,6 +211,7 @@ mod tests {
             source: DetectionSource::AssertionLog,
             description: "instance failed health check".into(),
             step: Some("step4".into()),
+            key: "instance-health".into(),
             instance: Some(InstanceId::new("i-7df34041")),
             diagnosis: None,
             event: None,

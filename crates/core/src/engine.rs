@@ -22,7 +22,7 @@ use pod_regex::{Regex, RegexSet};
 use pod_sim::{LatencyModel, SimDuration, SimRng, SimTime};
 
 use crate::config::{PodConfig, SharedEnv};
-use crate::detection::{Detection, DetectionSource, RunSummary};
+use crate::detection::{Detection, DetectionSource, EngineNotice, RunSummary};
 
 /// The assertion key of the master fault tree, used as a fallback for
 /// detections without a more specific tree.
@@ -46,6 +46,23 @@ impl EngineMetrics {
             diagnoses: obs.counter("engine.diagnoses"),
             replay_latency_us: obs.log_histogram("conformance.replay_latency_us"),
         }
+    }
+}
+
+/// The optional synchronous detection hook (fast-path recovery dispatch).
+/// Wrapped so `PodEngine` can keep deriving `Debug`.
+type DetectionHookFn = Box<dyn FnMut(&EngineNotice)>;
+
+#[derive(Default)]
+struct DetectionHook(Option<DetectionHookFn>);
+
+impl std::fmt::Debug for DetectionHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "DetectionHook(installed)"
+        } else {
+            "DetectionHook(none)"
+        })
     }
 }
 
@@ -119,6 +136,7 @@ pub struct PodEngine {
     last_diagnosis_at: HashMap<String, SimTime>,
     summary: RunSummary,
     metrics: EngineMetrics,
+    hook: DetectionHook,
 }
 
 impl PodEngine {
@@ -194,7 +212,28 @@ impl PodEngine {
             last_done: 0,
             last_diagnosis_at: HashMap::new(),
             summary: RunSummary::default(),
+            hook: DetectionHook::default(),
         })
+    }
+
+    /// Installs the fast-path detection hook: a closure called synchronously
+    /// with an [`EngineNotice`] the moment an error is detected and again
+    /// the moment its diagnosis completes, so a recovery dispatcher can
+    /// pre-stage plans and dispatch repairs eagerly instead of sweeping
+    /// `RunSummary::detections` after the operation ends. The hook runs on
+    /// the engine's thread and may advance the shared sim clock (e.g. to
+    /// execute a repair); it must not re-enter the engine.
+    pub fn set_detection_hook(&mut self, hook: impl FnMut(&EngineNotice) + 'static) {
+        self.hook = DetectionHook(Some(Box::new(hook)));
+    }
+
+    fn notify(&mut self, notice: EngineNotice) {
+        if let Some(mut hook) = self.hook.0.take() {
+            hook(&notice);
+            if self.hook.0.is_none() {
+                self.hook.0 = Some(hook);
+            }
+        }
     }
 
     /// The trace (process-instance) id this engine monitors.
@@ -504,6 +543,16 @@ impl PodEngine {
                     if let Some(d) = self.summary.detections.get_mut(detection_index) {
                         d.diagnosis = Some(report);
                     }
+                    if self.hook.0.is_some() {
+                        if let Some(detection) =
+                            self.summary.detections.get(detection_index).cloned()
+                        {
+                            self.notify(EngineNotice::Diagnosed {
+                                detection_index,
+                                detection,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -629,28 +678,63 @@ impl PodEngine {
             source,
             description,
             step: step.clone(),
+            key: key.clone(),
             instance: instance.clone(),
             diagnosis: None,
             event: Some(emitted.id()),
         });
         // Respect the per-key cooldown, then dispatch the diagnosis with the
         // central-processor delay.
-        if let Some(last) = self.last_diagnosis_at.get(&key) {
-            if at.duration_since(*last) < self.diagnosis_cooldown {
-                return;
-            }
+        let cooled_down = self
+            .last_diagnosis_at
+            .get(&key)
+            .is_none_or(|last| at.duration_since(*last) >= self.diagnosis_cooldown);
+        if cooled_down {
+            self.last_diagnosis_at.insert(key.clone(), at);
+            self.timers.schedule_once(
+                at + self.diagnosis_dispatch_delay,
+                TimerPayload::Diagnose {
+                    detection_index,
+                    key: key.clone(),
+                    step: step.clone(),
+                    instance: instance.clone(),
+                    cause: Some(emitted.id()),
+                },
+            );
         }
-        self.last_diagnosis_at.insert(key.clone(), at);
-        self.timers.schedule_once(
-            at + self.diagnosis_dispatch_delay,
-            TimerPayload::Diagnose {
+        if self.hook.0.is_some() {
+            // Speculation set for plan pre-staging: every root-cause leaf
+            // of the selected tree surviving step pruning, most likely
+            // first.
+            let candidates = if cooled_down {
+                self.plausible_causes(&key, step.as_deref())
+            } else {
+                Vec::new()
+            };
+            self.notify(EngineNotice::Detected {
                 detection_index,
+                at,
+                source,
                 key,
                 step,
                 instance,
-                cause: Some(emitted.id()),
-            },
-        );
+                dispatched: cooled_down,
+                candidates,
+            });
+        }
+    }
+
+    fn plausible_causes(&self, key: &str, step: Option<&str>) -> Vec<String> {
+        self.trees
+            .select(key)
+            .or_else(|| self.trees.select(MASTER_TREE_KEY))
+            .map(|tree| {
+                tree.plausible_root_causes(step)
+                    .into_iter()
+                    .map(|n| n.id.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn run_diagnosis(

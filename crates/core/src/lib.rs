@@ -25,5 +25,5 @@ mod engine;
 pub mod offline;
 
 pub use config::{PodConfig, SharedEnv};
-pub use detection::{Detection, DetectionSource, RunSummary};
+pub use detection::{Detection, DetectionSource, EngineNotice, RunSummary};
 pub use engine::PodEngine;

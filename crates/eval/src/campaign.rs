@@ -1,7 +1,9 @@
 //! The fault-injection campaign: 8 fault types × N runs, with confounding
 //! simultaneous operations — the experiment of Section V of the paper.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use pod_cloud::{Cloud, InstanceId};
 use pod_core::PodEngine;
@@ -11,9 +13,7 @@ use pod_obs::{EventRecord, SpanRecord};
 use pod_orchestrator::{
     FaultInjector, FaultType, Interference, RollingUpgrade, UpgradeObserver, UpgradeOutcome,
 };
-use pod_recovery::{
-    conformance_check, ConformanceReport, RecoveryConfig, RecoveryExecutor, RecoveryRequest,
-};
+use pod_recovery::{conformance_check, ConformanceReport, RecoveryConfig, RecoveryDispatcher};
 use pod_sim::{SimDuration, SimRng, SimTime};
 
 use crate::metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
@@ -51,6 +51,11 @@ pub struct CampaignConfig {
     /// `pod-recovery` and record the repair (MTTR, escalations, the
     /// self-conformance verdict).
     pub recovery: bool,
+    /// Fast-path recovery: install the engine's detection hook so repairs
+    /// dispatch eagerly mid-operation (with speculative plan pre-staging)
+    /// instead of waiting for the end-of-run sweep. Only meaningful with
+    /// `recovery`; the sweep still runs afterwards as the dedup'd backstop.
+    pub eager_recovery: bool,
 }
 
 impl Default for CampaignConfig {
@@ -76,6 +81,7 @@ impl Default for CampaignConfig {
                 Interference::OtherTeamCapacityPressure,
             ],
             recovery: false,
+            eager_recovery: true,
         }
     }
 }
@@ -97,6 +103,8 @@ pub struct RunPlan {
     pub interferences: Vec<(SimTime, Interference)>,
     /// Run the recovery stage after the upgrade finishes.
     pub recovery: bool,
+    /// Dispatch recoveries eagerly from the engine's detection hook.
+    pub eager_recovery: bool,
 }
 
 /// One recovery attempt of the campaign's recovery stage, with its
@@ -218,6 +226,35 @@ pub struct CampaignReport {
     pub recovery: RecoveryStats,
 }
 
+/// MTTR phase breakdown across recovered runs: where the seconds go
+/// between the first failing signal and the verified repair.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// First failing signal → diagnosis start (dispatch delay).
+    pub detection: TimingStats,
+    /// The fault-tree walk itself.
+    pub diagnosis: TimingStats,
+    /// Plan staging, plus any verdict → recovery-start wait (zero on the
+    /// eager path with a prestage hit; the whole sweep wait otherwise).
+    pub staging: TimingStats,
+    /// Step execution (the parallel-lane makespan, not the lane sum).
+    pub repair: TimingStats,
+    /// Closed-loop assertion re-checks.
+    pub verification: TimingStats,
+}
+
+impl Default for PhaseStats {
+    fn default() -> PhaseStats {
+        PhaseStats {
+            detection: TimingStats::new(Vec::new()),
+            diagnosis: TimingStats::new(Vec::new()),
+            staging: TimingStats::new(Vec::new()),
+            repair: TimingStats::new(Vec::new()),
+            verification: TimingStats::new(Vec::new()),
+        }
+    }
+}
+
 /// Aggregated recovery-stage statistics for one fault type.
 #[derive(Debug, Clone)]
 pub struct FaultRecoveryStats {
@@ -258,6 +295,8 @@ pub struct RecoveryStats {
     pub conformance_fit: usize,
     /// Overall MTTR distribution of recovered runs.
     pub mttr: TimingStats,
+    /// MTTR phase breakdown of recovered runs.
+    pub phases: PhaseStats,
     /// Per-fault-type breakdown.
     pub per_fault: Vec<(FaultType, FaultRecoveryStats)>,
 }
@@ -270,6 +309,7 @@ impl Default for RecoveryStats {
             escalated: 0,
             conformance_fit: 0,
             mttr: TimingStats::new(Vec::new()),
+            phases: PhaseStats::default(),
             per_fault: Vec::new(),
         }
     }
@@ -341,6 +381,7 @@ impl Campaign {
             reinject_after,
             interferences,
             recovery: self.config.recovery,
+            eager_recovery: self.config.eager_recovery,
         }
     }
 
@@ -426,6 +467,7 @@ fn summarise(records: Vec<RunRecord>, last_trace: Option<TraceDump>) -> Campaign
 fn aggregate_recovery(records: &[RunRecord]) -> RecoveryStats {
     let mut stats = RecoveryStats::default();
     let mut all_mttr = Vec::new();
+    let mut phase_samples: [Vec<SimDuration>; 5] = Default::default();
     let mut per_fault: Vec<(FaultType, usize, usize, usize, usize, Vec<SimDuration>)> =
         FaultType::all()
             .into_iter()
@@ -442,9 +484,18 @@ fn aggregate_recovery(records: &[RunRecord]) -> RecoveryStats {
             if rec.run.outcome.is_recovered() {
                 stats.recovered += 1;
                 slot.2 += 1;
+                // MTTR and its phase breakdown cover actual repairs;
+                // step-less reviews of self-resolved incidents have no
+                // repair time to sample.
                 if let Some(mttr) = rec.run.mttr() {
                     all_mttr.push(mttr);
                     slot.5.push(mttr);
+                    let p = &rec.run.phases;
+                    phase_samples[0].push(p.detection);
+                    phase_samples[1].push(p.diagnosis);
+                    phase_samples[2].push(p.staging);
+                    phase_samples[3].push(p.repair);
+                    phase_samples[4].push(p.verification);
                 }
             } else {
                 stats.escalated += 1;
@@ -457,6 +508,14 @@ fn aggregate_recovery(records: &[RunRecord]) -> RecoveryStats {
         }
     }
     stats.mttr = TimingStats::new(all_mttr);
+    let [detection, diagnosis, staging, repair, verification] = phase_samples;
+    stats.phases = PhaseStats {
+        detection: TimingStats::new(detection),
+        diagnosis: TimingStats::new(diagnosis),
+        staging: TimingStats::new(staging),
+        repair: TimingStats::new(repair),
+        verification: TimingStats::new(verification),
+    };
     stats.per_fault = per_fault
         .into_iter()
         .map(|(f, attempted, recovered, escalated, fit, mttr)| {
@@ -505,7 +564,26 @@ fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
     // span trace and the causal-event ring together.
     scenario.cloud.obs().begin_run(&scenario.trace_id);
     let obs_baseline = scenario.cloud.obs().snapshot();
-    let engine = build_engine(&scenario, &plan.scenario);
+    let mut engine = build_engine(&scenario, &plan.scenario);
+    // The recovery dispatcher is shared between the engine's detection
+    // hook (eager fast path, installed below) and the end-of-run sweep;
+    // its dedup set guarantees one recovery per diagnosed detection no
+    // matter which path gets there first.
+    let dispatcher = plan.recovery.then(|| {
+        Rc::new(RefCell::new(RecoveryDispatcher::new(
+            scenario.cloud.clone(),
+            scenario.storage.clone(),
+            scenario.env.clone(),
+            scenario.trace_id.clone(),
+            RecoveryConfig::default(),
+        )))
+    });
+    if plan.eager_recovery {
+        if let Some(dispatcher) = &dispatcher {
+            let hook = Rc::clone(dispatcher);
+            engine.set_detection_hook(move |notice| hook.borrow_mut().on_notice(notice));
+        }
+    }
     let mut observer = CampaignObserver::new(engine, &scenario, plan);
     let mut upgrade = RollingUpgrade::new(
         scenario.cloud.clone(),
@@ -517,10 +595,19 @@ fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
     // The recovery stage runs before the trace/metric capture so the whole
     // detection → diagnosis → recovery → verification arc lands in one
     // causal-event ring and one metric snapshot.
-    let recoveries = if plan.recovery {
-        run_recovery_stage(&scenario, &summary.detections)
-    } else {
-        Vec::new()
+    let recoveries = match dispatcher {
+        Some(dispatcher) => {
+            let mut d = dispatcher.borrow_mut();
+            d.sweep(&summary.detections);
+            d.take_records()
+                .into_iter()
+                .map(|(_, run)| {
+                    let conformance = conformance_check(&scenario.cloud, &run);
+                    RecoveryRecord { run, conformance }
+                })
+                .collect()
+        }
+        None => Vec::new(),
     };
     let run_obs = scenario.cloud.obs();
     let obs = run_obs.snapshot().diff(&obs_baseline);
@@ -564,47 +651,6 @@ fn execute_run_once(plan: &RunPlan) -> (RunRecord, TraceDump) {
         recoveries,
     };
     (record, dump)
-}
-
-/// The recovery stage: every diagnosed detection is handed to the recovery
-/// executor, then the finished run is conformance-checked against the
-/// recovery process model. Detections whose diagnosis was suppressed by the
-/// cooldown are skipped (their episode is already being repaired);
-/// diagnoses that identified no root cause still produce an (escalated)
-/// run — nothing is silently dropped.
-fn run_recovery_stage(
-    scenario: &Scenario,
-    detections: &[pod_core::Detection],
-) -> Vec<RecoveryRecord> {
-    let executor = RecoveryExecutor::new(
-        scenario.cloud.clone(),
-        scenario.storage.clone(),
-        RecoveryConfig::default(),
-    );
-    let mut records = Vec::new();
-    for (i, d) in detections.iter().enumerate() {
-        let Some(report) = &d.diagnosis else {
-            continue;
-        };
-        let (root_cause, description) = report
-            .root_causes
-            .first()
-            .map(|c| (c.node_id.clone(), c.description.clone()))
-            .unwrap_or_else(|| ("none".to_string(), "no root cause identified".to_string()));
-        let request = RecoveryRequest {
-            task_id: format!("{}-r{}", scenario.trace_id, i),
-            root_cause,
-            description,
-            detected_at: d.at,
-            instance: d.instance.clone(),
-            env: scenario.env.snapshot(),
-            parent_event: d.event,
-        };
-        let run = executor.recover(&request);
-        let conformance = conformance_check(&scenario.cloud, &run);
-        records.push(RecoveryRecord { run, conformance });
-    }
-    records
 }
 
 /// The observer that feeds the engine and executes the injection /

@@ -10,7 +10,7 @@
 use pod_log::Json;
 use pod_obs::{EventRecord, FlightDump, IncidentChain, Snapshot, SpanRecord};
 
-use crate::campaign::{FaultRecoveryStats, RecoveryStats};
+use crate::campaign::{FaultRecoveryStats, PhaseStats, RecoveryStats};
 use crate::metrics::MetricSet;
 use crate::timing::TimingStats;
 
@@ -325,6 +325,31 @@ fn set_recovery_counts(
     }
 }
 
+/// The MTTR phase breakdown (p50/p95 per phase) of recovered runs: where
+/// the seconds go between first failing signal and verified repair.
+fn set_phase_quantiles(o: &mut Json, phases: &PhaseStats) {
+    let named: [(&str, &TimingStats); 5] = [
+        ("detection", &phases.detection),
+        ("diagnosis", &phases.diagnosis),
+        ("staging", &phases.staging),
+        ("repair", &phases.repair),
+        ("verification", &phases.verification),
+    ];
+    for (name, stats) in named {
+        if stats.is_empty() {
+            continue;
+        }
+        o.set(
+            format!("phase_{name}_p50_us"),
+            num(stats.percentile(0.5).as_micros()),
+        );
+        o.set(
+            format!("phase_{name}_p95_us"),
+            num(stats.percentile(0.95).as_micros()),
+        );
+    }
+}
+
 /// One "recovery" summary record plus one "recovery-fault" record per fault
 /// type: success/escalation rates and the MTTR distribution (detection →
 /// verified repair) — the `BENCH_recovery.json` content.
@@ -341,6 +366,7 @@ pub fn recovery_lines(run: &str, stats: &RecoveryStats) -> Vec<Json> {
         stats.conformance_fit,
         &stats.mttr,
     );
+    set_phase_quantiles(&mut o, &stats.phases);
     out.push(o);
     for (fault, f) in &stats.per_fault {
         let FaultRecoveryStats {
@@ -605,6 +631,7 @@ mod tests {
             escalated: 1,
             conformance_fit: 3,
             mttr: mttr.clone(),
+            phases: PhaseStats::default(),
             per_fault: vec![
                 (
                     pod_orchestrator::FaultType::AmiUnavailable,

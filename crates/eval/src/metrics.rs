@@ -355,6 +355,7 @@ mod tests {
             source,
             description: "d".into(),
             step: None,
+            key: "asg-has-instances-with-version".into(),
             instance: None,
             diagnosis: rep,
             event: None,

@@ -159,6 +159,28 @@ pub fn render_report(report: &CampaignReport) -> String {
             rec.mttr.percentile(0.95),
             rec.mttr.max()
         );
+        let phases = [
+            ("detection", &rec.phases.detection),
+            ("diagnosis", &rec.phases.diagnosis),
+            ("staging", &rec.phases.staging),
+            ("repair", &rec.phases.repair),
+            ("verification", &rec.phases.verification),
+        ];
+        if phases.iter().any(|(_, p)| !p.is_empty()) {
+            let _ = writeln!(out, "MTTR phase breakdown (recovered repairs):");
+            for (name, stats) in phases {
+                if stats.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<14} p50 = {:>10}, p95 = {:>10}",
+                    name,
+                    stats.percentile(0.5).to_string(),
+                    stats.percentile(0.95).to_string(),
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "{:<42} {:>9} {:>9} {:>9} {:>12} {:>12}",
@@ -346,6 +368,16 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("MTTR p95"), "{text}");
+        assert!(text.contains("MTTR phase breakdown"), "{text}");
+        for phase in [
+            "detection",
+            "diagnosis",
+            "staging",
+            "repair",
+            "verification",
+        ] {
+            assert!(text.contains(phase), "missing phase {phase}: {text}");
+        }
     }
 
     #[test]

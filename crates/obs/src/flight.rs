@@ -272,7 +272,9 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
     }
     // Overload during bursts (recovery storms, replay floods) must be
     // visible alongside the incident marks even when the caller did not ask
-    // for it: append every gateway shed/admission counter the frames saw.
+    // for it: append every gateway shed/admission counter the frames saw,
+    // plus the fast-path recovery speculation counters (prestage
+    // hit/waste) — misprediction cost belongs next to the shedding rows.
     let last_frame = frames.last().unwrap();
     let overload: Vec<&str> = last_frame
         .snapshot
@@ -281,7 +283,9 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
         .filter(|name| {
             (name.starts_with("gateway.shed.")
                 || name.starts_with("gateway.admission.")
-                || name.starts_with("gateway.backpressure."))
+                || name.starts_with("gateway.backpressure.")
+                || name.starts_with("recovery.prestage.")
+                || name.starts_with("recovery.dispatch."))
                 && !metrics.contains(&name.as_str())
         })
         .map(|name| name.as_str())
@@ -299,6 +303,28 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
             name,
             sparkline(&series),
             totals.last().unwrap()
+        );
+    }
+    // The recovery dispatcher's queue depth (staged speculations plus
+    // deferred reviews) is a gauge, not a counter: plot levels, not deltas.
+    let queues: Vec<&str> = last_frame
+        .snapshot
+        .gauges
+        .keys()
+        .filter(|name| name.starts_with("recovery.queue.") && !metrics.contains(&name.as_str()))
+        .map(|name| name.as_str())
+        .collect();
+    for name in queues {
+        let series: Vec<u64> = frames
+            .iter()
+            .map(|f| f.snapshot.gauges.get(name).copied().unwrap_or(0).max(0) as u64)
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<38} |{}| {}",
+            name,
+            sparkline(&series),
+            series.last().unwrap()
         );
     }
     if !dump.incidents.is_empty() {
@@ -448,6 +474,40 @@ mod tests {
             asked.matches("gateway.shed.oldest").count(),
             1,
             "explicitly requested overload counters are not repeated, got:\n{asked}"
+        );
+    }
+
+    #[test]
+    fn dashboard_surfaces_recovery_fastpath_metrics_unasked() {
+        let (clock, reg, rec) = recorder(16, 10);
+        let staged = reg.counter("recovery.prestage.staged");
+        let hit = reg.counter("recovery.prestage.hit");
+        let waste = reg.counter("recovery.prestage.waste");
+        let queue = reg.gauge("recovery.queue.depth");
+        for i in 0..4u64 {
+            staged.add(3);
+            if i >= 1 {
+                hit.incr();
+                waste.add(2);
+            }
+            queue.set(3 - i as i64);
+            rec.tick();
+            clock.advance(SimDuration::from_millis(10));
+        }
+        let text = render_dashboard(&rec.dump(), &[]);
+        assert!(text.contains("recovery.prestage.staged"), "got:\n{text}");
+        assert!(text.contains("recovery.prestage.hit"), "got:\n{text}");
+        assert!(text.contains("recovery.prestage.waste"), "got:\n{text}");
+        assert!(
+            text.contains("recovery.queue.depth"),
+            "queue depth (a gauge) is plotted as levels, got:\n{text}"
+        );
+
+        let asked = render_dashboard(&rec.dump(), &["recovery.queue.depth"]);
+        assert_eq!(
+            asked.matches("recovery.queue.depth").count(),
+            1,
+            "explicitly requested gauges are not repeated, got:\n{asked}"
         );
     }
 }

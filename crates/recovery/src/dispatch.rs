@@ -1,0 +1,541 @@
+//! The recovery dispatcher: the fast-path glue between the engine's
+//! detection hook and the executor.
+//!
+//! Three jobs, in incident order:
+//!
+//! 1. **Speculative pre-staging** — on a `Detected` notice it instantiates
+//!    the plans of every still-plausible mapped root cause, so when the
+//!    fault-tree walk confirms one, the winning plan starts with zero
+//!    staging latency. Speculation is accounted for honestly in the
+//!    `recovery.prestage.{staged,hit,waste,miss}` metrics.
+//! 2. **Eager dispatch** — on a `Diagnosed` notice carrying a mapped root
+//!    cause it executes the repair immediately, mid-operation, instead of
+//!    waiting for the end-of-run sweep. Diagnoses without an actionable
+//!    repair (no root cause identified, or a confirmed-benign concurrent
+//!    operation) are queued for operation-end review instead: at the
+//!    sweep they get a step-less `confirm-resolved` plan that re-checks
+//!    the triggering assertion — pass means the condition resolved itself
+//!    (recovered without paging anyone), fail escalates to the operator.
+//! 3. **Dedup** — eager dispatch and the end-of-run sweep race on the
+//!    same incidents; a handled-set keyed by detection index guarantees
+//!    exactly one recovery per diagnosed detection, so
+//!    `attempted == recovered + escalated` survives the race.
+
+use std::collections::{HashMap, HashSet};
+
+use pod_assert::{CloudAssertion, ExpectedEnv};
+use pod_cloud::Cloud;
+use pod_core::{Detection, EngineNotice, SharedEnv};
+use pod_log::LogStorage;
+use pod_obs::{Counter, Gauge};
+use pod_sim::SimDuration;
+
+use crate::executor::{
+    PreparedPlan, RecoveryConfig, RecoveryExecutor, RecoveryRequest, RecoveryRun,
+};
+use crate::plan::RecoveryPlan;
+
+/// Cached handles for the dispatcher's own metrics.
+#[derive(Debug, Clone)]
+struct DispatchMetrics {
+    prestage_staged: Counter,
+    prestage_hit: Counter,
+    prestage_waste: Counter,
+    prestage_miss: Counter,
+    dedup: Counter,
+    queue_depth: Gauge,
+}
+
+impl DispatchMetrics {
+    fn new(cloud: &Cloud) -> DispatchMetrics {
+        let obs = cloud.obs();
+        DispatchMetrics {
+            prestage_staged: obs.counter("recovery.prestage.staged"),
+            prestage_hit: obs.counter("recovery.prestage.hit"),
+            prestage_waste: obs.counter("recovery.prestage.waste"),
+            prestage_miss: obs.counter("recovery.prestage.miss"),
+            dedup: obs.counter("recovery.dispatch.dedup"),
+            queue_depth: obs.gauge("recovery.queue.depth"),
+        }
+    }
+}
+
+/// The fast-path recovery dispatcher. Wire [`RecoveryDispatcher::on_notice`]
+/// into `PodEngine::set_detection_hook` for eager dispatch, then call
+/// [`RecoveryDispatcher::sweep`] with the run's detections after the
+/// operation ends — the sweep recovers anything the eager path did not
+/// handle (or everything, when no hook was installed) and reviews the
+/// deferred incidents. Collect results with
+/// [`RecoveryDispatcher::take_records`].
+#[derive(Debug)]
+pub struct RecoveryDispatcher {
+    executor: RecoveryExecutor,
+    cloud: Cloud,
+    env: SharedEnv,
+    trace_id: String,
+    /// Pre-staged plans per detection index, awaiting the verdict.
+    staged: HashMap<usize, Vec<PreparedPlan>>,
+    /// Detection indices already dispatched (the dedup set).
+    handled: HashSet<usize>,
+    /// Diagnosed incidents without an actionable repair, queued for
+    /// operation-end review.
+    deferred: Vec<(usize, Detection)>,
+    /// Finished runs, tagged with their detection index.
+    records: Vec<(usize, RecoveryRun)>,
+    metrics: DispatchMetrics,
+}
+
+impl RecoveryDispatcher {
+    /// Builds a dispatcher executing repairs against `cloud` and logging
+    /// to `storage`.
+    pub fn new(
+        cloud: Cloud,
+        storage: LogStorage,
+        env: SharedEnv,
+        trace_id: impl Into<String>,
+        config: RecoveryConfig,
+    ) -> RecoveryDispatcher {
+        RecoveryDispatcher {
+            executor: RecoveryExecutor::new(cloud.clone(), storage, config),
+            metrics: DispatchMetrics::new(&cloud),
+            cloud,
+            env,
+            trace_id: trace_id.into(),
+            staged: HashMap::new(),
+            handled: HashSet::new(),
+            deferred: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The engine-hook entry point: pre-stages plans on `Detected`,
+    /// dispatches eagerly on `Diagnosed`.
+    pub fn on_notice(&mut self, notice: &EngineNotice) {
+        match notice {
+            EngineNotice::Detected {
+                detection_index,
+                instance,
+                dispatched,
+                candidates,
+                ..
+            } => {
+                if *dispatched {
+                    self.prestage(*detection_index, candidates, instance.as_ref());
+                }
+            }
+            EngineNotice::Diagnosed {
+                detection_index,
+                detection,
+            } => {
+                self.dispatch(*detection_index, detection, false);
+            }
+        }
+    }
+
+    /// Speculatively stages the plans of every mapped candidate cause
+    /// while the diagnosis is still walking the tree.
+    fn prestage(
+        &mut self,
+        detection_index: usize,
+        candidates: &[String],
+        instance: Option<&pod_cloud::InstanceId>,
+    ) {
+        let env = self.env.snapshot();
+        let staged_at = self.cloud.clock().now();
+        let plans: Vec<PreparedPlan> = candidates
+            .iter()
+            .filter_map(|cause| {
+                self.executor
+                    .library()
+                    .plan_for(cause, &env, instance)
+                    .map(|plan| PreparedPlan {
+                        root_cause: cause.clone(),
+                        plan,
+                        staged_at,
+                    })
+            })
+            .collect();
+        if !plans.is_empty() {
+            self.metrics.prestage_staged.add(plans.len() as u64);
+            self.staged.insert(detection_index, plans);
+            self.update_queue_depth();
+        }
+    }
+
+    /// Dispatches one diagnosed detection exactly once (the dedup
+    /// guarantee). `at_sweep` selects how unmapped/none causes are
+    /// treated: deferred for review (eager path) or reviewed now (sweep).
+    fn dispatch(&mut self, detection_index: usize, detection: &Detection, at_sweep: bool) {
+        if !self.handled.insert(detection_index) {
+            self.metrics.dedup.incr();
+            return;
+        }
+        let staged = self.staged.remove(&detection_index);
+        self.update_queue_depth();
+        let (cause, description) = root_cause_of(detection);
+        let mapped = self
+            .executor
+            .library()
+            .mapped_causes()
+            .contains(&cause.as_str());
+
+        if mapped {
+            // Prestage accounting: a hit uses the staged plan verbatim;
+            // everything staged for the losing candidates was wasted work.
+            let mut prepared = None;
+            if let Some(plans) = staged {
+                match plans.iter().position(|p| p.root_cause == cause) {
+                    Some(i) => {
+                        self.metrics.prestage_hit.incr();
+                        self.metrics
+                            .prestage_waste
+                            .add(plans.len().saturating_sub(1) as u64);
+                        prepared = plans.into_iter().nth(i);
+                    }
+                    None => {
+                        self.metrics.prestage_miss.incr();
+                        self.metrics.prestage_waste.add(plans.len() as u64);
+                    }
+                }
+            }
+            let req = self.request(detection_index, detection, &cause, &description);
+            let mut run = self.executor.recover_prepared(&req, prepared.as_ref());
+            stamp_phases(&mut run, detection);
+            self.records.push((detection_index, run));
+        } else if !at_sweep {
+            // No actionable repair mid-operation: everything staged was
+            // speculative waste; queue the incident for operation-end
+            // review.
+            if let Some(plans) = staged {
+                self.metrics.prestage_miss.incr();
+                self.metrics.prestage_waste.add(plans.len() as u64);
+            }
+            self.deferred.push((detection_index, detection.clone()));
+            self.update_queue_depth();
+        } else {
+            if let Some(plans) = staged {
+                self.metrics.prestage_miss.incr();
+                self.metrics.prestage_waste.add(plans.len() as u64);
+            }
+            self.review(detection_index, detection, cause, description);
+        }
+    }
+
+    /// Operation-end review of an incident without an actionable repair.
+    ///
+    /// Two cases, by what the diagnosis concluded:
+    ///
+    /// * **Confirmed-benign cause** (a concurrent operation by another
+    ///   team, or shared-account capacity pressure): the incident is
+    ///   explained — there is no fault, and the operation's own outcome
+    ///   channel already reports whether the upgrade itself succeeded.
+    ///   The review only confirms the interference masks no real
+    ///   corruption (every instance from the operation's launch
+    ///   configuration is consistent); paging an operator for another
+    ///   team's acknowledged scale-in would be a false page.
+    /// * **No cause identified**: re-check the assertion that raised the
+    ///   incident. Passing means the condition resolved itself (a
+    ///   transient) — recovered without paging anyone; still failing
+    ///   escalates, because an unexplained, persistent violation needs a
+    ///   human.
+    fn review(
+        &mut self,
+        detection_index: usize,
+        detection: &Detection,
+        cause: String,
+        description: String,
+    ) {
+        let env = self.env.snapshot();
+        let verify = if is_benign_cause(&cause) {
+            vec![CloudAssertion::LaunchConfigInstancesConsistent]
+        } else {
+            vec![confirm_assertion(&detection.key, &env)]
+        };
+        let plan = RecoveryPlan::confirm_resolved(
+            format!("operation-end review of unrepaired incident ({cause}): {description}"),
+            verify,
+        );
+        let req = self.request(detection_index, detection, &cause, &description);
+        let mut run = self.executor.recover_with(&req, plan);
+        stamp_phases(&mut run, detection);
+        self.records.push((detection_index, run));
+    }
+
+    /// The end-of-run sweep: recovers every diagnosed detection the eager
+    /// path did not handle (all of them when no hook was installed), then
+    /// reviews the deferred incidents. Dedup makes this idempotent with
+    /// respect to the eager path.
+    pub fn sweep(&mut self, detections: &[Detection]) {
+        for (i, d) in detections.iter().enumerate() {
+            if d.diagnosis.is_none() {
+                // Suppressed by the diagnosis cooldown — an identical
+                // diagnosis just ran; nothing to recover.
+                continue;
+            }
+            self.dispatch(i, d, true);
+        }
+        let deferred = std::mem::take(&mut self.deferred);
+        for (i, d) in deferred {
+            let (cause, description) = root_cause_of(&d);
+            self.review(i, &d, cause, description);
+        }
+        self.update_queue_depth();
+    }
+
+    /// Drains the finished runs, ordered by detection index.
+    pub fn take_records(&mut self) -> Vec<(usize, RecoveryRun)> {
+        let mut records = std::mem::take(&mut self.records);
+        records.sort_by_key(|(i, _)| *i);
+        records
+    }
+
+    fn request(
+        &self,
+        detection_index: usize,
+        detection: &Detection,
+        cause: &str,
+        description: &str,
+    ) -> RecoveryRequest {
+        RecoveryRequest {
+            task_id: format!("{}-r{}", self.trace_id, detection_index),
+            root_cause: cause.to_string(),
+            description: description.to_string(),
+            detected_at: detection.at,
+            instance: detection.instance.clone(),
+            env: self.env.snapshot(),
+            parent_event: detection.event,
+        }
+    }
+
+    fn update_queue_depth(&self) {
+        self.metrics
+            .queue_depth
+            .set((self.staged.len() + self.deferred.len()) as i64);
+    }
+}
+
+/// Whether a diagnosed root cause is a confirmed-benign one: a legitimate
+/// operation by someone else, not a fault in this operation's domain.
+/// These node ids come from `pod_faulttree::library`'s interference
+/// branches and are deliberately unmapped in the plan library.
+fn is_benign_cause(cause: &str) -> bool {
+    matches!(
+        cause,
+        "concurrent-scale-in" | "concurrent-capacity-change" | "instance-limit-reached"
+    )
+}
+
+/// The confirmed root cause of a diagnosed detection, or `("none", …)`
+/// when the diagnosis excluded every candidate fault.
+fn root_cause_of(detection: &Detection) -> (String, String) {
+    detection
+        .diagnosis
+        .as_ref()
+        .and_then(|report| report.root_causes.first())
+        .map(|c| (c.node_id.clone(), c.description.clone()))
+        .unwrap_or_else(|| ("none".to_string(), "no root cause identified".to_string()))
+}
+
+/// Fills the detection/diagnosis/staging-wait phase segments the executor
+/// cannot know: detection → diagnosis start, the diagnosis itself, and any
+/// gap between the verdict and the recovery start (zero on the eager path;
+/// the whole sweep wait otherwise).
+fn stamp_phases(run: &mut RecoveryRun, detection: &Detection) {
+    if let Some(report) = &detection.diagnosis {
+        run.phases.detection = report.started_at.duration_since(detection.at);
+        run.phases.diagnosis = report.duration;
+        let verdict_at = report.started_at + report.duration;
+        run.phases.staging += run.started_at.duration_since(verdict_at);
+    } else {
+        run.phases.detection = run.started_at.duration_since(detection.at);
+        run.phases.diagnosis = SimDuration::ZERO;
+    }
+}
+
+/// Maps a detection's fault-tree key back to the assertion the
+/// operation-end review re-checks.
+fn confirm_assertion(key: &str, env: &ExpectedEnv) -> CloudAssertion {
+    match key {
+        "asg-desired-capacity" => CloudAssertion::AsgDesiredCapacity {
+            count: env.expected_count,
+        },
+        "asg-active-count-at-least" => CloudAssertion::AsgActiveCountAtLeast {
+            count: env.expected_count,
+        },
+        "asg-instance-count" => CloudAssertion::AsgInstanceCount {
+            count: env.expected_count,
+        },
+        "asg-launch-config-correct" => CloudAssertion::AsgLaunchConfigCorrect,
+        "launch-config-instances-consistent" => CloudAssertion::LaunchConfigInstancesConsistent,
+        "ami-available" => CloudAssertion::AmiAvailable,
+        "key-pair-available" => CloudAssertion::KeyPairAvailable,
+        "security-group-available" => CloudAssertion::SecurityGroupAvailable,
+        "elb-available" => CloudAssertion::ElbAvailable,
+        // The master-tree key and anything unrecognised: the paper's
+        // flagship whole-system assertion.
+        _ => CloudAssertion::AsgHasInstancesWithVersion {
+            count: env.expected_count,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_cloud::{CloudConfig, LaunchConfigUpdate};
+    use pod_core::DetectionSource;
+    use pod_faulttree::{DiagnosedCause, DiagnosisReport};
+    use pod_sim::{Clock, SimRng};
+
+    fn setup(seed: u64) -> (Cloud, ExpectedEnv) {
+        let cloud = Cloud::new(
+            Clock::new(),
+            SimRng::seed_from(seed),
+            CloudConfig {
+                stale_read_prob: 0.0,
+                ..CloudConfig::default()
+            },
+        );
+        let ami = cloud.admin_create_ami("app", "2.0");
+        let sg = cloud.admin_create_security_group("web", &[80]);
+        let kp = cloud.admin_create_key_pair("prod");
+        let elb = cloud.admin_create_elb("front");
+        let lc =
+            cloud.admin_create_launch_config("lc", ami.clone(), "m1.small", kp.clone(), sg.clone());
+        let asg = cloud.admin_create_asg("g", lc.clone(), 1, 10, 2, Some(elb.clone()));
+        let env = ExpectedEnv {
+            asg,
+            elb,
+            launch_config: lc,
+            expected_ami: ami,
+            expected_version: "2.0".into(),
+            expected_key_pair: kp,
+            expected_security_group: sg,
+            expected_instance_type: "m1.small".into(),
+            expected_count: 2,
+        };
+        (cloud, env)
+    }
+
+    fn diagnosed(cloud: &Cloud, key: &str, cause: Option<&str>) -> Detection {
+        let at = cloud.clock().now();
+        Detection {
+            at,
+            source: DetectionSource::AssertionLog,
+            description: format!("assertion {key} failed"),
+            step: Some("update-launch-config".to_string()),
+            key: key.to_string(),
+            instance: None,
+            diagnosis: Some(DiagnosisReport {
+                root_causes: cause
+                    .map(|c| {
+                        vec![DiagnosedCause {
+                            node_id: c.to_string(),
+                            description: format!("confirmed {c}"),
+                        }]
+                    })
+                    .unwrap_or_default(),
+                stopped_at: Vec::new(),
+                potential_faults: 4,
+                excluded: 3,
+                tests_run: 4,
+                first_cause_after: Some(SimDuration::from_secs(2)),
+                started_at: at + SimDuration::from_secs(5),
+                duration: SimDuration::from_secs(3),
+            }),
+            event: None,
+        }
+    }
+
+    /// Satellite (d): when the eager path and the end-of-run sweep race on
+    /// the same incident, exactly one recovery runs, the duplicate is
+    /// counted, and `attempted == recovered + escalated` holds.
+    #[test]
+    fn eager_and_sweep_dedup_to_one_recovery() {
+        let (cloud, env) = setup(91);
+        let old = cloud.admin_create_ami("app-old", "1.0");
+        cloud.admin_update_launch_config(
+            &env.launch_config,
+            LaunchConfigUpdate {
+                ami: Some(old),
+                ..LaunchConfigUpdate::default()
+            },
+        );
+        let shared = SharedEnv::new(env);
+        let mut dispatcher = RecoveryDispatcher::new(
+            cloud.clone(),
+            LogStorage::new(),
+            shared,
+            "run-1",
+            RecoveryConfig::default(),
+        );
+
+        let detection = diagnosed(&cloud, "asg-launch-config-correct", Some("lc-wrong-ami"));
+        dispatcher.on_notice(&EngineNotice::Detected {
+            detection_index: 0,
+            at: detection.at,
+            source: detection.source,
+            key: detection.key.clone(),
+            step: detection.step.clone(),
+            instance: None,
+            dispatched: true,
+            candidates: vec!["lc-wrong-ami".to_string(), "ami-unavailable".to_string()],
+        });
+        dispatcher.on_notice(&EngineNotice::Diagnosed {
+            detection_index: 0,
+            detection: detection.clone(),
+        });
+        // The sweep races on the same incident; dedup must absorb it.
+        dispatcher.sweep(std::slice::from_ref(&detection));
+
+        let records = dispatcher.take_records();
+        assert_eq!(records.len(), 1, "exactly one recovery per incident");
+        let (idx, run) = &records[0];
+        assert_eq!(*idx, 0);
+        let recovered = (run.outcome == crate::RecoveryOutcome::Recovered) as usize;
+        let escalated = matches!(run.outcome, crate::RecoveryOutcome::Escalated { .. }) as usize;
+        assert_eq!(records.len(), recovered + escalated);
+        assert_eq!(run.outcome, crate::RecoveryOutcome::Recovered);
+
+        let obs = cloud.obs();
+        assert_eq!(obs.counter("recovery.dispatch.dedup").get(), 1);
+        assert_eq!(obs.counter("recovery.prestage.staged").get(), 2);
+        assert_eq!(obs.counter("recovery.prestage.hit").get(), 1);
+        assert_eq!(obs.counter("recovery.prestage.waste").get(), 1);
+        assert_eq!(obs.gauge("recovery.queue.depth").get(), 0);
+    }
+
+    /// An eager prestage whose incident is ultimately unrepairable is all
+    /// waste, and the incident is reviewed (not repaired) at the sweep.
+    #[test]
+    fn unmapped_diagnosis_defers_to_operation_end_review() {
+        let (cloud, env) = setup(92);
+        let shared = SharedEnv::new(env);
+        let mut dispatcher = RecoveryDispatcher::new(
+            cloud.clone(),
+            LogStorage::new(),
+            shared,
+            "run-2",
+            RecoveryConfig::default(),
+        );
+
+        let detection = diagnosed(&cloud, "asg-desired-capacity", Some("concurrent-scale-in"));
+        dispatcher.on_notice(&EngineNotice::Diagnosed {
+            detection_index: 0,
+            detection: detection.clone(),
+        });
+        assert!(dispatcher.take_records().is_empty(), "deferred, not run");
+        assert_eq!(cloud.obs().gauge("recovery.queue.depth").get(), 1);
+
+        dispatcher.sweep(std::slice::from_ref(&detection));
+        let records = dispatcher.take_records();
+        assert_eq!(records.len(), 1);
+        let run = &records[0].1;
+        assert_eq!(run.plans_tried, vec!["confirm-resolved"]);
+        // The desired-capacity expectation (2) is met by the healthy group,
+        // so the review confirms the incident resolved itself.
+        assert_eq!(run.outcome, crate::RecoveryOutcome::Recovered);
+        assert_eq!(cloud.obs().counter("recovery.dispatch.dedup").get(), 1);
+        assert_eq!(cloud.obs().gauge("recovery.queue.depth").get(), 0);
+    }
+}

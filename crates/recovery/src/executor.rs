@@ -16,13 +16,20 @@ pub struct RecoveryConfig {
     /// Retry policy for individual repair calls (one consistent-layer call
     /// per step action).
     pub step_policy: RetryPolicy,
-    /// Retry policy for convergence waits ([`RecoveryStep::WaitAsgSteady`]
-    /// and terminate confirmation) — long, because instance relaunches
-    /// take minutes of virtual time.
+    /// Retry policy for convergence waits
+    /// ([`RecoveryStep::WaitLaunchConfigSettled`] and terminate
+    /// confirmation) — long, because instance relaunches take minutes of
+    /// virtual time.
     pub wait_policy: RetryPolicy,
     /// How many times a failed step is re-attempted before the plan is
     /// abandoned (fallback or escalation).
     pub max_step_attempts: u32,
+    /// Cost of staging a plan cold: resolving its parameters against the
+    /// environment, checking step preconditions and warming the consistent
+    /// API handles. A plan pre-staged during diagnosis (see
+    /// [`PreparedPlan`]) skips this entirely — that is the fast path's
+    /// zero-staging-latency win.
+    pub stage_latency: SimDuration,
 }
 
 impl Default for RecoveryConfig {
@@ -41,8 +48,41 @@ impl Default for RecoveryConfig {
                 timeout: SimDuration::from_secs(600),
             },
             max_step_attempts: 2,
+            stage_latency: SimDuration::from_millis(1500),
         }
     }
+}
+
+/// A plan staged ahead of the diagnosis verdict: parameters resolved,
+/// preconditions checked, API handles warm. Produced by the dispatcher
+/// while the fault tree is still being walked; consumed with
+/// [`RecoveryExecutor::recover_prepared`].
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    /// The root cause this plan repairs — the speculation target.
+    pub root_cause: String,
+    /// The fully instantiated plan.
+    pub plan: RecoveryPlan,
+    /// When the plan was staged (virtual time).
+    pub staged_at: SimTime,
+}
+
+/// Where a recovered run's repair time went, on the virtual clock. The
+/// segments sum to ≈ MTTR and tell future optimisation passes which phase
+/// dominates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryPhases {
+    /// Detection → diagnosis start (sweep wait + dispatch delay).
+    pub detection: SimDuration,
+    /// Fault-tree walk, including the diagnosis-service overhead.
+    pub diagnosis: SimDuration,
+    /// Plan staging (zero when the plan was pre-staged speculatively).
+    pub staging: SimDuration,
+    /// Step execution, measured on the modeled parallel lanes (makespan,
+    /// not the sum of step durations).
+    pub repair: SimDuration,
+    /// Closed-loop assertion re-checks.
+    pub verification: SimDuration,
 }
 
 /// What a recovery is asked to repair: one confirmed root cause plus the
@@ -143,8 +183,11 @@ pub struct RecoveryRun {
     /// When recovery started executing.
     pub started_at: SimTime,
     /// When the run reached its terminal state (for a recovered run, the
-    /// moment the re-check passed).
+    /// moment the re-check passed), on the modeled parallel timeline.
     pub finished_at: SimTime,
+    /// MTTR phase breakdown (detection/diagnosis filled in by the
+    /// dispatcher, which knows the diagnosis timings).
+    pub phases: RecoveryPhases,
     /// The environment the run repaired towards.
     pub env: ExpectedEnv,
     /// The Asgard-style log lines the run emitted — the input to
@@ -154,11 +197,19 @@ pub struct RecoveryRun {
 
 impl RecoveryRun {
     /// Mean-time-to-repair contribution: detection to verified repair.
-    /// `None` for escalated runs (their repair time is human-bound).
+    /// `None` for escalated runs (their repair time is human-bound) and
+    /// for step-less reviews (nothing was repaired — the incident resolved
+    /// itself, so there is no repair time to measure).
     pub fn mttr(&self) -> Option<SimDuration> {
-        self.outcome
-            .is_recovered()
+        (self.outcome.is_recovered() && self.is_repair())
             .then(|| self.finished_at.duration_since(self.detected_at))
+    }
+
+    /// Whether this run executed (or attempted) an actual repair, as
+    /// opposed to a step-less operation-end review (`confirm-resolved`)
+    /// of an incident that needed none.
+    pub fn is_repair(&self) -> bool {
+        self.plans_tried.iter().any(|p| p != "confirm-resolved")
     }
 
     /// Canonical transcript: one line per emitted log event, stamped with
@@ -249,8 +300,48 @@ impl RecoveryExecutor {
     /// Executes the recovery for one diagnosed root cause: plan selection,
     /// step execution with bounded retries, closed-loop verification, and
     /// the fallback/escalation ladder. Always returns a terminal run —
-    /// escalations are explicit, never dropped.
+    /// escalations are explicit, never dropped. The plan is staged cold
+    /// (see [`RecoveryConfig::stage_latency`]); the fast path avoids that
+    /// cost via [`RecoveryExecutor::recover_prepared`].
     pub fn recover(&self, req: &RecoveryRequest) -> RecoveryRun {
+        self.recover_inner(req, None, false)
+    }
+
+    /// Like [`recover`](RecoveryExecutor::recover), but consumes a plan
+    /// pre-staged while the diagnosis was still walking the fault tree,
+    /// provided the speculation matches the confirmed root cause — then
+    /// the winning plan starts executing with zero staging latency. A
+    /// stale or missing pre-stage falls back to cold staging.
+    pub fn recover_prepared(
+        &self,
+        req: &RecoveryRequest,
+        prepared: Option<&PreparedPlan>,
+    ) -> RecoveryRun {
+        match prepared {
+            Some(p) if p.root_cause == req.root_cause => {
+                self.recover_inner(req, Some(p.plan.clone()), false)
+            }
+            _ => self.recover_inner(req, None, false),
+        }
+    }
+
+    /// Runs an explicit plan instead of consulting the library — the
+    /// dispatcher's operation-end review uses this with a step-less
+    /// [`RecoveryPlan::confirm_resolved`] plan. No staging cost: the plan
+    /// is already instantiated. Verification is *patient* (the long
+    /// convergence policy): the review gives the environment the same
+    /// settling window the repair plans' wait-steps get, since a group
+    /// still relaunching instances at operation end is not yet a failure.
+    pub fn recover_with(&self, req: &RecoveryRequest, plan: RecoveryPlan) -> RecoveryRun {
+        self.recover_inner(req, Some(plan), true)
+    }
+
+    fn recover_inner(
+        &self,
+        req: &RecoveryRequest,
+        staged: Option<RecoveryPlan>,
+        patient: bool,
+    ) -> RecoveryRun {
         let obs = self.api.cloud().obs().clone();
         self.metrics.runs.incr();
         let started_at = self.now();
@@ -276,14 +367,20 @@ impl RecoveryExecutor {
             detected_at: req.detected_at,
             started_at,
             finished_at: started_at,
+            phases: RecoveryPhases::default(),
             env: req.env.clone(),
             log: Vec::new(),
         };
         let mut seq = 0u32;
+        // How far the actual (sequential) clock runs ahead of the modeled
+        // parallel timeline; every log line and record is stamped on the
+        // modeled timeline.
+        let mut lag = SimDuration::ZERO;
 
         self.log(
             &mut run,
             &mut seq,
+            lag,
             Severity::Info,
             format!(
                 "Started recovery task {} for root cause {}: {}",
@@ -291,13 +388,26 @@ impl RecoveryExecutor {
             ),
         );
 
-        let mut next = self
-            .library
-            .plan_for(&req.root_cause, &req.env, req.instance.as_ref());
+        let mut next = match staged {
+            Some(plan) => Some(plan),
+            None => {
+                let plan = self
+                    .library
+                    .plan_for(&req.root_cause, &req.env, req.instance.as_ref());
+                if plan.is_some() {
+                    // Cold staging: resolve parameters, check preconditions
+                    // and warm the API handles — the latency speculative
+                    // pre-staging eliminates.
+                    self.api.cloud().clock().advance(self.config.stage_latency);
+                    run.phases.staging = self.config.stage_latency;
+                }
+                plan
+            }
+        };
         if next.is_none() {
             let reason = format!("no recovery plan mapped for root cause {}", req.root_cause);
-            self.escalate(&mut run, &mut seq, reason);
-            self.finish(&obs, &mut run);
+            self.escalate(&mut run, &mut seq, lag, reason);
+            self.finish(&obs, &mut run, lag);
             return run;
         }
 
@@ -306,6 +416,7 @@ impl RecoveryExecutor {
             self.log(
                 &mut run,
                 &mut seq,
+                lag,
                 Severity::Info,
                 format!(
                     "Selected recovery plan {} with {} step(s)",
@@ -316,7 +427,7 @@ impl RecoveryExecutor {
             obs.event("recovery.plan", &plan.id)
                 .attr("steps", plan.steps.len());
 
-            match self.run_steps(&plan, req, &mut run, &mut seq) {
+            match self.run_steps(&plan, req, &mut run, &mut seq, &mut lag) {
                 Err((step_name, error)) => {
                     if let Some(fallback) = plan.fallback {
                         self.metrics.fallbacks.incr();
@@ -326,7 +437,7 @@ impl RecoveryExecutor {
                             "step {step_name} of plan {} exhausted its retry budget: {error}",
                             plan.id
                         );
-                        self.escalate(&mut run, &mut seq, reason);
+                        self.escalate(&mut run, &mut seq, lag, reason);
                         break;
                     }
                 }
@@ -334,7 +445,9 @@ impl RecoveryExecutor {
                     // Closed-loop verification: re-evaluate the plan's
                     // assertions through the same assertion machinery that
                     // detected the fault.
-                    let failing = self.verify(&plan, &req.env, &mut run);
+                    let verify_started = self.now();
+                    let failing = self.verify(&plan, &req.env, &mut run, patient);
+                    run.phases.verification += self.now().duration_since(verify_started);
                     let verify_event = obs.event("recovery.verify", &plan.id);
                     verify_event.attr("checked", plan.verify.len());
                     verify_event.attr("failing", failing.len());
@@ -342,6 +455,7 @@ impl RecoveryExecutor {
                         self.log(
                             &mut run,
                             &mut seq,
+                            lag,
                             Severity::Info,
                             format!(
                                 "Re-checked {} assertion(s) after plan {}: all passed",
@@ -352,6 +466,7 @@ impl RecoveryExecutor {
                         self.log(
                             &mut run,
                             &mut seq,
+                            lag,
                             Severity::Info,
                             format!(
                                 "Recovery task {} completed; root cause {} repaired",
@@ -365,6 +480,7 @@ impl RecoveryExecutor {
                     self.log(
                         &mut run,
                         &mut seq,
+                        lag,
                         Severity::Warn,
                         format!(
                             "Re-checked {} assertion(s) after plan {}: {} still failing ({})",
@@ -383,41 +499,83 @@ impl RecoveryExecutor {
                             plan.id,
                             failing.join(", ")
                         );
-                        self.escalate(&mut run, &mut seq, reason);
+                        self.escalate(&mut run, &mut seq, lag, reason);
                         break;
                     }
                 }
             }
         }
 
-        self.finish(&obs, &mut run);
+        self.finish(&obs, &mut run, lag);
         run
     }
 
-    /// Runs the plan's steps in order with bounded per-step attempts.
-    /// Returns the failing step and error when the budget is exhausted.
+    /// Runs the plan's steps on a dependency-graph schedule: steps whose
+    /// resource footprints (see [`footprint`]) are disjoint run on
+    /// concurrent modeled lanes of the virtual clock, while execution
+    /// itself stays sequential in deterministic (ready-time, step-index)
+    /// order — same seed, same transcript. Per-step timeout/backoff
+    /// semantics are unchanged; each step's log lines and records are
+    /// stamped on its lane, and `lag` tracks how far the sequential clock
+    /// has run ahead of the modeled makespan. Returns the failing step and
+    /// error when a budget is exhausted.
     fn run_steps(
         &self,
         plan: &RecoveryPlan,
         req: &RecoveryRequest,
         run: &mut RecoveryRun,
         seq: &mut u32,
+        lag: &mut SimDuration,
     ) -> Result<(), (String, String)> {
-        for step in &plan.steps {
+        let base = rewind(self.now(), *lag);
+        let n = plan.steps.len();
+        let mut model_finish: Vec<Option<SimTime>> = vec![None; n];
+        let mut makespan = base;
+        for _ in 0..n {
+            // Pick the lowest (ready-time, index) step whose conflicting
+            // predecessors (earlier plan index, intersecting footprint)
+            // have all finished.
+            let mut next: Option<(SimTime, usize)> = None;
+            for i in 0..n {
+                if model_finish[i].is_some() {
+                    continue;
+                }
+                let mut ready = base;
+                let mut eligible = true;
+                for (j, finish) in model_finish.iter().enumerate().take(i) {
+                    if conflicts(&plan.steps[j], &plan.steps[i]) {
+                        match finish {
+                            Some(f) => ready = ready.max(*f),
+                            None => {
+                                eligible = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if eligible && next.is_none_or(|(t, k)| (ready, i) < (t, k)) {
+                    next = Some((ready, i));
+                }
+            }
+            let (ready, idx) = next.expect("an unexecuted step is always eligible");
+            let step = &plan.steps[idx];
             let name = step.name();
+            // This step's lane starts at `ready` on the modeled timeline.
+            *lag = self.now().duration_since(ready);
             let mut attempts = 0u32;
-            loop {
+            let finished = loop {
                 attempts += 1;
                 match self.execute_step(step, req) {
                     Ok(detail) => {
                         self.metrics.steps_applied.incr();
+                        let at = rewind(self.now(), *lag);
                         run.steps.push(StepRecord {
                             plan: plan.id.clone(),
                             step: name.clone(),
                             attempts,
                             ok: true,
                             detail: detail.clone(),
-                            at: self.now(),
+                            at,
                         });
                         let step_event = self.api.cloud().obs().event("recovery.step", &name);
                         step_event.attr("plan", &plan.id);
@@ -425,10 +583,11 @@ impl RecoveryExecutor {
                         self.log(
                             run,
                             seq,
+                            *lag,
                             Severity::Info,
                             format!("Applied recovery step {name}: {detail}"),
                         );
-                        break;
+                        break at;
                     }
                     Err(error) if attempts < self.config.max_step_attempts => {
                         self.metrics.steps_retried.incr();
@@ -438,6 +597,7 @@ impl RecoveryExecutor {
                         self.log(
                             run,
                             seq,
+                            *lag,
                             Severity::Warn,
                             format!(
                                 "Recovery attempt {attempts} of step {name} failed: {error}; \
@@ -446,17 +606,19 @@ impl RecoveryExecutor {
                         );
                     }
                     Err(error) => {
+                        let at = rewind(self.now(), *lag);
                         run.steps.push(StepRecord {
                             plan: plan.id.clone(),
                             step: name.clone(),
                             attempts,
                             ok: false,
                             detail: error.clone(),
-                            at: self.now(),
+                            at,
                         });
                         self.log(
                             run,
                             seq,
+                            *lag,
                             Severity::Warn,
                             format!(
                                 "Recovery plan {} abandoned: step {name} failed after \
@@ -464,20 +626,35 @@ impl RecoveryExecutor {
                                 plan.id
                             ),
                         );
+                        makespan = makespan.max(at);
+                        run.phases.repair += makespan.duration_since(base);
+                        *lag = self.now().duration_since(makespan);
                         return Err((name, error));
                     }
                 }
-            }
+            };
+            model_finish[idx] = Some(finished);
+            makespan = makespan.max(finished);
         }
+        run.phases.repair += makespan.duration_since(base);
+        *lag = self.now().duration_since(makespan);
         Ok(())
     }
 
     /// Re-evaluates the plan's verification assertions; returns the keys
-    /// still failing.
-    fn verify(&self, plan: &RecoveryPlan, env: &ExpectedEnv, run: &mut RecoveryRun) -> Vec<String> {
+    /// still failing. `patient` swaps in the long convergence policy
+    /// (operation-end reviews wait out in-flight relaunches).
+    fn verify(
+        &self,
+        plan: &RecoveryPlan,
+        env: &ExpectedEnv,
+        run: &mut RecoveryRun,
+        patient: bool,
+    ) -> Vec<String> {
+        let api = if patient { &self.wait_api } else { &self.api };
         let mut failing = Vec::new();
         for assertion in &plan.verify {
-            let passed = matches!(assertion.evaluate(&self.api, env), AssertionOutcome::Passed);
+            let passed = matches!(assertion.evaluate(api, env), AssertionOutcome::Passed);
             run.verifications.push(VerifyRecord {
                 key: assertion.key().to_string(),
                 passed,
@@ -489,10 +666,11 @@ impl RecoveryExecutor {
         failing
     }
 
-    fn escalate(&self, run: &mut RecoveryRun, seq: &mut u32, reason: String) {
+    fn escalate(&self, run: &mut RecoveryRun, seq: &mut u32, lag: SimDuration, reason: String) {
         self.log(
             run,
             seq,
+            lag,
             Severity::Error,
             format!(
                 "Recovery task {} escalated to operator: {reason}",
@@ -506,8 +684,8 @@ impl RecoveryExecutor {
     }
 
     /// Stamps the terminal state: outcome event, outcome counters, MTTR.
-    fn finish(&self, obs: &Obs, run: &mut RecoveryRun) {
-        run.finished_at = self.now();
+    fn finish(&self, obs: &Obs, run: &mut RecoveryRun, lag: SimDuration) {
+        run.finished_at = rewind(self.now(), lag);
         let outcome_event = obs.event("recovery.outcome", run.outcome.tag());
         outcome_event.attr("task", &run.task_id);
         outcome_event.attr("cause", &run.root_cause);
@@ -528,10 +706,18 @@ impl RecoveryExecutor {
 
     /// Emits one Asgard-style log line for the recovery's own process
     /// model: collected on the run (for conformance checking) and appended
-    /// to the shared operation log.
-    fn log(&self, run: &mut RecoveryRun, seq: &mut u32, severity: Severity, message: String) {
+    /// to the shared operation log. Stamped on the modeled parallel
+    /// timeline (`lag` behind the sequential clock).
+    fn log(
+        &self,
+        run: &mut RecoveryRun,
+        seq: &mut u32,
+        lag: SimDuration,
+        severity: Severity,
+        message: String,
+    ) {
         *seq += 1;
-        let event = LogEvent::new(self.now(), "recovery.log", message)
+        let event = LogEvent::new(rewind(self.now(), lag), "recovery.log", message)
             .with_type("recovery")
             .with_severity(severity)
             .with_field("taskid", run.task_id.clone())
@@ -641,14 +827,19 @@ impl RecoveryExecutor {
                     env.elb
                 ))
             }
-            RecoveryStep::ReplaceMismatchedInstances => {
+            RecoveryStep::ReplaceCorruptedInstances => {
                 let instances = self.list_instances(env)?;
-                let mismatched: Vec<InstanceId> = instances
+                // Fault-scoped: only instances the corruption actually
+                // produced — launched from the expected launch
+                // configuration yet deviating from it. Instances still on
+                // an older configuration belong to the running operation's
+                // normal replacement churn and are left alone.
+                let corrupted: Vec<InstanceId> = instances
                     .iter()
-                    .filter(|i| i.state.is_active() && !matches_env(i, env))
+                    .filter(|i| is_corrupted(i, env))
                     .map(|i| i.id.clone())
                     .collect();
-                for id in &mismatched {
+                for id in &corrupted {
                     // Deregistration is best-effort: the instance may never
                     // have registered, or the balancer may be the fault.
                     let _ = self.api.execute(|c| c.deregister_from_elb(&env.elb, id));
@@ -657,30 +848,22 @@ impl RecoveryExecutor {
                         .map_err(|e| e.to_string())?;
                 }
                 Ok(format!(
-                    "terminated {} mismatched instance(s) for relaunch from the repaired \
+                    "terminated {} corrupted instance(s) for relaunch from the repaired \
                      configuration",
-                    mismatched.len()
+                    corrupted.len()
                 ))
             }
-            RecoveryStep::WaitAsgSteady => {
-                let needed = env.expected_count as usize;
+            RecoveryStep::WaitLaunchConfigSettled => {
                 self.wait_api
                     .read_until(
                         |c| c.describe_asg_instances(&env.asg),
-                        |instances| {
-                            instances
-                                .iter()
-                                .filter(|i| {
-                                    i.state == InstanceState::InService && matches_env(i, env)
-                                })
-                                .count()
-                                >= needed
-                        },
+                        |instances| !instances.iter().any(|i| is_corrupted(i, env)),
                     )
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
-                    "auto scaling group {} steady with {} in-service instance(s) at version {}",
-                    env.asg, env.expected_count, env.expected_version
+                    "no active instance from launch configuration {} deviates from the expected \
+                     configuration",
+                    env.launch_config
                 ))
             }
             RecoveryStep::TerminateInstance(id) => {
@@ -786,6 +969,72 @@ fn matches_env(instance: &Instance, env: &ExpectedEnv) -> bool {
         && instance.key_pair == env.expected_key_pair
         && instance.security_group == env.expected_security_group
         && instance.instance_type == env.expected_instance_type
+}
+
+/// Whether an instance was corrupted by the fault under repair: active,
+/// launched from the expected launch configuration, yet deviating from the
+/// expected configuration.
+fn is_corrupted(instance: &Instance, env: &ExpectedEnv) -> bool {
+    instance.state.is_active()
+        && instance.launch_config.as_ref() == Some(&env.launch_config)
+        && !matches_env(instance, env)
+}
+
+/// The cloud resources a step reads or mutates — its dependency footprint
+/// for the parallel scheduler. Two steps conflict (keep their plan order)
+/// iff their footprints intersect; disjoint steps run on concurrent
+/// modeled lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepResource {
+    /// The launch-configuration object itself.
+    LaunchConfig,
+    /// The ASG's configuration: its launch-config pointer and capacity.
+    /// Shared by configuration repair and instance replacement, which
+    /// keeps "fix the configuration" strictly before "relaunch from it".
+    AsgConfig,
+    /// The corrupted-instance set (see [`is_corrupted`]).
+    CorruptedInstances,
+    /// The healthy in-service instances.
+    HealthyInstances,
+    /// The expected machine image.
+    Ami,
+    /// The expected key pair.
+    KeyPair,
+    /// The expected security group.
+    SecurityGroup,
+    /// The load balancer. Best-effort deregistration of corrupted
+    /// instances commutes with balancer work, so
+    /// [`RecoveryStep::ReplaceCorruptedInstances`] deliberately does not
+    /// claim it.
+    Elb,
+}
+
+fn footprint(step: &RecoveryStep) -> &'static [StepResource] {
+    use StepResource as R;
+    match step {
+        RecoveryStep::RepairLaunchConfig | RecoveryStep::SwitchLaunchConfig => {
+            &[R::LaunchConfig, R::AsgConfig]
+        }
+        RecoveryStep::RestoreResource(ResourceKind::Ami) => &[R::Ami],
+        RecoveryStep::RestoreResource(ResourceKind::KeyPair) => &[R::KeyPair],
+        RecoveryStep::RestoreResource(ResourceKind::SecurityGroup) => &[R::SecurityGroup],
+        RecoveryStep::RestoreResource(ResourceKind::Elb) => &[R::Elb],
+        RecoveryStep::ReplaceCorruptedInstances => &[R::AsgConfig, R::CorruptedInstances],
+        RecoveryStep::WaitLaunchConfigSettled => &[R::AsgConfig, R::CorruptedInstances],
+        RecoveryStep::ReregisterInstances => &[R::Elb, R::HealthyInstances],
+        RecoveryStep::TerminateInstance(_) => &[R::CorruptedInstances],
+        RecoveryStep::RegisterInstanceWithElb(_) => &[R::Elb, R::HealthyInstances],
+    }
+}
+
+fn conflicts(a: &RecoveryStep, b: &RecoveryStep) -> bool {
+    footprint(a).iter().any(|r| footprint(b).contains(r))
+}
+
+/// Maps a sequential-clock instant back onto the modeled parallel
+/// timeline.
+fn rewind(t: SimTime, lag: SimDuration) -> SimTime {
+    SimTime::from_micros(t.as_micros().saturating_sub(lag.as_micros()))
 }
 
 #[cfg(test)]

@@ -31,13 +31,15 @@
 //!
 //! [`DiagnosisReport`]: pod_faulttree::DiagnosisReport
 
+mod dispatch;
 mod executor;
 pub mod monitor;
 mod plan;
 
+pub use dispatch::RecoveryDispatcher;
 pub use executor::{
-    RecoveryConfig, RecoveryExecutor, RecoveryOutcome, RecoveryRequest, RecoveryRun, StepRecord,
-    VerifyRecord,
+    PreparedPlan, RecoveryConfig, RecoveryExecutor, RecoveryOutcome, RecoveryPhases,
+    RecoveryRequest, RecoveryRun, StepRecord, VerifyRecord,
 };
 pub use monitor::{conformance_check, recovery_model, recovery_pod_config, ConformanceReport};
 pub use plan::{PlanLibrary, RecoveryPlan, RecoveryStep, ResourceKind};

@@ -54,14 +54,18 @@ pub enum RecoveryStep {
     /// Re-register in-service instances the load balancer lost while it
     /// was unavailable.
     ReregisterInstances,
-    /// Terminate every active instance whose configuration deviates from
-    /// the expectation; the ASG relaunches replacements from the (now
-    /// repaired) launch configuration. This also resumes a halted upgrade:
-    /// old-version instances count as mismatched.
-    ReplaceMismatchedInstances,
-    /// Wait until the ASG holds the expected number of in-service
-    /// instances matching the expected configuration.
-    WaitAsgSteady,
+    /// Terminate every active instance the fault actually corrupted: those
+    /// launched from the expected launch configuration whose configuration
+    /// deviates from the expectation. Instances still on an older launch
+    /// configuration are the running operation's business, not the
+    /// repair's — scoping the replacement to the fault is what lets a
+    /// repair finish in seconds mid-operation instead of re-rolling the
+    /// whole group.
+    ReplaceCorruptedInstances,
+    /// Wait until no active instance launched from the expected launch
+    /// configuration deviates from the expected configuration (corrupted
+    /// instances are terminating or replaced).
+    WaitLaunchConfigSettled,
     /// Terminate one specific instance (re-issues a lost terminate call).
     TerminateInstance(InstanceId),
     /// Register one specific instance with the load balancer.
@@ -76,8 +80,8 @@ impl RecoveryStep {
             RecoveryStep::SwitchLaunchConfig => "switch-launch-config".to_string(),
             RecoveryStep::RestoreResource(kind) => format!("restore-{}", kind.label()),
             RecoveryStep::ReregisterInstances => "reregister-instances".to_string(),
-            RecoveryStep::ReplaceMismatchedInstances => "replace-mismatched-instances".to_string(),
-            RecoveryStep::WaitAsgSteady => "wait-asg-steady".to_string(),
+            RecoveryStep::ReplaceCorruptedInstances => "replace-corrupted-instances".to_string(),
+            RecoveryStep::WaitLaunchConfigSettled => "wait-launch-config-settled".to_string(),
             RecoveryStep::TerminateInstance(_) => "terminate-instance".to_string(),
             RecoveryStep::RegisterInstanceWithElb(_) => "register-instance-with-elb".to_string(),
         }
@@ -86,6 +90,12 @@ impl RecoveryStep {
 
 /// An ordered repair recipe with its own closed-loop verification and an
 /// optional fallback strategy (the next rung of the escalation ladder).
+///
+/// A plan may have *zero* steps: the recovery process model allows going
+/// straight from planning to verification, which is how the dispatcher's
+/// operation-end review confirms that an incident without an actionable
+/// root cause (transient blip, legitimate concurrent operation) resolved
+/// itself — only a passing re-check counts as recovered.
 #[derive(Debug, Clone)]
 pub struct RecoveryPlan {
     /// Stable plan id.
@@ -101,6 +111,22 @@ pub struct RecoveryPlan {
     /// Strategy tried when a step exhausts its budget or verification
     /// fails; `None` means the next failure escalates to the operator.
     pub fallback: Option<Box<RecoveryPlan>>,
+}
+
+impl RecoveryPlan {
+    /// A step-less verification plan: re-check the given assertions and
+    /// count the incident as recovered only if they all pass now. Used at
+    /// operation end for diagnoses without a mapped repair (no root cause
+    /// identified, or a confirmed-benign concurrent operation).
+    pub fn confirm_resolved(description: impl Into<String>, verify: Vec<CloudAssertion>) -> Self {
+        RecoveryPlan {
+            id: "confirm-resolved".to_string(),
+            description: description.into(),
+            steps: Vec::new(),
+            verify,
+            fallback: None,
+        }
+    }
 }
 
 /// The plan library: root-cause node id → instantiated [`RecoveryPlan`].
@@ -180,32 +206,34 @@ impl PlanLibrary {
     }
 }
 
-/// The whole-system assertion every ASG-level plan re-checks: the paper's
-/// "assert the system has N instances with the new version".
-fn count_assertion(env: &ExpectedEnv) -> CloudAssertion {
-    CloudAssertion::AsgHasInstancesWithVersion {
-        count: env.expected_count,
-    }
+/// The fault-scoped assertion every ASG-level plan re-checks: all active
+/// instances launched from the expected launch configuration match the full
+/// expected configuration. Unlike the whole-group count assertion it can
+/// pass *mid-operation* (instances the upgrade has yet to replace are out
+/// of scope), so an eager repair verifies in seconds; group-level
+/// convergence remains the operation's own exit criterion.
+fn consistency_assertion(_env: &ExpectedEnv) -> CloudAssertion {
+    CloudAssertion::LaunchConfigInstancesConsistent
 }
 
 /// Plan for the four launch-configuration corruption causes: repair the
 /// configuration in place, replace the instances launched from the bad
-/// one, and wait for the group to settle. Falls back to switching the ASG
-/// to a freshly created replacement configuration.
+/// one, and wait for the corrupted instances to drain. Falls back to
+/// switching the ASG to a freshly created replacement configuration.
 fn rollback_launch_config(env: &ExpectedEnv, lc_assertion: CloudAssertion) -> RecoveryPlan {
     RecoveryPlan {
         id: "rollback-launch-config".to_string(),
         description: format!(
-            "roll launch configuration {} back to the expected values and replace mismatched \
+            "roll launch configuration {} back to the expected values and replace corrupted \
              instances of {}",
             env.launch_config, env.asg
         ),
         steps: vec![
             RecoveryStep::RepairLaunchConfig,
-            RecoveryStep::ReplaceMismatchedInstances,
-            RecoveryStep::WaitAsgSteady,
+            RecoveryStep::ReplaceCorruptedInstances,
+            RecoveryStep::WaitLaunchConfigSettled,
         ],
-        verify: vec![lc_assertion, count_assertion(env)],
+        verify: vec![lc_assertion, consistency_assertion(env)],
         fallback: Some(Box::new(RecoveryPlan {
             id: "switch-launch-config".to_string(),
             description: format!(
@@ -214,17 +242,17 @@ fn rollback_launch_config(env: &ExpectedEnv, lc_assertion: CloudAssertion) -> Re
             ),
             steps: vec![
                 RecoveryStep::SwitchLaunchConfig,
-                RecoveryStep::ReplaceMismatchedInstances,
-                RecoveryStep::WaitAsgSteady,
+                RecoveryStep::ReplaceCorruptedInstances,
+                RecoveryStep::WaitLaunchConfigSettled,
             ],
-            verify: vec![count_assertion(env)],
+            verify: vec![consistency_assertion(env)],
             fallback: None,
         })),
     }
 }
 
 /// Plan for unavailable-resource causes: restore availability, then
-/// resume the halted replacement (mismatched instances are replaced and
+/// resume the halted replacement (corrupted instances are replaced and
 /// the group settles at the expected version).
 fn restore_resource(
     env: &ExpectedEnv,
@@ -240,10 +268,10 @@ fn restore_resource(
         ),
         steps: vec![
             RecoveryStep::RestoreResource(kind),
-            RecoveryStep::ReplaceMismatchedInstances,
-            RecoveryStep::WaitAsgSteady,
+            RecoveryStep::ReplaceCorruptedInstances,
+            RecoveryStep::WaitLaunchConfigSettled,
         ],
-        verify: vec![availability, count_assertion(env)],
+        verify: vec![availability, consistency_assertion(env)],
         fallback: None,
     }
 }
@@ -260,10 +288,10 @@ fn restore_elb(env: &ExpectedEnv) -> RecoveryPlan {
         steps: vec![
             RecoveryStep::RestoreResource(ResourceKind::Elb),
             RecoveryStep::ReregisterInstances,
-            RecoveryStep::ReplaceMismatchedInstances,
-            RecoveryStep::WaitAsgSteady,
+            RecoveryStep::ReplaceCorruptedInstances,
+            RecoveryStep::WaitLaunchConfigSettled,
         ],
-        verify: vec![CloudAssertion::ElbAvailable, count_assertion(env)],
+        verify: vec![CloudAssertion::ElbAvailable, consistency_assertion(env)],
         fallback: None,
     }
 }

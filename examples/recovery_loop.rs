@@ -9,15 +9,25 @@
 //! Pass a number to change runs-per-fault (e.g. `-- 5` for a quick pass).
 //! Pass `--json` to also write `BENCH_recovery.json` — one JSON-lines
 //! record for the campaign plus one per fault type, carrying
-//! success/escalation rates and MTTR p50/p95.
+//! success/escalation rates, MTTR p50/p95 and the MTTR phase breakdown.
+//! Pass `--baseline <path>` to regression-gate against a committed
+//! `BENCH_recovery.baseline.json`: since the campaign runs in virtual
+//! time, same config + seed reproduce the committed numbers exactly, and
+//! the gate fails (non-zero exit) when the fresh MTTR p50 exceeds 1.1x
+//! the committed one.
 
 use pod_diagnosis::eval::{
     recovery_lines, render_journal, render_report, Campaign, CampaignConfig,
 };
+use pod_log::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
     let runs_per_fault: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(10);
     let config = CampaignConfig {
         runs_per_fault,
@@ -54,5 +64,27 @@ fn main() {
             "wrote {} journal records to BENCH_recovery.json",
             lines.len()
         );
+    }
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let committed = text
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .find(|j| j.get("record").and_then(Json::as_str) == Some("recovery"))
+            .and_then(|j| j.get("mttr_p50_us").and_then(Json::as_f64))
+            .unwrap_or_else(|| panic!("baseline {path} has no recovery record with mttr_p50_us"));
+        let fresh = rec.mttr.percentile(0.5).as_micros() as f64;
+        println!(
+            "regression gate: fresh mttr_p50 {:.0}us vs committed {:.0}us (limit 1.1x)",
+            fresh, committed
+        );
+        if fresh > 1.1 * committed {
+            eprintln!(
+                "REGRESSION: mttr_p50 {fresh:.0}us exceeds 1.1x the committed {committed:.0}us"
+            );
+            std::process::exit(1);
+        }
     }
 }
