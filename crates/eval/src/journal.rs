@@ -396,6 +396,65 @@ pub fn recovery_lines(run: &str, stats: &RecoveryStats) -> Vec<Json> {
     out
 }
 
+/// One "recovery-storm" summary record plus one "recovery-tenant" record
+/// per tenant: the storm's admission ledger and the per-tenant
+/// MTTR-under-load quantiles — the `BENCH_recovery_soak.json` content
+/// (and the CI regression gate's input: `mttr_p50_us` on the summary).
+pub fn recovery_soak_lines(run: &str, rec: &crate::soak::SoakRecoveryReport) -> Vec<Json> {
+    let mut out = Vec::new();
+    let mut o = Json::object();
+    o.set("record", Json::str("recovery-storm"));
+    o.set("run", Json::str(run));
+    o.set("tenants", num(rec.tenants.len() as u64));
+    o.set("lanes", num(rec.config.lanes as u64));
+    o.set("throttle_at", num(rec.config.throttle_at as u64));
+    o.set("attempted", num(rec.attempted as u64));
+    o.set("recovered", num(rec.recovered as u64));
+    o.set("escalated", num(rec.escalated as u64));
+    o.set("deferred_swept", num(rec.deferred_swept as u64));
+    o.set("throttled", num(rec.throttled as u64));
+    o.set("requests", num(rec.stats.requests));
+    o.set("admitted", num(rec.stats.admitted));
+    o.set("deferred", num(rec.stats.deferred));
+    o.set("swept", num(rec.stats.swept));
+    o.set("peak_concurrent", num(rec.stats.peak_concurrent as u64));
+    o.set("none_dropped", Json::Bool(rec.none_dropped()));
+    if rec.attempted > 0 {
+        o.set(
+            "success_rate",
+            Json::Number(rec.recovered as f64 / rec.attempted as f64),
+        );
+    }
+    if !rec.mttr.is_empty() {
+        o.set("mttr_count", num(rec.mttr.len() as u64));
+        o.set("mttr_mean_us", num(rec.mttr.mean().as_micros()));
+        o.set("mttr_p50_us", num(rec.mttr.percentile(0.5).as_micros()));
+        o.set("mttr_p95_us", num(rec.mttr.percentile(0.95).as_micros()));
+        o.set("mttr_max_us", num(rec.mttr.max().as_micros()));
+    }
+    out.push(o);
+    for t in &rec.tenants {
+        let mut o = Json::object();
+        o.set("record", Json::str("recovery-tenant"));
+        o.set("run", Json::str(run));
+        o.set("trace_id", Json::str(t.trace_id.clone()));
+        if let Some(fault) = t.fault {
+            o.set("fault", Json::str(fault.to_string()));
+        }
+        o.set("attempted", num(t.attempted as u64));
+        o.set("recovered", num(t.recovered as u64));
+        o.set("escalated", num(t.escalated as u64));
+        o.set("deferred_swept", num(t.deferred_swept as u64));
+        o.set("throttled", num(t.throttled as u64));
+        if !t.mttr.is_empty() {
+            o.set("mttr_p50_us", num(t.mttr.percentile(0.5).as_micros()));
+            o.set("mttr_p95_us", num(t.mttr.percentile(0.95).as_micros()));
+        }
+        out.push(o);
+    }
+    out
+}
+
 /// The Table-I metrics of one metric set as a single record.
 pub fn metrics_line(label: &str, m: &MetricSet) -> Json {
     let mut o = Json::object();

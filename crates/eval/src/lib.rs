@@ -29,7 +29,12 @@
 //!   `TelemetryMode` (off/sampled/full), with tail-based trace sampling,
 //!   queue-wait tail exemplars and the gateway's flight-recorder dump (the
 //!   `BENCH_obs.json` / `FLIGHT_*.json` content, via [`exemplar_lines`] and
-//!   [`flight_json`]).
+//!   [`flight_json`]);
+//! - [`replay_with_recovery`] — the soak with the recovery stage wired
+//!   in: every tenant engine's detection hook feeds one shared
+//!   `pod_recovery::RecoveryStorm` whose repairs contend for the gateway's
+//!   admission gate, with per-tenant MTTR-under-load in the journal via
+//!   [`recovery_soak_lines`] (the `BENCH_recovery_soak.json` content).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -50,14 +55,15 @@ pub use campaign::{
 };
 pub use journal::{
     event_lines, exemplar_lines, flight_json, gateway_lines, incident_lines, metrics_line,
-    recovery_lines, render_journal, snapshot_lines, span_lines,
+    recovery_lines, recovery_soak_lines, render_journal, snapshot_lines, span_lines,
 };
 pub use metrics::{classify_run, GroundTruth, MetricSet, RunOutcome};
 pub use profile::{stage_self_times, LatencyProfile};
 pub use report::{render_gateway_report, render_metrics_line, render_report};
 pub use scenario::{build_engine, build_scenario, pod_config, Scenario, ScenarioConfig};
 pub use soak::{
-    collect_streams, render_soak_report, replay, replay_telemetry, soak_bench_json, sweep_batches,
-    OpStream, SoakConfig, SoakOpResult, SoakReport, SoakStreams,
+    collect_streams, render_recovery_soak, render_soak_report, replay, replay_telemetry,
+    replay_with_recovery, soak_bench_json, sweep_batches, OpStream, SoakConfig, SoakOpResult,
+    SoakRecoveryReport, SoakReport, SoakStreams, TenantRecoveryResult,
 };
 pub use timing::TimingStats;

@@ -24,8 +24,21 @@
 //! errors, degradation warnings and tail-latency exemplars are never
 //! discarded), and `Full` retains every trace. The mode never changes the
 //! detections — [`SoakReport::digest`] is byte-identical across all three.
+//!
+//! [`replay_with_recovery`] adds the recovery stage on top: every
+//! per-tenant engine's detection hook feeds one shared
+//! [`RecoveryStorm`], whose executor lanes contend for the single
+//! simulated cloud through the gateway's admission gate. Repairs that
+//! would queue past the lane-wait cap are shed to the per-tenant
+//! end-of-operation sweep — deferred, never dropped — and every lane
+//! wait and throttle penalty is charged to the repairing tenant's
+//! virtual clock, so the per-tenant MTTR honestly reflects the load.
+//! The recovery transcript folds into [`SoakReport::digest`]: same seed
+//! + same interleaving ⇒ byte-identical even under maximal contention.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 use pod_cloud::Cloud;
 use pod_gateway::{Gateway, GatewayConfig, GatewayStats, OpId};
@@ -35,10 +48,14 @@ use pod_orchestrator::{
     FaultInjector, FaultType, Interference, NoiseGenerator, RollingUpgrade, UpgradeObserver,
     UpgradeOutcome,
 };
-use pod_sim::{SimRng, SimTime};
+use pod_recovery::{
+    RecoveryConfig, RecoveryPath, RecoveryStorm, StormConfig, StormStats, TenantId,
+};
+use pod_sim::{SimDuration, SimRng, SimTime};
 
 use crate::profile::{stage_self_times, LatencyProfile};
 use crate::scenario::{build_engine, build_scenario, Scenario, ScenarioConfig};
+use crate::timing::TimingStats;
 
 /// Knobs of the soak.
 #[derive(Debug, Clone)]
@@ -155,11 +172,15 @@ pub struct SoakReport {
     pub incidents: usize,
     /// The gateway's flight-recorder black box, when enabled.
     pub flight: Option<FlightDump>,
+    /// The recovery stage's outcome ([`replay_with_recovery`] only).
+    pub recovery: Option<SoakRecoveryReport>,
 }
 
 impl SoakReport {
     /// A canonical byte string over every operation's detections and the
     /// gateway statistics: two runs from the same seed must match exactly.
+    /// When the recovery stage ran, the full recovery transcript (every
+    /// tenant's runs, paths and log lines) is part of the digest.
     pub fn digest(&self) -> String {
         let mut out = String::new();
         for op in &self.ops {
@@ -170,7 +191,89 @@ impl SoakReport {
         }
         out.push_str(&self.stats.to_json().to_string());
         out.push('\n');
+        if let Some(rec) = &self.recovery {
+            let s = rec.stats;
+            out.push_str(&format!(
+                "== recovery storm: requests={} admitted={} throttled={} deferred={} swept={} \
+                 peak_concurrent={} ==\n",
+                s.requests, s.admitted, s.throttled, s.deferred, s.swept, s.peak_concurrent
+            ));
+            out.push_str(&rec.transcript());
+        }
         out
+    }
+}
+
+/// One tenant's recovery-under-load outcome.
+#[derive(Debug)]
+pub struct TenantRecoveryResult {
+    /// The tenant's trace id (its gateway instance id).
+    pub trace_id: String,
+    /// The fault injected into the tenant's upgrade.
+    pub fault: Option<FaultType>,
+    /// Recovery runs attempted (one per detected incident).
+    pub attempted: usize,
+    /// Runs that reached a verified repair.
+    pub recovered: usize,
+    /// Runs that exhausted the plan ladder and escalated.
+    pub escalated: usize,
+    /// Runs shed by the admission gate and executed by the sweep.
+    pub deferred_swept: usize,
+    /// Eager runs the shared API throttled.
+    pub throttled: usize,
+    /// MTTR-under-load samples (detection → verified repair, including
+    /// lane waits and throttle penalties).
+    pub mttr: TimingStats,
+    /// The tenant's canonical recovery transcript.
+    pub transcript: String,
+}
+
+/// The recovery stage's aggregate outcome across every tenant.
+#[derive(Debug)]
+pub struct SoakRecoveryReport {
+    /// The contention knobs the storm ran under.
+    pub config: StormConfig,
+    /// Per-tenant results, in stream order.
+    pub tenants: Vec<TenantRecoveryResult>,
+    /// Total recovery runs attempted.
+    pub attempted: usize,
+    /// Runs that reached a verified repair (any path).
+    pub recovered: usize,
+    /// Runs that escalated (any path).
+    pub escalated: usize,
+    /// Recovered runs that went through an eager lane or review (not the
+    /// sweep).
+    pub recovered_direct: usize,
+    /// Escalated runs that went through an eager lane or review.
+    pub escalated_direct: usize,
+    /// Runs shed to the sweep — deferred then executed, never dropped.
+    pub deferred_swept: usize,
+    /// Eager runs the shared API throttled.
+    pub throttled: usize,
+    /// The storm's exact admission accounting.
+    pub stats: StormStats,
+    /// MTTR-under-load distribution across all tenants.
+    pub mttr: TimingStats,
+}
+
+impl SoakRecoveryReport {
+    /// The full recovery transcript: every tenant's runs in stream order.
+    /// Byte-identical across same-seed replays.
+    pub fn transcript(&self) -> String {
+        self.tenants.iter().map(|t| t.transcript.as_str()).collect()
+    }
+
+    /// The headline storm invariant: no incident is ever dropped.
+    /// `recovered + escalated == attempted` (every incident reached a
+    /// terminal state), `recovered_direct + escalated_direct +
+    /// deferred_swept == attempted` (every incident is accounted to
+    /// exactly one path), and the gate's own ledger balances.
+    pub fn none_dropped(&self) -> bool {
+        self.recovered + self.escalated == self.attempted
+            && self.recovered_direct + self.escalated_direct + self.deferred_swept == self.attempted
+            && self.stats.admitted + self.stats.deferred == self.stats.requests
+            && self.stats.swept == self.stats.deferred
+            && self.stats.throttled <= self.stats.admitted
     }
 }
 
@@ -373,10 +476,42 @@ pub fn replay_telemetry(
     gateway: &GatewayConfig,
     mode: TelemetryMode,
 ) -> SoakReport {
+    replay_inner(streams, gateway, mode, None)
+}
+
+/// Phase B with the recovery stage wired in: one shared [`RecoveryStorm`]
+/// arbitrates every tenant's repairs over the gateway's admission gate.
+/// Repairs mutate the per-tenant clouds, so a second same-seed run needs
+/// fresh [`collect_streams`] output — against which the full report
+/// digest (recovery transcript included) is byte-identical.
+pub fn replay_with_recovery(
+    streams: &SoakStreams,
+    gateway: &GatewayConfig,
+    storm: StormConfig,
+) -> SoakReport {
+    replay_inner(streams, gateway, TelemetryMode::Full, Some(storm))
+}
+
+fn replay_inner(
+    streams: &SoakStreams,
+    gateway: &GatewayConfig,
+    mode: TelemetryMode,
+    storm_config: Option<StormConfig>,
+) -> SoakReport {
     let mut gw = Gateway::new(gateway.clone());
     gw.obs().set_mode(mode);
     let sampler = TailSampler::new(gw.obs().registry(), SamplerConfig::default());
+    // The storm arbitrates on the gateway clock and reports into the
+    // gateway's obs handle, so flight frames capture storm pressure.
+    let storm = storm_config.map(|cfg| {
+        Rc::new(RefCell::new(RecoveryStorm::new(
+            gw.obs(),
+            gw.clock().clone(),
+            cfg,
+        )))
+    });
     let mut op_ids: Vec<OpId> = Vec::with_capacity(streams.ops.len());
+    let mut tenant_ids: Vec<TenantId> = Vec::with_capacity(streams.ops.len());
     for stream in &streams.ops {
         // A fresh trace per replay so the latency budget covers exactly
         // the replay-time work (conformance, assertions, diagnosis).
@@ -386,7 +521,19 @@ pub fn replay_telemetry(
             .cloud
             .obs()
             .begin_run(&stream.scenario.trace_id);
-        let engine = build_engine(&stream.scenario, &stream.scenario_config);
+        let mut engine = build_engine(&stream.scenario, &stream.scenario_config);
+        if let Some(storm) = &storm {
+            let tenant = storm.borrow_mut().register_tenant(
+                stream.scenario.cloud.clone(),
+                stream.scenario.storage.clone(),
+                stream.scenario.env.clone(),
+                stream.scenario.trace_id.clone(),
+                RecoveryConfig::default(),
+            );
+            tenant_ids.push(tenant);
+            let hook = Rc::clone(storm);
+            engine.set_detection_hook(move |notice| hook.borrow_mut().on_notice(tenant, notice));
+        }
         let process_id = engine.process_id().to_string();
         let op = gw
             .register(
@@ -396,6 +543,12 @@ pub fn replay_telemetry(
             )
             .expect("per-shard admission limit accommodates the soak");
         op_ids.push(op);
+    }
+    if let Some(storm) = &storm {
+        // Each new detection refreshes the storm's in-flight and backlog
+        // gauges right before the flight recorder stamps its frame.
+        let hook = Rc::clone(storm);
+        gw.set_incident_hook(move |_op, now, _new| hook.borrow_mut().observe(now));
     }
 
     // Merge every stream into one feed ordered by (arrival, op, seq) —
@@ -413,6 +566,86 @@ pub fn replay_telemetry(
 
     let reports = gw.finish();
     let stats = gw.stats();
+
+    // Recovery stage wrap-up: every tenant's end-of-operation sweep runs
+    // on the quiet post-soak path, executing everything the eager lanes
+    // did not handle (including every gate-shed repair) — before the
+    // metric snapshot, so `recovery.storm.*` accounting is final in it.
+    let recovery = storm.as_ref().map(|storm| {
+        let mut storm = storm.borrow_mut();
+        let config = storm.config().clone();
+        let mut tenants = Vec::with_capacity(streams.ops.len());
+        let mut all_mttr: Vec<SimDuration> = Vec::new();
+        let (mut attempted, mut recovered, mut escalated) = (0usize, 0usize, 0usize);
+        let (mut recovered_direct, mut escalated_direct) = (0usize, 0usize);
+        let (mut deferred_swept, mut throttled) = (0usize, 0usize);
+        for ((stream, report), &tenant) in streams.ops.iter().zip(&reports).zip(&tenant_ids) {
+            use std::fmt::Write as _;
+            let records = storm.sweep(tenant, &report.summary.detections);
+            let mut t = TenantRecoveryResult {
+                trace_id: stream.scenario.trace_id.clone(),
+                fault: stream.fault,
+                attempted: records.len(),
+                recovered: 0,
+                escalated: 0,
+                deferred_swept: 0,
+                throttled: 0,
+                mttr: TimingStats::new(Vec::new()),
+                transcript: String::new(),
+            };
+            let _ = writeln!(t.transcript, "== {} fault={:?} ==", t.trace_id, t.fault);
+            let mut mttr = Vec::new();
+            for rec in &records {
+                let swept = rec.path == RecoveryPath::DeferredSwept;
+                if rec.run.outcome.is_recovered() {
+                    t.recovered += 1;
+                    recovered_direct += !swept as usize;
+                } else {
+                    t.escalated += 1;
+                    escalated_direct += !swept as usize;
+                }
+                t.deferred_swept += swept as usize;
+                t.throttled += matches!(
+                    rec.path,
+                    RecoveryPath::Eager {
+                        throttled: true,
+                        ..
+                    }
+                ) as usize;
+                if let Some(d) = rec.run.mttr() {
+                    mttr.push(d);
+                    all_mttr.push(d);
+                }
+                let _ = writeln!(
+                    t.transcript,
+                    "-- incident {} path={} --\n{}",
+                    rec.detection_index,
+                    rec.path.tag(),
+                    rec.run.digest()
+                );
+            }
+            attempted += t.attempted;
+            recovered += t.recovered;
+            escalated += t.escalated;
+            deferred_swept += t.deferred_swept;
+            throttled += t.throttled;
+            t.mttr = TimingStats::new(mttr);
+            tenants.push(t);
+        }
+        SoakRecoveryReport {
+            config,
+            tenants,
+            attempted,
+            recovered,
+            escalated,
+            recovered_direct,
+            escalated_direct,
+            deferred_swept,
+            throttled,
+            stats: storm.stats(),
+            mttr: TimingStats::new(all_mttr),
+        }
+    });
 
     // Operations a gateway tail-latency exemplar points at: their traces
     // are keep-worthy even when otherwise healthy, so a p99 read from the
@@ -524,6 +757,7 @@ pub fn replay_telemetry(
         discarded_traces,
         incidents: incidents_total,
         flight,
+        recovery,
     }
 }
 
@@ -710,6 +944,88 @@ pub fn render_soak_report(report: &SoakReport) -> String {
         "-- replay latency budget: per-stage self time, p50/p95/p99 per fault type --"
     );
     out.push_str(&report.latency.render());
+    if let Some(rec) = &report.recovery {
+        let _ = writeln!(out);
+        out.push_str(&render_recovery_soak(rec));
+    }
+    out
+}
+
+/// Renders the recovery stage: the no-drop invariant, the admission
+/// gate's ledger, the aggregate MTTR-under-load distribution and the most
+/// contended tenants.
+pub fn render_recovery_soak(rec: &SoakRecoveryReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- recovery storm: {} tenants, {} lanes, throttle beyond {} in flight --",
+        rec.tenants.len(),
+        rec.config.lanes,
+        rec.config.throttle_at
+    );
+    let _ = writeln!(
+        out,
+        "incidents: {} attempted = {} recovered + {} escalated ({})",
+        rec.attempted,
+        rec.recovered,
+        rec.escalated,
+        if rec.none_dropped() {
+            "none dropped"
+        } else {
+            "ACCOUNTING BROKEN"
+        }
+    );
+    let review = rec
+        .attempted
+        .saturating_sub(rec.stats.admitted as usize)
+        .saturating_sub(rec.deferred_swept);
+    let _ = writeln!(
+        out,
+        "paths: {} eager ({} throttled by the shared API), {} deferred then swept, {} step-less \
+         reviews",
+        rec.stats.admitted, rec.throttled, rec.deferred_swept, review
+    );
+    let _ = writeln!(
+        out,
+        "admission gate: {} requests = {} admitted + {} deferred (all {} swept), peak {} \
+         repairs in flight",
+        rec.stats.requests,
+        rec.stats.admitted,
+        rec.stats.deferred,
+        rec.stats.swept,
+        rec.stats.peak_concurrent
+    );
+    if !rec.mttr.is_empty() {
+        let _ = writeln!(
+            out,
+            "MTTR under load: p50 {}us, p95 {}us, max {}us over {} verified repairs",
+            rec.mttr.percentile(0.5).as_micros(),
+            rec.mttr.percentile(0.95).as_micros(),
+            rec.mttr.max().as_micros(),
+            rec.mttr.len()
+        );
+    }
+    let mut contended: Vec<&TenantRecoveryResult> =
+        rec.tenants.iter().filter(|t| !t.mttr.is_empty()).collect();
+    contended.sort_by_key(|t| std::cmp::Reverse(t.mttr.percentile(0.95)));
+    if !contended.is_empty() {
+        let _ = writeln!(out, "most contended tenants (MTTR p95, worst first):");
+        for t in contended.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>2} incidents ({:>2} swept, {:>2} throttled)  p50 {:>9}us  p95 \
+                 {:>9}us  {}",
+                t.trace_id,
+                t.attempted,
+                t.deferred_swept,
+                t.throttled,
+                t.mttr.percentile(0.5).as_micros(),
+                t.mttr.percentile(0.95).as_micros(),
+                t.fault.map_or("healthy".to_string(), |f| f.to_string())
+            );
+        }
+    }
     out
 }
 
@@ -873,6 +1189,65 @@ mod tests {
         let tel = parsed.get("telemetry").unwrap();
         assert_eq!(tel.get("mode").unwrap().as_str(), Some("sampled"));
         assert!(tel.get("flight_frames").is_some());
+    }
+
+    #[test]
+    fn recovery_soak_drops_nothing_and_replays_byte_identically() {
+        let config = SoakConfig {
+            ops: 6,
+            seed: 17,
+            ..SoakConfig::default()
+        };
+        // Tight storm: one lane, a short wait cap and zero-tolerance
+        // throttling, so eager, throttled and deferred paths all occur.
+        let storm = StormConfig {
+            lanes: 1,
+            max_lane_wait: SimDuration::from_secs(30),
+            throttle_at: 0,
+            throttle_penalty: SimDuration::from_secs(2),
+        };
+        // Repairs mutate the tenant clouds, so each replay needs freshly
+        // collected (same-seed, deterministic) streams.
+        let run = || {
+            replay_with_recovery(
+                &collect_streams(&config),
+                &GatewayConfig::default(),
+                storm.clone(),
+            )
+        };
+        let report = run();
+        let rec = report.recovery.as_ref().expect("recovery stage ran");
+        assert!(rec.attempted > 0, "faulty tenants must raise incidents");
+        assert!(rec.none_dropped(), "{rec:#?}");
+        assert_eq!(rec.recovered + rec.escalated, rec.attempted);
+        assert_eq!(
+            rec.recovered_direct + rec.escalated_direct + rec.deferred_swept,
+            rec.attempted
+        );
+        // The metric mirror on the gateway snapshot matches the exact
+        // stats, and throttle/defer pressure actually materialized.
+        let s = rec.stats;
+        assert!(s.requests > 0);
+        let counter = |n: &str| report.snapshot.counter(&format!("recovery.storm.{n}"));
+        assert_eq!(counter("requests"), s.requests);
+        assert_eq!(counter("admitted"), s.admitted);
+        assert_eq!(counter("throttled"), s.throttled);
+        assert_eq!(counter("deferred"), s.deferred);
+        assert_eq!(counter("swept"), s.swept);
+        assert!(!rec.mttr.is_empty(), "verified repairs must record MTTR");
+
+        let text = render_soak_report(&report);
+        assert!(text.contains("recovery storm:"), "{text}");
+        assert!(text.contains("none dropped"), "{text}");
+
+        // Same seed + same interleaving ⇒ byte-identical transcripts,
+        // even under maximal contention.
+        let again = run();
+        assert_eq!(report.digest(), again.digest());
+        assert_eq!(
+            rec.transcript(),
+            again.recovery.as_ref().unwrap().transcript()
+        );
     }
 
     #[test]

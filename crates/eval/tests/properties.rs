@@ -189,3 +189,125 @@ mod fastpath {
         }
     }
 }
+
+mod storm {
+    use pod_eval::{collect_streams, replay_with_recovery, SoakConfig, SoakReport};
+    use pod_gateway::GatewayConfig;
+    use pod_recovery::StormConfig;
+    use pod_sim::SimDuration;
+    use proptest::prelude::*;
+
+    fn run_storm(ops: usize, seed: u64, storm: &StormConfig) -> SoakReport {
+        let config = SoakConfig {
+            ops,
+            seed,
+            ..SoakConfig::default()
+        };
+        // Repairs mutate the per-tenant clouds, so every replay starts
+        // from freshly collected (same-seed, deterministic) streams.
+        replay_with_recovery(
+            &collect_streams(&config),
+            &GatewayConfig::default(),
+            storm.clone(),
+        )
+    }
+
+    fn arb_storm() -> impl Strategy<Value = StormConfig> {
+        (1usize..4, 0u64..40, 0usize..3, 0u64..5).prop_map(
+            |(lanes, max_wait_secs, throttle_at, penalty_secs)| StormConfig {
+                lanes,
+                max_lane_wait: SimDuration::from_secs(max_wait_secs),
+                throttle_at,
+                throttle_penalty: SimDuration::from_secs(penalty_secs),
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Recovery-storm determinism: the same seed and the same notice
+        /// interleaving produce byte-identical recovery transcripts (and
+        /// an identical full-report digest) across two independent
+        /// replays, whatever the contention knobs.
+        #[test]
+        fn same_seed_storms_replay_byte_identically(
+            ops in 3usize..6,
+            seed in 1u64..10_000,
+            storm in arb_storm(),
+        ) {
+            let a = run_storm(ops, seed, &storm);
+            let b = run_storm(ops, seed, &storm);
+            let rec_a = a.recovery.as_ref().expect("recovery ran");
+            let rec_b = b.recovery.as_ref().expect("recovery ran");
+            prop_assert_eq!(rec_a.transcript(), rec_b.transcript());
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+
+        /// Contention accounting is exact: every repair is counted once
+        /// on exactly one path, the admission ledger balances, the
+        /// `recovery.storm.*` metric mirror matches the stats, and the
+        /// consistent-layer retries stay within their call counts.
+        #[test]
+        fn storm_accounting_is_exact(
+            ops in 3usize..6,
+            seed in 1u64..10_000,
+            storm in arb_storm(),
+        ) {
+            let config = SoakConfig {
+                ops,
+                seed,
+                ..SoakConfig::default()
+            };
+            let streams = collect_streams(&config);
+            let report = replay_with_recovery(
+                &streams,
+                &GatewayConfig::default(),
+                storm,
+            );
+            let rec = report.recovery.as_ref().expect("recovery ran");
+
+            // No incident dropped, each on exactly one path.
+            prop_assert!(rec.none_dropped(), "{rec:#?}");
+            prop_assert_eq!(rec.recovered + rec.escalated, rec.attempted);
+            prop_assert_eq!(
+                rec.recovered_direct + rec.escalated_direct + rec.deferred_swept,
+                rec.attempted
+            );
+            let per_tenant: usize = rec.tenants.iter().map(|t| t.attempted).sum();
+            prop_assert_eq!(per_tenant, rec.attempted);
+
+            // The admission ledger balances and throttles are counted
+            // exactly once (never more than the admissions they ride on).
+            let s = rec.stats;
+            prop_assert_eq!(s.admitted + s.deferred, s.requests);
+            prop_assert_eq!(s.swept, s.deferred);
+            prop_assert!(s.throttled <= s.admitted);
+            prop_assert_eq!(rec.throttled as u64, s.throttled);
+            prop_assert_eq!(rec.deferred_swept as u64, s.swept);
+
+            // The gateway-snapshot metric mirror matches the exact stats.
+            let counter = |n: &str| report.snapshot.counter(&format!("recovery.storm.{n}"));
+            prop_assert_eq!(counter("requests"), s.requests);
+            prop_assert_eq!(counter("admitted"), s.admitted);
+            prop_assert_eq!(counter("throttled"), s.throttled);
+            prop_assert_eq!(counter("deferred"), s.deferred);
+            prop_assert_eq!(counter("swept"), s.swept);
+            // All shed backlogs were swept: the queue-depth gauge is back
+            // to zero after the last sweep.
+            prop_assert_eq!(
+                report.snapshot.gauges.get("recovery.storm.queue_depth"),
+                Some(&0)
+            );
+
+            // Consistent-layer accounting per tenant: retries and
+            // timeouts never exceed the calls that produced them.
+            for stream in &streams.ops {
+                let snap = stream.scenario.cloud.obs().snapshot();
+                let calls = snap.counter("consistent.calls");
+                prop_assert!(snap.counter("consistent.retries") <= calls);
+                prop_assert!(snap.counter("consistent.timeouts") <= calls);
+            }
+        }
+    }
+}

@@ -348,6 +348,19 @@ struct Metrics {
     batch_fill: Histogram,
 }
 
+/// A callback the gateway fires when a sink's detection count rises
+/// during a drain: the dispatcher hookup point for recovery storms. Runs
+/// after the sink ingested the batch (so any engine-side detection hooks
+/// already fired) with the operation, the gateway-clock time, and the
+/// number of new detections.
+struct IncidentHook(Box<dyn FnMut(OpId, SimTime, usize)>);
+
+impl fmt::Debug for IncidentHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("IncidentHook(..)")
+    }
+}
+
 /// The sharded multi-tenant ingestion gateway. See the module docs.
 #[derive(Debug)]
 pub struct Gateway {
@@ -359,6 +372,7 @@ pub struct Gateway {
     tallies: Tallies,
     metrics: Metrics,
     flight: Option<FlightRecorder>,
+    incident_hook: Option<IncidentHook>,
 }
 
 /// Plain mirrors of the headline counters (cheap to read for stats).
@@ -431,7 +445,18 @@ impl Gateway {
             tallies: Tallies::default(),
             metrics,
             flight,
+            incident_hook: None,
         }
+    }
+
+    /// Installs the incident hook: called whenever a sink's detection
+    /// count rises during a drain, with the operation, the gateway-clock
+    /// time, and the number of new detections. This is where a shared
+    /// recovery dispatcher observes incidents on the gateway timeline
+    /// (e.g. to refresh its in-flight/backlog gauges before the flight
+    /// recorder frames them). Replaces any previous hook.
+    pub fn set_incident_hook(&mut self, hook: impl FnMut(OpId, SimTime, usize) + 'static) {
+        self.incident_hook = Some(IncidentHook(Box::new(hook)));
     }
 
     /// The gateway's observability handle (metrics live here).
@@ -672,11 +697,17 @@ impl Gateway {
             self.tallies.processed += n;
             self.shards[shard_idx].processed.add(n);
             self.ops[op].sink.ingest_batch(events);
-            if let Some(flight) = &self.flight {
+            if self.flight.is_some() || self.incident_hook.is_some() {
                 let detections = self.ops[op].sink.detections();
-                if detections > self.ops[op].detections_seen {
+                let seen = self.ops[op].detections_seen;
+                if detections > seen {
                     self.ops[op].detections_seen = detections;
-                    flight.mark_incident(&format!("{} detection", self.ops[op].instance_id));
+                    if let Some(IncidentHook(hook)) = &mut self.incident_hook {
+                        hook(OpId(op), self.clock.now(), detections - seen);
+                    }
+                    if let Some(flight) = &self.flight {
+                        flight.mark_incident(&format!("{} detection", self.ops[op].instance_id));
+                    }
                 }
             }
         }

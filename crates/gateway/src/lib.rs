@@ -17,14 +17,24 @@
 //! * **Determinism** — the whole service runs on one `pod_sim` clock;
 //!   wakeups fire in (time, shard) order, so the same interleaved input
 //!   always produces byte-identical detections.
+//!
+//! The gateway also owns **repair admission**: the [`AdmissionGate`] is a
+//! deterministic virtual-time lane arbiter that bounds how many repairs
+//! (or other expensive backend-touching tasks) run concurrently against
+//! the shared cloud API, deferring anything that would queue past its wait
+//! cap to a quieter fallback path. [`Gateway::set_incident_hook`] is the
+//! matching dispatcher hookup: it fires on the gateway timeline whenever a
+//! sink raises new detections.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod admission;
 mod gateway;
 mod queue;
 mod shard;
 
+pub use admission::{Admission, AdmissionGate};
 pub use gateway::{
     DiagnosisSink, Gateway, GatewayConfig, GatewayError, GatewayStats, OpId, OpReport, ShardStats,
     SubmitOutcome, QUEUE_WAIT_BOUNDS_US,

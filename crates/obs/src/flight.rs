@@ -273,8 +273,10 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
     // Overload during bursts (recovery storms, replay floods) must be
     // visible alongside the incident marks even when the caller did not ask
     // for it: append every gateway shed/admission counter the frames saw,
-    // plus the fast-path recovery speculation counters (prestage
-    // hit/waste) — misprediction cost belongs next to the shedding rows.
+    // the fast-path recovery speculation counters (prestage hit/waste) —
+    // misprediction cost belongs next to the shedding rows — and the
+    // storm's admission ledger (requests/admitted/throttled/deferred/
+    // swept), so shed-to-sweep pressure shows up without opt-in.
     let last_frame = frames.last().unwrap();
     let overload: Vec<&str> = last_frame
         .snapshot
@@ -285,7 +287,8 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
                 || name.starts_with("gateway.admission.")
                 || name.starts_with("gateway.backpressure.")
                 || name.starts_with("recovery.prestage.")
-                || name.starts_with("recovery.dispatch."))
+                || name.starts_with("recovery.dispatch.")
+                || name.starts_with("recovery.storm."))
                 && !metrics.contains(&name.as_str())
         })
         .map(|name| name.as_str())
@@ -306,12 +309,16 @@ pub fn render_dashboard(dump: &FlightDump, metrics: &[&str]) -> String {
         );
     }
     // The recovery dispatcher's queue depth (staged speculations plus
-    // deferred reviews) is a gauge, not a counter: plot levels, not deltas.
+    // deferred reviews) and the storm's in-flight/backlog pressure are
+    // gauges, not counters: plot levels, not deltas.
     let queues: Vec<&str> = last_frame
         .snapshot
         .gauges
         .keys()
-        .filter(|name| name.starts_with("recovery.queue.") && !metrics.contains(&name.as_str()))
+        .filter(|name| {
+            (name.starts_with("recovery.queue.") || name.starts_with("recovery.storm."))
+                && !metrics.contains(&name.as_str())
+        })
         .map(|name| name.as_str())
         .collect();
     for name in queues {

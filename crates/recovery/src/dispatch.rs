@@ -108,6 +108,19 @@ impl RecoveryDispatcher {
         }
     }
 
+    /// Whether dispatching `detection` would execute an actual repair
+    /// against the cloud API (its confirmed root cause is mapped in the
+    /// plan library), as opposed to queueing a step-less operation-end
+    /// review. Cross-tenant arbiters use this to charge admission lanes
+    /// only for work that really contends for the shared backend.
+    pub fn is_actionable(&self, detection: &Detection) -> bool {
+        let (cause, _) = root_cause_of(detection);
+        self.executor
+            .library()
+            .mapped_causes()
+            .contains(&cause.as_str())
+    }
+
     /// The engine-hook entry point: pre-stages plans on `Detected`,
     /// dispatches eagerly on `Diagnosed`.
     pub fn on_notice(&mut self, notice: &EngineNotice) {

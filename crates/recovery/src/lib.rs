@@ -25,6 +25,12 @@
 //!    the repair like any other operation. The whole arc (detection →
 //!    diagnosis → recovery → verification) is one causal chain in
 //!    `pod-obs`, under new `recovery.*` metrics.
+//! 5. **Storm arbitration** ([`RecoveryStorm`]) — at gateway scale many
+//!    tenants repair concurrently against one shared, throttled cloud
+//!    API; the storm arbitrates their dispatchers over a bounded lane
+//!    pool (`pod_gateway::AdmissionGate`), charges lane waits and
+//!    throttle penalties to each tenant's MTTR, and sheds over-cap
+//!    repairs to the end-of-operation sweep so nothing is dropped.
 //!
 //! Everything runs in virtual time: same seed ⇒ byte-identical recovery
 //! transcripts ([`RecoveryRun::transcript`]).
@@ -35,6 +41,7 @@ mod dispatch;
 mod executor;
 pub mod monitor;
 mod plan;
+mod storm;
 
 pub use dispatch::RecoveryDispatcher;
 pub use executor::{
@@ -43,3 +50,4 @@ pub use executor::{
 };
 pub use monitor::{conformance_check, recovery_model, recovery_pod_config, ConformanceReport};
 pub use plan::{PlanLibrary, RecoveryPlan, RecoveryStep, ResourceKind};
+pub use storm::{RecoveryPath, RecoveryStorm, StormConfig, StormRecord, StormStats, TenantId};

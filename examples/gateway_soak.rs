@@ -10,7 +10,16 @@
 //! Run with `cargo run --release --example gateway_soak`.
 //! Pass a number to change the operation count (e.g. `-- 16`).
 //! Pass `--policy shed-oldest|shed-newest|block` for the main replay.
-//! Pass `--json` to also write:
+//! Pass `--recovery` to wire the recovery stage in: every tenant engine's
+//! detections feed one shared `RecoveryStorm` whose repairs contend for
+//! the gateway's admission gate (bounded lanes, shared-API throttling,
+//! shed-to-sweep fallback). The run asserts zero dropped incidents and
+//! replays a second same-seed soak to prove byte-identical transcripts
+//! under maximal contention; `--json` then writes
+//! `BENCH_recovery_soak.json` (the recovery-storm/recovery-tenant journal)
+//! and `FLIGHT_recovery-soak.json`, and `--baseline <path>` gates the
+//! storm-mode MTTR p50 at 1.1x a committed baseline.
+//! Pass `--json` (without `--recovery`) to also write:
 //! - `BENCH_gateway.json` — lines/sec (wall and virtual), the batch-size
 //!   sweep, per-shard p50/p95/p99 queue waits and the replay latency budget;
 //! - `JOURNAL_gateway.json` — the gateway's pod-obs snapshot plus the
@@ -19,16 +28,24 @@
 //!   periodic frame with counters/gauges/quantiles plus incident marks.
 
 use pod_diagnosis::eval::{
-    collect_streams, flight_json, gateway_lines, render_gateway_report, render_journal,
-    render_soak_report, replay, snapshot_lines, soak_bench_json, sweep_batches, SoakConfig,
+    collect_streams, flight_json, gateway_lines, recovery_soak_lines, render_gateway_report,
+    render_journal, render_soak_report, replay, replay_with_recovery, snapshot_lines,
+    soak_bench_json, sweep_batches, SoakConfig,
 };
 use pod_diagnosis::gateway::{GatewayConfig, OverloadPolicy};
 use pod_diagnosis::obs::render_dashboard;
+use pod_diagnosis::recovery::StormConfig;
 use pod_diagnosis::sim::SimDuration;
+use pod_log::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let recovery = args.iter().any(|a| a == "--recovery");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
     let ops: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(64);
     let policy: OverloadPolicy = args
         .iter()
@@ -42,6 +59,9 @@ fn main() {
         seed: 2014,
         ..SoakConfig::default()
     };
+    if recovery {
+        return recovery_soak(&config, policy, json, baseline);
+    }
     eprintln!("phase A: running {ops} faulty upgrades, each on its own cloud...");
     let started = std::time::Instant::now();
     let streams = collect_streams(&config);
@@ -148,6 +168,169 @@ fn main() {
                 flight.frames.len(),
                 flight.incidents.len()
             );
+        }
+    }
+}
+
+/// The recovery storm soak: the interleaved replay with every tenant's
+/// repairs contending for the shared admission gate, run twice from the
+/// same seed to prove byte-identical transcripts under contention.
+fn recovery_soak(
+    config: &SoakConfig,
+    policy: OverloadPolicy,
+    json: bool,
+    baseline: Option<String>,
+) {
+    let base = GatewayConfig {
+        overload: policy,
+        ..GatewayConfig::default()
+    };
+    let storm = StormConfig::default();
+    eprintln!(
+        "recovery storm: {} tenants through {} repair lanes (throttle beyond {} in flight)...",
+        config.ops, storm.lanes, storm.throttle_at
+    );
+    // Repairs mutate the per-tenant clouds, so each same-seed run starts
+    // from freshly collected (deterministic) streams.
+    let run = || {
+        let streams = collect_streams(config);
+        replay_with_recovery(&streams, &base, storm.clone())
+    };
+    let started = std::time::Instant::now();
+    let report = run();
+    eprintln!(
+        "soak + recovery finished in {:.1?} wall-clock",
+        started.elapsed()
+    );
+    println!("{}", render_soak_report(&report));
+    assert!(
+        report.leaks.is_empty(),
+        "cross-operation leakage detected: {:?}",
+        report.leaks
+    );
+    let rec = report.recovery.as_ref().expect("recovery stage ran");
+    println!("-- storm invariant --");
+    println!(
+        "recovered {} + escalated {} == attempted {} (direct {} + {} plus {} deferred-then-swept; \
+         zero dropped: {})",
+        rec.recovered,
+        rec.escalated,
+        rec.attempted,
+        rec.recovered_direct,
+        rec.escalated_direct,
+        rec.deferred_swept,
+        rec.none_dropped()
+    );
+    assert!(rec.none_dropped(), "an incident was dropped: {rec:#?}");
+    assert!(rec.attempted > 0, "faulty tenants must raise incidents");
+
+    // The flight dashboard during a storm: the shed/admission/queue rows
+    // (recovery.storm.* counters and gauges) light up next to incidents.
+    if let Some(flight) = &report.flight {
+        println!("-- flight dashboard (storm) --");
+        println!(
+            "{}",
+            render_dashboard(
+                flight,
+                &[
+                    "gateway.lines.processed",
+                    "gateway.queue_wait_us",
+                    "recovery.storm.concurrent",
+                ],
+            )
+        );
+    }
+
+    // Quiet baseline: same seed, same tenants, but a lane per tenant and
+    // no throttling — the same repairs with zero contention. Same plans,
+    // same verdicts; only the virtual clock moves.
+    let quiet_cfg = StormConfig {
+        lanes: config.ops.max(1),
+        max_lane_wait: SimDuration::from_secs(3600),
+        throttle_at: config.ops,
+        ..storm.clone()
+    };
+    let quiet_report = replay_with_recovery(&collect_streams(config), &base, quiet_cfg);
+    let quiet = quiet_report.recovery.as_ref().unwrap();
+    assert_eq!(
+        (quiet.recovered, quiet.escalated),
+        (rec.recovered, rec.escalated),
+        "contention must never change outcomes, only timing"
+    );
+    println!("-- quiet vs storm (same seed, same repairs) --");
+    println!(
+        "{:<8} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "mode", "throttled", "deferred", "mttr_p50_us", "mttr_p95_us", "mttr_max_us"
+    );
+    for (name, r) in [("quiet", quiet), ("storm", rec)] {
+        println!(
+            "{:<8} {:>9} {:>9} {:>12} {:>12} {:>12}",
+            name,
+            r.throttled,
+            r.deferred_swept,
+            r.mttr.percentile(0.5).as_micros(),
+            r.mttr.percentile(0.95).as_micros(),
+            r.mttr.max().as_micros()
+        );
+    }
+    println!();
+
+    eprintln!("replaying the same seed again to prove transcript determinism...");
+    let again = run();
+    assert_eq!(
+        report.digest(),
+        again.digest(),
+        "same seed + same interleaving must give a byte-identical report digest"
+    );
+    assert_eq!(
+        rec.transcript(),
+        again.recovery.as_ref().unwrap().transcript(),
+        "recovery transcripts must be byte-identical under contention"
+    );
+    println!(
+        "determinism: two same-seed storms produced byte-identical transcripts ({} bytes)",
+        rec.transcript().len()
+    );
+
+    if json {
+        let lines = recovery_soak_lines("recovery-soak", rec);
+        std::fs::write("BENCH_recovery_soak.json", render_journal(&lines))
+            .expect("write BENCH_recovery_soak.json");
+        eprintln!(
+            "wrote {} journal records to BENCH_recovery_soak.json",
+            lines.len()
+        );
+        if let Some(flight) = &report.flight {
+            let doc = flight_json("recovery-soak", flight).to_string();
+            std::fs::write("FLIGHT_recovery-soak.json", doc + "\n")
+                .expect("write FLIGHT_recovery-soak.json");
+            eprintln!(
+                "wrote {} flight frames ({} incident marks) to FLIGHT_recovery-soak.json",
+                flight.frames.len(),
+                flight.incidents.len()
+            );
+        }
+    }
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let committed = text
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .find(|j| j.get("record").and_then(Json::as_str) == Some("recovery-storm"))
+            .and_then(|j| j.get("mttr_p50_us").and_then(Json::as_f64))
+            .unwrap_or_else(|| {
+                panic!("baseline {path} has no recovery-storm record with mttr_p50_us")
+            });
+        let fresh = rec.mttr.percentile(0.5).as_micros() as f64;
+        println!(
+            "regression gate: fresh storm mttr_p50 {fresh:.0}us vs committed {committed:.0}us \
+             (limit 1.1x)"
+        );
+        if fresh > committed * 1.1 {
+            eprintln!("REGRESSION: storm-mode MTTR p50 exceeds 1.1x the committed baseline");
+            std::process::exit(1);
         }
     }
 }
